@@ -1,0 +1,76 @@
+//! Ablations for the design choices called out in DESIGN.md §4:
+//!
+//! * Dinic vs Edmonds–Karp inside Algorithm 1;
+//! * the exact solver's greedy upper bound (hitting-set B&B) exercised on
+//!   dense vs sparse triangle instances;
+//! * C1P testing cost on query-shaped vs adversarial hypergraphs.
+
+use causality_bench::bench_group;
+use causality_core::resp::exact::why_so_responsibility_exact;
+use causality_core::resp::flow::why_so_responsibility_flow_with;
+use causality_datagen::workloads::{chain, triangles, ChainConfig};
+use causality_graph::c1p::c1p_order;
+use causality_graph::maxflow::FlowAlgorithm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn maxflow_ablation(c: &mut Criterion) {
+    let mut group = bench_group(c, "ablation_maxflow");
+    let inst = chain(&ChainConfig {
+        atoms: 3,
+        tuples_per_relation: 300,
+        domain_per_layer: 30,
+        seed: 41,
+    });
+    for (name, algo) in [
+        ("dinic", FlowAlgorithm::Dinic),
+        ("edmonds_karp", FlowAlgorithm::EdmondsKarp),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, &algo| {
+            b.iter(|| {
+                why_so_responsibility_flow_with(&inst.db, &inst.query, inst.probe, algo)
+                    .expect("flow")
+                    .0
+                    .rho
+            });
+        });
+    }
+    group.finish();
+}
+
+fn exact_density_ablation(c: &mut Criterion) {
+    let mut group = bench_group(c, "ablation_exact_density");
+    // Same tuple count, different domain density: dense instances have
+    // many more triangles (larger hitting-set instances).
+    for (name, n_values) in [("sparse_dom12", 12usize), ("dense_dom4", 4)] {
+        let inst = triangles(n_values, 30, 29);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n_values, |b, _| {
+            b.iter(|| {
+                why_so_responsibility_exact(&inst.db, &inst.query, inst.probe)
+                    .expect("exact")
+                    .rho
+            });
+        });
+    }
+    group.finish();
+}
+
+fn c1p_ablation(c: &mut Criterion) {
+    let mut group = bench_group(c, "ablation_c1p");
+    // Query-shaped: a 12-atom chain's dual hypergraph (trivially linear).
+    let chain_edges: Vec<u64> = (0..11).map(|i| 0b11u64 << i).collect();
+    group.bench_function("chain12", |b| {
+        b.iter(|| c1p_order(12, &chain_edges).is_some());
+    });
+    // Adversarial: overlapping wide blocks (forces real backtracking).
+    let blocks: Vec<u64> = (0..8)
+        .map(|i| ((1u64 << 6) - 1) << i)
+        .chain([(1u64 << 13) - 1, 0b1010101010101])
+        .collect();
+    group.bench_function("wide_blocks13", |b| {
+        b.iter(|| c1p_order(13, &blocks).is_some());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, maxflow_ablation, exact_density_ablation, c1p_ablation);
+criterion_main!(benches);

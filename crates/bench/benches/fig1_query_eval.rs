@@ -1,0 +1,26 @@
+//! E1 — Fig. 1: evaluating the Burton genre query at increasing IMDB
+//! sizes (query answering is the substrate everything else builds on).
+
+use causality_bench::bench_group;
+use causality_datagen::imdb::{burton_genre_query, generate, ImdbConfig};
+use causality_engine::evaluate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig1_query_eval(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig1_query_eval");
+    for movies in [200usize, 800, 3200] {
+        let (db, _) = generate(&ImdbConfig {
+            directors: movies / 5,
+            movies,
+            ..ImdbConfig::default()
+        });
+        let q = burton_genre_query();
+        group.bench_with_input(BenchmarkId::from_parameter(movies), &movies, |b, _| {
+            b.iter(|| evaluate(&db, &q).expect("evaluates").answers.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1_query_eval);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E2 — Fig. 2b: the full explanation pipeline (causes + responsibility
+//! ranking) on the Musical answer, exact micro-instance and scaled IMDB.
+
+use causality_bench::bench_group;
+use causality_core::explain::Explainer;
+use causality_core::ranking::Method;
+use causality_datagen::imdb::{burton_genre_query, fig2a_instance, generate, ImdbConfig};
+use causality_engine::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig2_ranking(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig2_ranking");
+
+    let (micro, _) = fig2a_instance();
+    let q = burton_genre_query();
+    group.bench_function("micro_instance", |b| {
+        b.iter(|| {
+            Explainer::new(&micro, &q)
+                .why(&[Value::from("Musical")])
+                .expect("explains")
+                .causes
+                .len()
+        });
+    });
+
+    for movies in [200usize, 800] {
+        let (db, _) = generate(&ImdbConfig {
+            directors: movies / 5,
+            movies,
+            ..ImdbConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scaled", movies),
+            &movies,
+            |b, _| {
+                b.iter(|| {
+                    Explainer::new(&db, &q)
+                        .with_method(Method::Auto)
+                        .why(&[Value::from("Musical")])
+                        .expect("explains")
+                        .causes
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_ranking);
+criterion_main!(benches);

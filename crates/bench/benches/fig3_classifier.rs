@@ -1,0 +1,35 @@
+//! E3 — Fig. 3: the dichotomy classifier across the query catalogue.
+//! Classification is query-complexity only (no data), so these run in
+//! microseconds — the point is that certificates come essentially free.
+
+use causality_bench::bench_group;
+use causality_core::dichotomy::classify::classify_why_so;
+use causality_engine::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig3_classifier(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig3_classifier");
+    for (name, text) in [
+        ("linear_chain2", "q :- R^n(x, y), S^n(y, z)"),
+        (
+            "fig5a_linear7",
+            "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
+        ),
+        ("weakly_linear_ex412", "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)"),
+        ("hard_h2", "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)"),
+        ("hard_4cycle", "q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)"),
+        (
+            "hard_h3",
+            "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
+        ),
+    ] {
+        let q = ConjunctiveQuery::parse(text).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| classify_why_so(q).expect("classifies").label());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_classifier);
+criterion_main!(benches);

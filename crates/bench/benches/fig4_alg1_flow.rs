@@ -1,0 +1,50 @@
+//! E4/E12 — Fig. 4 / Algorithm 1: PTIME scaling of max-flow
+//! responsibility on chain queries. The paper claims PTIME data
+//! complexity (Theorem 4.5); the series here should grow polynomially
+//! with the database size and stay far below the exact solver's
+//! exponential growth on hard queries (see fig6_fig7_hardness).
+
+use causality_bench::bench_group;
+use causality_core::resp::flow::why_so_responsibility_flow;
+use causality_datagen::workloads::{chain, ChainConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig4_alg1_flow(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig4_alg1_flow");
+    // Scaling in database size (k = 2, the Fig. 4 query).
+    for n in [50usize, 200, 800] {
+        let inst = chain(&ChainConfig {
+            atoms: 2,
+            tuples_per_relation: n,
+            domain_per_layer: (n / 5).max(2),
+            seed: 13,
+        });
+        group.bench_with_input(BenchmarkId::new("k2_n", n), &n, |b, _| {
+            b.iter(|| {
+                why_so_responsibility_flow(&inst.db, &inst.query, inst.probe)
+                    .expect("flow")
+                    .rho
+            });
+        });
+    }
+    // Scaling in chain length (fixed n).
+    for k in [2usize, 3, 4, 5] {
+        let inst = chain(&ChainConfig {
+            atoms: k,
+            tuples_per_relation: 100,
+            domain_per_layer: 12,
+            seed: 17,
+        });
+        group.bench_with_input(BenchmarkId::new("n100_k", k), &k, |b, _| {
+            b.iter(|| {
+                why_so_responsibility_flow(&inst.db, &inst.query, inst.probe)
+                    .expect("flow")
+                    .rho
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_alg1_flow);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E6/E7 — the NP-hard side: exact responsibility on h1* (vertex-cover
+//! instances, Fig. 6) and on random triangle (h2*) databases. The series
+//! grow super-polynomially with instance size — contrast with
+//! fig4_alg1_flow's polynomial growth; the crossover is the dichotomy
+//! made visible.
+
+use causality_bench::bench_group;
+use causality_core::resp::exact::why_so_responsibility_exact;
+use causality_datagen::workloads::triangles;
+use causality_reductions::h1_vc::{reduce_vc_to_h1, TripartiteHypergraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn h1_hardness(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig6_h1_exact");
+    let mut rng = StdRng::seed_from_u64(5);
+    for edges in [4usize, 8, 12] {
+        let sizes = (3usize, 3usize, 3usize);
+        let h = TripartiteHypergraph {
+            sizes,
+            edges: (0..edges)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..sizes.0),
+                        rng.gen_range(0..sizes.1),
+                        rng.gen_range(0..sizes.2),
+                    )
+                })
+                .collect(),
+        };
+        let inst = reduce_vc_to_h1(&h);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| {
+                why_so_responsibility_exact(&inst.db, &inst.query, inst.witness)
+                    .expect("exact")
+                    .rho
+            });
+        });
+    }
+    group.finish();
+}
+
+fn h2_hardness(c: &mut Criterion) {
+    let mut group = bench_group(c, "fig7_h2_exact");
+    for m in [10usize, 20, 40] {
+        let inst = triangles(5, m, 23);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                why_so_responsibility_exact(&inst.db, &inst.query, inst.probe)
+                    .expect("exact")
+                    .rho
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, h1_hardness, h2_hardness);
+criterion_main!(benches);

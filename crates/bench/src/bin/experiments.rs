@@ -1,0 +1,44 @@
+//! The experiment harness: regenerate every figure/table of the paper.
+//!
+//! ```text
+//! cargo run -p causality-bench --bin experiments -- all
+//! cargo run -p causality-bench --bin experiments -- fig2 fig3
+//! ```
+//!
+//! Available experiments: fig2, fig3, fig4, fig5, fig6, fig7, fig9,
+//! datalog, logspace, whyno, selfjoin, all.
+
+use causality_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in requested {
+        let report = match name {
+            "fig2" => experiments::fig2_report(),
+            "fig3" => experiments::fig3_report(),
+            "fig4" => experiments::fig4_report(),
+            "fig5" => experiments::fig5_report(),
+            "fig6" => experiments::fig6_report(),
+            "fig7" => experiments::fig7_report(),
+            "fig9" => experiments::fig9_report(),
+            "datalog" => experiments::datalog_report(),
+            "logspace" => experiments::logspace_report(),
+            "whyno" => experiments::whyno_report(),
+            "selfjoin" => experiments::selfjoin_report(),
+            "all" => experiments::all_reports(),
+            other => {
+                eprintln!(
+                    "unknown experiment `{other}`; available: fig2 fig3 fig4 fig5 fig6 \
+                     fig7 fig9 datalog logspace whyno selfjoin all"
+                );
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Abstract marked queries.
+//!
+//! Sect. 4's complexity analysis looks at a conjunctive query only through
+//! (a) which variables each atom contains and (b) whether each atom is
+//! endogenous or exogenous. Constants, attribute order and repeated
+//! variables within an atom are irrelevant (the *dual hypergraph* of
+//! Def. 4.3 is built from variable sets). [`AQuery`] is that abstraction:
+//! a list of (endo-flag, variable-bitset) atoms, ideal for the weakening
+//! BFS and the rewriting descent.
+
+use crate::error::CoreError;
+use causality_engine::{ConjunctiveQuery, Nature};
+
+/// An abstract atom: endogenous flag plus variable bitset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AAtom {
+    /// Whether the atom is endogenous (`R^n`).
+    pub endo: bool,
+    /// Bitset of the variables occurring in the atom.
+    pub vars: u64,
+}
+
+/// An abstract marked query.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AQuery {
+    /// Atoms in source order (order is stable under weakening).
+    pub atoms: Vec<AAtom>,
+    /// Variable names, indexed by bit position.
+    pub var_names: Vec<String>,
+    /// Relation names of the atoms, for display.
+    pub atom_names: Vec<String>,
+}
+
+impl AQuery {
+    /// Build the abstraction of a marked query. Every atom must carry an
+    /// explicit `^n` / `^x` marker ("w.l.o.g. we further assume that each
+    /// relation is either fully endogenous or exogenous", Sect. 4.1).
+    ///
+    /// # Errors
+    /// * [`CoreError::UnmarkedAtom`] if some atom is unmarked.
+    /// * [`CoreError::TooLarge`] beyond 64 variables or atoms.
+    pub fn from_query(q: &ConjunctiveQuery) -> Result<Self, CoreError> {
+        if q.var_count() > 64 {
+            return Err(CoreError::TooLarge { what: "variables" });
+        }
+        if q.atoms().len() > 64 {
+            return Err(CoreError::TooLarge { what: "atoms" });
+        }
+        let mut atoms = Vec::with_capacity(q.atoms().len());
+        let mut atom_names = Vec::with_capacity(q.atoms().len());
+        for atom in q.atoms() {
+            let endo = match atom.nature {
+                Nature::Endo => true,
+                Nature::Exo => false,
+                Nature::Any => {
+                    return Err(CoreError::UnmarkedAtom {
+                        relation: atom.relation.clone(),
+                    })
+                }
+            };
+            let mut vars = 0u64;
+            for v in atom.vars() {
+                vars |= 1 << v.0;
+            }
+            atoms.push(AAtom { endo, vars });
+            atom_names.push(atom.relation.clone());
+        }
+        Ok(AQuery {
+            atoms,
+            var_names: (0..q.var_count() as u32)
+                .map(|i| q.var_name(causality_engine::VarId(i)).to_string())
+                .collect(),
+            atom_names,
+        })
+    }
+
+    /// Parse and abstract in one step (test/harness convenience).
+    pub fn parse(text: &str) -> Result<Self, CoreError> {
+        let q = ConjunctiveQuery::parse(text).map_err(CoreError::Engine)?;
+        AQuery::from_query(&q)
+    }
+
+    /// Bitset of variables occurring in at least one atom.
+    pub fn active_vars(&self) -> u64 {
+        self.atoms.iter().fold(0, |acc, a| acc | a.vars)
+    }
+
+    /// Number of active variables.
+    pub fn active_var_count(&self) -> usize {
+        self.active_vars().count_ones() as usize
+    }
+
+    /// The dual hypergraph's edges (Def. 4.3): for every active variable,
+    /// the bitset of atoms containing it. Vertex `i` = atom `i`.
+    pub fn dual_edges(&self) -> Vec<u64> {
+        let mut edges = Vec::new();
+        let active = self.active_vars();
+        for v in 0..64 {
+            if active & (1 << v) == 0 {
+                continue;
+            }
+            let mut edge = 0u64;
+            for (i, a) in self.atoms.iter().enumerate() {
+                if a.vars & (1 << v) != 0 {
+                    edge |= 1 << i;
+                }
+            }
+            edges.push(edge);
+        }
+        edges
+    }
+
+    /// The state key used by search visited-sets (names stripped).
+    pub fn key(&self) -> Vec<AAtom> {
+        self.atoms.clone()
+    }
+
+    /// Human-readable rendering, e.g. `R^n(x,y), S^x(y,z)`.
+    pub fn render(&self) -> String {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let vars: Vec<&str> = (0..64)
+                    .filter(|v| a.vars & (1 << v) != 0)
+                    .map(|v| self.var_names[v as usize].as_str())
+                    .collect();
+                format!(
+                    "{}^{}({})",
+                    self.atom_names[i],
+                    if a.endo { "n" } else { "x" },
+                    vars.join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Whether two atoms share a variable (the "neighbors" of Sect. 4.1).
+    pub fn neighbors(&self, i: usize, j: usize) -> bool {
+        self.atoms[i].vars & self.atoms[j].vars != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstraction_of_h2() {
+        let a = AQuery::parse("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)").unwrap();
+        assert_eq!(a.atoms.len(), 3);
+        assert!(a.atoms.iter().all(|at| at.endo));
+        assert_eq!(a.active_var_count(), 3);
+        // x in R and T; y in R and S; z in S and T.
+        assert_eq!(a.dual_edges(), vec![0b101, 0b011, 0b110]);
+        assert!(a.neighbors(0, 1));
+        assert!(a.neighbors(0, 2));
+    }
+
+    #[test]
+    fn unmarked_atoms_rejected() {
+        let err = AQuery::parse("q :- R(x, y)").unwrap_err();
+        assert!(matches!(err, CoreError::UnmarkedAtom { .. }));
+    }
+
+    #[test]
+    fn constants_and_repeats_ignored() {
+        let a = AQuery::parse("q :- R^n(x, 'c', x), S^x(x)").unwrap();
+        assert_eq!(a.atoms[0].vars, a.atoms[1].vars);
+        assert_eq!(a.active_var_count(), 1);
+    }
+
+    #[test]
+    fn render_roundtrip_readability() {
+        let a = AQuery::parse("q :- R^n(x, y), S^x(y)").unwrap();
+        assert_eq!(a.render(), "R^n(x,y), S^x(y)");
+    }
+
+    #[test]
+    fn dual_edges_skip_inactive_vars() {
+        let a = AQuery::parse("q :- A^n(x), B^n(y)").unwrap();
+        assert_eq!(a.dual_edges(), vec![0b01, 0b10]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Linearity (Def. 4.3 / 4.4).
+//!
+//! "A hypergraph H(V, E) is linear if there exists a total order of V such
+//! that every hyperedge is a consecutive subsequence. A query is linear if
+//! its dual hypergraph is linear." The dual hypergraph has the query's
+//! *atoms* as vertices and one hyperedge per *variable*. Note that
+//! linearity ignores the endogenous/exogenous status of atoms.
+
+use super::aquery::AQuery;
+use causality_graph::c1p;
+use causality_graph::Hypergraph;
+
+/// Build the dual query hypergraph `H^D` (Def. 4.3) for display and
+/// further analysis: vertices = atoms, hyperedges = variables.
+pub fn dual_hypergraph(q: &AQuery) -> Hypergraph {
+    let mut h = Hypergraph::new(q.atoms.len());
+    let active = q.active_vars();
+    for v in 0..64u32 {
+        if active & (1u64 << v) == 0 {
+            continue;
+        }
+        let mut edge = 0u64;
+        for (i, a) in q.atoms.iter().enumerate() {
+            if a.vars & (1u64 << v) != 0 {
+                edge |= 1 << i;
+            }
+        }
+        h.add_edge_bits(edge, q.var_names[v as usize].clone());
+    }
+    h
+}
+
+/// Whether the query is linear (Def. 4.4).
+pub fn is_linear(q: &AQuery) -> bool {
+    linear_order(q).is_some()
+}
+
+/// A witness linear order of the atoms, if one exists: every variable's
+/// atom set is consecutive under the returned order.
+pub fn linear_order(q: &AQuery) -> Option<Vec<usize>> {
+    c1p::c1p_order(q.atoms.len(), &q.dual_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 5a query is linear with the order A,S1,S2,R,S3,T,B.
+    #[test]
+    fn fig5a_query_is_linear() {
+        let q = AQuery::parse(
+            "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
+        )
+        .unwrap();
+        let order = linear_order(&q).expect("Fig 5a query is linear");
+        assert!(c1p::is_consecutive_under(&q.dual_edges(), &order));
+    }
+
+    /// None of the canonical hard queries is linear (Sect. 4.1).
+    #[test]
+    fn hard_queries_are_not_linear() {
+        for text in [
+            "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)",
+            "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)",
+            "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
+        ] {
+            let q = AQuery::parse(text).unwrap();
+            assert!(!is_linear(&q), "{text} must not be linear");
+        }
+    }
+
+    /// Linearity ignores endo/exo markers: h2 with everything exogenous is
+    /// still non-linear.
+    #[test]
+    fn linearity_ignores_markers() {
+        let endo = AQuery::parse("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)").unwrap();
+        let exo = AQuery::parse("h2 :- R^x(x, y), S^x(y, z), T^x(z, x)").unwrap();
+        assert_eq!(is_linear(&endo), is_linear(&exo));
+    }
+
+    #[test]
+    fn chain_queries_are_linear() {
+        let q = AQuery::parse("q :- R^n(x, y), S^n(y, z), T^n(z, w)").unwrap();
+        assert!(is_linear(&q));
+    }
+
+    #[test]
+    fn star_with_three_rays_is_not_linear() {
+        // R(x,w), S(y,w), T(z,w), A(x), B(y), C(z): the "corner point" shape
+        // of Lemma D.2 Case 1A.
+        let q = AQuery::parse("q :- R^n(x, w), S^n(y, w), T^n(z, w), A^n(x), B^n(y), C^n(z)")
+            .unwrap();
+        assert!(!is_linear(&q));
+    }
+
+    #[test]
+    fn dual_hypergraph_structure() {
+        let q = AQuery::parse("h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)").unwrap();
+        let h = dual_hypergraph(&q);
+        assert_eq!(h.vertex_count(), 4);
+        assert_eq!(h.edge_count(), 3);
+        // Every variable's edge contains W (vertex 3).
+        for i in 0..3 {
+            assert!(h.edge(i) & (1 << 3) != 0);
+        }
+    }
+
+    #[test]
+    fn single_atom_is_linear() {
+        let q = AQuery::parse("q :- W^n(x, y, z)").unwrap();
+        assert!(is_linear(&q));
+    }
+}

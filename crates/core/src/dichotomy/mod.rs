@@ -1,0 +1,26 @@
+//! The responsibility dichotomy (Sect. 4 / Corollary 4.14).
+//!
+//! For every self-join-free conjunctive query, Why-So responsibility is
+//! either PTIME or NP-hard, and the boundary is *weak linearity*:
+//!
+//! * [`aquery`] — the abstract view of a marked query: atoms as
+//!   (endogenous?, variable-bitset) pairs, the only structure Sect. 4's
+//!   analysis consults.
+//! * [`linearity`] — Def. 4.3/4.4: the dual query hypergraph and the
+//!   consecutive-ones linearity test.
+//! * [`weaken`] — Def. 4.9 dissociation/domination and the breadth-first
+//!   search for a weakly-linear certificate (Cor. 4.11).
+//! * [`rewrite`] — Def. 4.6 rewriting and the descent to a canonical hard
+//!   query h1*, h2*, h3* (Lemma 4.7, Theorems 4.1/4.13).
+//! * [`classify`] — the dichotomy classifier (Cor. 4.14) with
+//!   machine-checkable certificates on both sides.
+
+pub mod aquery;
+pub mod classify;
+pub mod linearity;
+pub mod rewrite;
+pub mod weaken;
+
+pub use aquery::{AAtom, AQuery};
+pub use classify::{classify_why_so, Complexity};
+pub use weaken::WeakenStep;

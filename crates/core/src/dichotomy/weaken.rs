@@ -1,0 +1,295 @@
+//! Weakening (Def. 4.9) and weak linearity (Cor. 4.11).
+//!
+//! Two PTIME-preserving transformations expand the class of tractable
+//! queries beyond the linear ones:
+//!
+//! * **Dissociation** — an exogenous atom absorbs a variable occurring in
+//!   one of its neighbors (its arity grows). Exogenous tuples have
+//!   capacity ∞ in the flow network, so duplicating them per extra
+//!   variable value leaves minimum contingencies unchanged (Lemma 4.10).
+//! * **Domination** — an endogenous atom whose variables cover another
+//!   endogenous atom's variables becomes exogenous: a minimum contingency
+//!   never needs tuples of the dominated relation (removing the dominating
+//!   atom's partner is never worse).
+//!
+//! A query is **weakly linear** if some weakening sequence reaches a
+//! linear query. The search below explores the (finite) weakening space
+//! breadth-first and returns a certificate: the steps plus the final
+//! linear order. Order matters for domination (making an atom exogenous
+//! removes it from the pool of dominators), hence a real search rather
+//! than a greedy pass.
+
+use super::aquery::{AAtom, AQuery};
+use super::linearity;
+use crate::error::CoreError;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One weakening step (atom indices refer to the original query).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WeakenStep {
+    /// Atom `dominated` (endogenous) becomes exogenous because
+    /// `Var(dominator) ⊆ Var(dominated)` with `dominator` endogenous.
+    Dominate {
+        /// The atom made exogenous.
+        dominated: usize,
+        /// The witnessing endogenous atom.
+        dominator: usize,
+    },
+    /// Exogenous atom `atom` absorbs variable `var` from a neighbor.
+    Dissociate {
+        /// The exogenous atom being widened.
+        atom: usize,
+        /// The absorbed variable (bit index).
+        var: usize,
+    },
+}
+
+/// A weak-linearity certificate: the weakening steps, the weakened query,
+/// and a linear order of its atoms.
+#[derive(Clone, Debug)]
+pub struct WeaklyLinearCertificate {
+    /// Steps applied, in order.
+    pub steps: Vec<WeakenStep>,
+    /// The weakened query (same atom indexing as the input).
+    pub weakened: AQuery,
+    /// Witness linear order (atom indices).
+    pub linear_order: Vec<usize>,
+}
+
+/// Search budget: number of distinct weakening states explored before
+/// giving up. Real queries need a handful; the bound only guards against
+/// adversarial 64-atom inputs.
+const STATE_BUDGET: usize = 200_000;
+
+/// Breadth-first search for a weakening sequence reaching a linear query.
+/// Returns `Ok(None)` when the query is *not* weakly linear (the search
+/// space is finite, so this is a definite answer).
+pub fn weakly_linear_certificate(
+    q: &AQuery,
+) -> Result<Option<WeaklyLinearCertificate>, CoreError> {
+    let mut visited: HashSet<Vec<AAtom>> = HashSet::new();
+    let mut queue: VecDeque<(Vec<AAtom>, Vec<WeakenStep>)> = VecDeque::new();
+    visited.insert(q.key());
+    queue.push_back((q.atoms.clone(), Vec::new()));
+
+    while let Some((atoms, steps)) = queue.pop_front() {
+        let candidate = AQuery {
+            atoms: atoms.clone(),
+            var_names: q.var_names.clone(),
+            atom_names: q.atom_names.clone(),
+        };
+        if let Some(order) = linearity::linear_order(&candidate) {
+            return Ok(Some(WeaklyLinearCertificate {
+                steps,
+                weakened: candidate,
+                linear_order: order,
+            }));
+        }
+        if visited.len() > STATE_BUDGET {
+            return Err(CoreError::BudgetExceeded {
+                search: "weakening BFS",
+            });
+        }
+        for (step, next) in successors(&atoms) {
+            if visited.insert(next.clone()) {
+                let mut s = steps.clone();
+                s.push(step);
+                queue.push_back((next, s));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Whether the query is weakly linear (certificate discarded).
+pub fn is_weakly_linear(q: &AQuery) -> Result<bool, CoreError> {
+    Ok(weakly_linear_certificate(q)?.is_some())
+}
+
+/// A memoizing wrapper for the many weak-linearity checks the rewriting
+/// descent performs.
+#[derive(Default)]
+pub struct WeakLinearityCache {
+    cache: HashMap<Vec<AAtom>, bool>,
+}
+
+impl WeakLinearityCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`is_weakly_linear`].
+    pub fn check(&mut self, q: &AQuery) -> Result<bool, CoreError> {
+        if let Some(&known) = self.cache.get(&q.key()) {
+            return Ok(known);
+        }
+        let result = is_weakly_linear(q)?;
+        self.cache.insert(q.key(), result);
+        Ok(result)
+    }
+}
+
+/// Enumerate all single-step weakenings of a state.
+fn successors(atoms: &[AAtom]) -> Vec<(WeakenStep, Vec<AAtom>)> {
+    let mut out = Vec::new();
+    // Domination.
+    for dominated in 0..atoms.len() {
+        if !atoms[dominated].endo {
+            continue;
+        }
+        for dominator in 0..atoms.len() {
+            if dominator == dominated || !atoms[dominator].endo {
+                continue;
+            }
+            // Var(dominator) ⊆ Var(dominated)
+            if atoms[dominator].vars & !atoms[dominated].vars == 0 {
+                let mut next = atoms.to_vec();
+                next[dominated].endo = false;
+                out.push((
+                    WeakenStep::Dominate {
+                        dominated,
+                        dominator,
+                    },
+                    next,
+                ));
+                break; // one witness per dominated atom suffices
+            }
+        }
+    }
+    // Dissociation.
+    for i in 0..atoms.len() {
+        if atoms[i].endo {
+            continue;
+        }
+        // Variables of neighbors not yet in atom i.
+        let mut candidate_vars = 0u64;
+        for (j, other) in atoms.iter().enumerate() {
+            if j != i && atoms[i].vars & other.vars != 0 {
+                candidate_vars |= other.vars;
+            }
+        }
+        candidate_vars &= !atoms[i].vars;
+        for v in 0..64 {
+            if candidate_vars & (1u64 << v) != 0 {
+                let mut next = atoms.to_vec();
+                next[i].vars |= 1 << v;
+                out.push((WeakenStep::Dissociate { atom: i, var: v }, next));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 4.12 (first): q :- Rn(x,y), Sx(y,z), Tn(z,x) is weakly
+    /// linear via one dissociation (S absorbs x).
+    #[test]
+    fn example_4_12_dissociation() {
+        let q = AQuery::parse("q :- R^n(x, y), S^x(y, z), T^n(z, x)").unwrap();
+        let cert = weakly_linear_certificate(&q).unwrap().expect("weakly linear");
+        assert!(!cert.steps.is_empty());
+        assert!(cert
+            .steps
+            .iter()
+            .any(|s| matches!(s, WeakenStep::Dissociate { atom: 1, .. })));
+        // The weakened query is linear under the certificate order.
+        assert!(causality_graph::c1p::is_consecutive_under(
+            &cert.weakened.dual_edges(),
+            &cert.linear_order
+        ));
+    }
+
+    /// Example 4.12 (second): q :- Rn(x,y), Sn(y,z), Tn(z,x), Vn(x) —
+    /// domination (V dominates R and T) then dissociation.
+    #[test]
+    fn example_4_12_domination_then_dissociation() {
+        let q = AQuery::parse("q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)").unwrap();
+        let cert = weakly_linear_certificate(&q).unwrap().expect("weakly linear");
+        let dominations = cert
+            .steps
+            .iter()
+            .filter(|s| matches!(s, WeakenStep::Dominate { .. }))
+            .count();
+        assert!(dominations >= 1, "V^n(x) dominates R and T");
+    }
+
+    /// The canonical hard queries are not weakly linear.
+    #[test]
+    fn hard_queries_are_not_weakly_linear() {
+        for text in [
+            "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)",
+            "h1b :- A^n(x), B^n(y), C^n(z), W^n(x, y, z)",
+            "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)",
+            "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
+            "h3b :- A^n(x), B^n(y), C^n(z), R^n(x, y), S^n(y, z), T^n(z, x)",
+        ] {
+            let q = AQuery::parse(text).unwrap();
+            assert!(!is_weakly_linear(&q).unwrap(), "{text} must be hard");
+        }
+    }
+
+    /// h2 with one exogenous edge relation is weakly linear (contrast in
+    /// Example 4.12: "the only difference is that here Sx is exogenous").
+    #[test]
+    fn triangle_with_exogenous_side_is_weakly_linear() {
+        for text in [
+            "q :- R^x(x, y), S^n(y, z), T^n(z, x)",
+            "q :- R^n(x, y), S^x(y, z), T^n(z, x)",
+            "q :- R^n(x, y), S^n(y, z), T^x(z, x)",
+        ] {
+            let q = AQuery::parse(text).unwrap();
+            assert!(is_weakly_linear(&q).unwrap(), "{text} must be PTIME");
+        }
+    }
+
+    /// Linear queries are trivially weakly linear with zero steps.
+    #[test]
+    fn linear_query_needs_no_steps() {
+        let q = AQuery::parse("q :- R^n(x, y), S^n(y, z)").unwrap();
+        let cert = weakly_linear_certificate(&q).unwrap().unwrap();
+        assert!(cert.steps.is_empty());
+    }
+
+    /// Case 2(b) of Theorem 4.13's proof: h1 with *exogenous* A is weakly
+    /// linear (A dissociates into W's variables? no — A^x(x) absorbs y, z).
+    #[test]
+    fn h1_with_exogenous_unary_is_weakly_linear() {
+        let q = AQuery::parse("q :- A^x(x), B^n(y), C^n(z), W^n(x, y, z)").unwrap();
+        assert!(is_weakly_linear(&q).unwrap());
+    }
+
+    /// Case 2(c) of Theorem 4.13's proof: An, Bn + R,S,T(,W) is weakly
+    /// linear because R, S, T are dominated.
+    #[test]
+    fn two_unary_endos_dominate_binaries() {
+        let q = AQuery::parse("q :- A^n(x), B^n(y), R^n(x, y), S^n(y, z), T^n(z, x), W^n(x, y, z)")
+            .unwrap();
+        assert!(is_weakly_linear(&q).unwrap());
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_check() {
+        let mut cache = WeakLinearityCache::new();
+        let hard = AQuery::parse("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)").unwrap();
+        let easy = AQuery::parse("q :- R^n(x, y), S^n(y, z)").unwrap();
+        assert!(!cache.check(&hard).unwrap());
+        assert!(cache.check(&easy).unwrap());
+        // Second lookups hit the cache.
+        assert!(!cache.check(&hard).unwrap());
+        assert!(cache.check(&easy).unwrap());
+    }
+
+    /// Mutual domination (equal variable sets): exactly one of the two can
+    /// be weakened away, and the search must consider both choices.
+    #[test]
+    fn mutual_domination_explores_both_orders() {
+        // A^n(x,y) and K^n(x,y) dominate each other. With W^n(x,y,z),
+        // B^n(y), C... construct a case where weak linearity holds.
+        let q = AQuery::parse("q :- A^n(x, y), K^n(x, y), S^n(y, z)").unwrap();
+        assert!(is_weakly_linear(&q).unwrap());
+    }
+}

@@ -1,0 +1,104 @@
+//! Errors of the causality core.
+
+use causality_datalog::eval::DatalogError;
+use causality_engine::EngineError;
+use std::fmt;
+
+/// Errors raised by cause / responsibility computations.
+#[derive(Clone, Debug)]
+pub enum CoreError {
+    /// Propagated engine error (unknown relation, arity, parse, …).
+    Engine(EngineError),
+    /// Propagated Datalog error.
+    Datalog(DatalogError),
+    /// The operation requires a self-join-free query.
+    SelfJoin {
+        /// Query text.
+        query: String,
+    },
+    /// Algorithm 1 requires a weakly linear query.
+    NotWeaklyLinear {
+        /// Query text.
+        query: String,
+    },
+    /// The tuple is not endogenous (only endogenous tuples can be causes).
+    NotEndogenous,
+    /// The dichotomy machinery supports at most 64 variables / atoms.
+    TooLarge {
+        /// What overflowed.
+        what: &'static str,
+    },
+    /// A bounded search (weakening BFS, image enumeration) exceeded its
+    /// budget; the query is far beyond the sizes the paper's analysis
+    /// targets.
+    BudgetExceeded {
+        /// Which search gave up.
+        search: &'static str,
+    },
+    /// The dichotomy requires every atom to be marked `^n` or `^x`
+    /// ("w.l.o.g. each relation is either fully endogenous or exogenous",
+    /// Sect. 4.1).
+    UnmarkedAtom {
+        /// The offending atom's relation name.
+        relation: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::Datalog(e) => write!(f, "{e}"),
+            CoreError::SelfJoin { query } => {
+                write!(f, "query `{query}` has a self-join; this operation requires self-join-free queries")
+            }
+            CoreError::NotWeaklyLinear { query } => {
+                write!(f, "query `{query}` is not weakly linear; Algorithm 1 does not apply (responsibility is NP-hard, use the exact solver)")
+            }
+            CoreError::NotEndogenous => write!(f, "tuple is exogenous; only endogenous tuples can be causes"),
+            CoreError::TooLarge { what } => write!(f, "too many {what} (limit 64)"),
+            CoreError::BudgetExceeded { search } => {
+                write!(f, "search budget exceeded in {search}")
+            }
+            CoreError::UnmarkedAtom { relation } => {
+                write!(f, "atom `{relation}` must be marked ^n or ^x for the dichotomy analysis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<DatalogError> for CoreError {
+    fn from(e: DatalogError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::SelfJoin {
+            query: "q :- R(x), R(y)".into(),
+        };
+        assert!(e.to_string().contains("self-join"));
+        assert!(CoreError::NotEndogenous.to_string().contains("exogenous"));
+        assert!(CoreError::TooLarge { what: "variables" }
+            .to_string()
+            .contains("variables"));
+        assert!(CoreError::BudgetExceeded { search: "weakening BFS" }
+            .to_string()
+            .contains("weakening"));
+        let e: CoreError = EngineError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The user-facing explanation API.
+//!
+//! The paper's motivating workflow (Fig. 1 / Fig. 2): a user sees a
+//! surprising answer (or misses an expected one) and asks *why*. An
+//! [`Explainer`] wraps a database and a (non-Boolean) query; [`Explainer::why`]
+//! grounds an answer, computes its causes and responsibilities, and
+//! returns a ranked, renderable [`Explanation`] — the Fig. 2b table.
+
+use crate::error::CoreError;
+use crate::ranking::{rank_why_no, rank_why_so, Method, RankedCause};
+use causality_engine::{ConjunctiveQuery, Database, Tuple, TupleRef, Value};
+use std::fmt;
+
+/// Why-So or Why-No.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExplanationKind {
+    /// Why is this tuple an answer?
+    WhySo,
+    /// Why is this tuple *not* an answer?
+    WhyNo,
+}
+
+/// One ranked cause, resolved to displayable tuple values.
+#[derive(Clone, Debug)]
+pub struct ExplainedCause {
+    /// The causing tuple's identity.
+    pub tuple: TupleRef,
+    /// Relation name.
+    pub relation: String,
+    /// The tuple's values.
+    pub values: Tuple,
+    /// Responsibility ρ.
+    pub rho: f64,
+    /// Whether the cause is counterfactual (ρ = 1).
+    pub counterfactual: bool,
+    /// A witnessing minimum contingency, rendered as `Rel(values)` strings.
+    pub contingency: Vec<String>,
+}
+
+/// A ranked explanation of one (non-)answer.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Which question was asked.
+    pub kind: ExplanationKind,
+    /// The answer (or non-answer) tuple.
+    pub answer: Vec<Value>,
+    /// Causes, ranked by responsibility (descending).
+    pub causes: Vec<ExplainedCause>,
+}
+
+/// Explains answers and non-answers of one query over one database.
+pub struct Explainer<'a> {
+    db: &'a Database,
+    query: &'a ConjunctiveQuery,
+    method: Method,
+}
+
+impl<'a> Explainer<'a> {
+    /// Create an explainer (automatic responsibility algorithm choice).
+    pub fn new(db: &'a Database, query: &'a ConjunctiveQuery) -> Self {
+        Explainer {
+            db,
+            query,
+            method: Method::Auto,
+        }
+    }
+
+    /// Select the responsibility algorithm.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Why is `answer` in the result? Ranked causes per Fig. 2b.
+    pub fn why(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
+        let grounded = self.query.ground(answer);
+        let ranked = rank_why_so(self.db, &grounded, self.method)?;
+        Ok(self.build(ExplanationKind::WhySo, answer, ranked))
+    }
+
+    /// Why is `answer` *not* in the result? The database's endogenous
+    /// tuples are interpreted as candidate insertions (Sect. 2's Why-No
+    /// setting).
+    pub fn why_not(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
+        let grounded = self.query.ground(answer);
+        let ranked = rank_why_no(self.db, &grounded)?;
+        Ok(self.build(ExplanationKind::WhyNo, answer, ranked))
+    }
+
+    fn build(
+        &self,
+        kind: ExplanationKind,
+        answer: &[Value],
+        ranked: Vec<RankedCause>,
+    ) -> Explanation {
+        let causes = ranked
+            .into_iter()
+            .map(|rc| {
+                let contingency = rc
+                    .responsibility
+                    .min_contingency
+                    .clone()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&t| self.render_tuple(t))
+                    .collect();
+                ExplainedCause {
+                    tuple: rc.tuple,
+                    relation: self.db.relation(rc.tuple.rel).name().to_string(),
+                    values: self.db.tuple(rc.tuple).clone(),
+                    rho: rc.responsibility.rho,
+                    counterfactual: rc.responsibility.is_counterfactual(),
+                    contingency,
+                }
+            })
+            .collect();
+        Explanation {
+            kind,
+            answer: answer.to_vec(),
+            causes,
+        }
+    }
+
+    fn render_tuple(&self, t: TupleRef) -> String {
+        format!("{}{}", self.db.relation(t.rel).name(), self.db.tuple(t))
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let answer = self
+            .answer
+            .iter()
+            .map(Value::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        match self.kind {
+            ExplanationKind::WhySo => writeln!(f, "Why is ({answer}) an answer?")?,
+            ExplanationKind::WhyNo => writeln!(f, "Why is ({answer}) not an answer?")?,
+        }
+        writeln!(f, "{:>6}  cause", "ρ")?;
+        for c in &self.causes {
+            writeln!(f, "{:>6.2}  {}{}", c.rho, c.relation, c.values)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, Schema};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn why_explains_example_2_2() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let explanation = Explainer::new(&db, &query).why(&[Value::str("a2")]).unwrap();
+        assert_eq!(explanation.kind, ExplanationKind::WhySo);
+        assert_eq!(explanation.causes.len(), 2);
+        assert!(explanation.causes.iter().all(|c| c.counterfactual));
+        let rendered = explanation.to_string();
+        assert!(rendered.contains("Why is (a2) an answer?"));
+        assert!(rendered.contains("S(a1)"));
+        assert!(rendered.contains("R(a2, a1)"));
+    }
+
+    #[test]
+    fn contingencies_are_rendered() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let explanation = Explainer::new(&db, &query).why(&[Value::str("a4")]).unwrap();
+        let s_a3 = explanation
+            .causes
+            .iter()
+            .find(|c| c.relation == "S" && c.values == tup!["a3"])
+            .expect("S(a3) is a cause");
+        assert_eq!(s_a3.contingency.len(), 1);
+        assert!(!s_a3.counterfactual);
+    }
+
+    #[test]
+    fn why_not_explains_missing_answers() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2]); // candidate insertion
+        let query = q("q(x) :- R(x, y), S(y)");
+        let explanation = Explainer::new(&db, &query).why_not(&[Value::int(1)]).unwrap();
+        assert_eq!(explanation.kind, ExplanationKind::WhyNo);
+        assert_eq!(explanation.causes.len(), 1);
+        assert_eq!(explanation.causes[0].rho, 1.0);
+        assert!(explanation.to_string().contains("not an answer"));
+    }
+
+    #[test]
+    fn method_selection_is_respected() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let exact = Explainer::new(&db, &query)
+            .with_method(Method::Exact)
+            .why(&[Value::str("a3")])
+            .unwrap();
+        let flow = Explainer::new(&db, &query)
+            .with_method(Method::Flow)
+            .why(&[Value::str("a3")])
+            .unwrap();
+        let rhos = |e: &Explanation| e.causes.iter().map(|c| c.rho).collect::<Vec<_>>();
+        assert_eq!(rhos(&exact), rhos(&flow));
+    }
+
+    #[test]
+    fn non_answer_of_why_gives_empty_causes() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let explanation = Explainer::new(&db, &query).why(&[Value::str("zzz")]).unwrap();
+        assert!(explanation.causes.is_empty());
+    }
+}

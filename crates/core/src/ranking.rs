@@ -1,0 +1,175 @@
+//! Ranking causes by responsibility (the Fig. 2b table).
+//!
+//! "In applications involving large datasets, it is critical to rank the
+//! candidate causes by their responsibility" (Sect. 1). This module
+//! combines the cause computation (Theorem 3.2) with per-cause
+//! responsibility (Algorithm 1 or the exact solver) and sorts descending —
+//! counterfactual causes (ρ = 1) first.
+
+use crate::causes::{why_no_causes, why_so_causes};
+use crate::error::CoreError;
+use crate::resp::{self, Responsibility};
+use causality_engine::{ConjunctiveQuery, Database, TupleRef};
+
+/// Which responsibility algorithm to use while ranking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Method {
+    /// Algorithm 1 when the query qualifies, exact otherwise.
+    #[default]
+    Auto,
+    /// Always the exact branch-and-bound solver.
+    Exact,
+    /// Always Algorithm 1 (errors on non-weakly-linear queries).
+    Flow,
+}
+
+/// A cause with its responsibility.
+#[derive(Clone, Debug)]
+pub struct RankedCause {
+    /// The causing tuple.
+    pub tuple: TupleRef,
+    /// Its responsibility (with a witnessing minimum contingency).
+    pub responsibility: Responsibility,
+}
+
+/// Rank the Why-So causes of a Boolean query by responsibility,
+/// descending (ties broken by tuple identity for determinism).
+pub fn rank_why_so(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    method: Method,
+) -> Result<Vec<RankedCause>, CoreError> {
+    let causes = why_so_causes(db, q)?;
+    let mut ranked = Vec::with_capacity(causes.actual.len());
+    for &t in &causes.actual {
+        let responsibility = match method {
+            Method::Auto => resp::why_so_responsibility(db, q, t)?,
+            Method::Exact => resp::exact::why_so_responsibility_exact(db, q, t)?,
+            Method::Flow => resp::flow::why_so_responsibility_flow(db, q, t)?,
+        };
+        ranked.push(RankedCause {
+            tuple: t,
+            responsibility,
+        });
+    }
+    sort_ranked(&mut ranked);
+    Ok(ranked)
+}
+
+/// Rank the Why-No causes of a Boolean non-answer (always PTIME,
+/// Theorem 4.17).
+pub fn rank_why_no(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<RankedCause>, CoreError> {
+    let causes = why_no_causes(db, q)?;
+    let mut ranked = Vec::with_capacity(causes.actual.len());
+    for &t in &causes.actual {
+        let responsibility = resp::whyno::why_no_responsibility(db, q, t)?;
+        ranked.push(RankedCause {
+            tuple: t,
+            responsibility,
+        });
+    }
+    sort_ranked(&mut ranked);
+    Ok(ranked)
+}
+
+fn sort_ranked(ranked: &mut [RankedCause]) {
+    ranked.sort_by(|a, b| {
+        b.responsibility
+            .rho
+            .partial_cmp(&a.responsibility.rho)
+            .expect("rho is never NaN")
+            .then_with(|| a.tuple.cmp(&b.tuple))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, Schema, Value};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn ranking_orders_by_responsibility() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let ranked = rank_why_so(&db, &query, Method::Auto).unwrap();
+        assert_eq!(ranked.len(), 4, "R(a4,a3), R(a4,a2), S(a3), S(a2)");
+        // All have ρ = 1/2 here (each needs one removal).
+        for rc in &ranked {
+            assert!((rc.responsibility.rho - 0.5).abs() < 1e-12);
+        }
+        // Descending and deterministic.
+        for w in ranked.windows(2) {
+            assert!(w[0].responsibility.rho >= w[1].responsibility.rho);
+        }
+    }
+
+    #[test]
+    fn counterfactual_ranks_first() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a3")]);
+        let ranked = rank_why_so(&db, &query, Method::Auto).unwrap();
+        assert_eq!(ranked[0].responsibility.rho, 1.0);
+        assert!(ranked[0].responsibility.is_counterfactual());
+    }
+
+    #[test]
+    fn methods_agree_on_linear_queries() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let auto = rank_why_so(&db, &query, Method::Auto).unwrap();
+        let exact = rank_why_so(&db, &query, Method::Exact).unwrap();
+        let flow = rank_why_so(&db, &query, Method::Flow).unwrap();
+        let rhos = |v: &[RankedCause]| {
+            v.iter()
+                .map(|rc| (rc.tuple, rc.responsibility.rho))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rhos(&auto), rhos(&exact));
+        assert_eq!(rhos(&auto), rhos(&flow));
+    }
+
+    #[test]
+    fn auto_falls_back_to_exact_on_hard_queries() {
+        // Triangle h2*: flow must refuse, auto must succeed via exact.
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        db.insert_endo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2, 3]);
+        db.insert_endo(t, tup![3, 1]);
+        let query = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        assert!(rank_why_so(&db, &query, Method::Flow).is_err());
+        let ranked = rank_why_so(&db, &query, Method::Auto).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.iter().all(|rc| rc.responsibility.rho == 1.0));
+    }
+
+    #[test]
+    fn why_no_ranking() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        let s2 = db.insert_endo(s, tup![2]);
+        db.insert_endo(r, tup![5, 3]);
+        db.insert_endo(s, tup![3]);
+        let ranked = rank_why_no(&db, &q("q :- R(x, y), S(y)")).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].tuple, s2, "single-insertion repair first");
+        assert_eq!(ranked[0].responsibility.rho, 1.0);
+        assert!((ranked[1].responsibility.rho - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ranking_for_false_query() {
+        let db = example_2_2();
+        let ranked = rank_why_so(&db, &q("q :- R(x, 'a6'), S('a6')"), Method::Auto).unwrap();
+        assert!(ranked.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Parameterized workload generators for the benches.
+//!
+//! Three instance families cover the paper's complexity landscape:
+//!
+//! * **chains** `q :- R1(x0,x1), …, Rk(x_{k-1},xk)` — linear queries,
+//!   Algorithm 1's PTIME scaling (Fig. 4 / Theorem 4.5);
+//! * **triangles** `h2* :- R(x,y), S(y,z), T(z,x)` — the canonical hard
+//!   query, for exact-solver scaling;
+//! * **random graphs** — inputs for the vertex-cover style reductions.
+
+use causality_engine::{ConjunctiveQuery, Database, Schema, TupleRef, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a layered chain-join database.
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Number of atoms `k` (relations `R1..Rk`).
+    pub atoms: usize,
+    /// Tuples per relation.
+    pub tuples_per_relation: usize,
+    /// Distinct values per variable layer (smaller ⇒ denser joins).
+    pub domain_per_layer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            atoms: 2,
+            tuples_per_relation: 100,
+            domain_per_layer: 20,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated chain instance.
+#[derive(Clone, Debug)]
+pub struct ChainInstance {
+    /// The database (`R1..Rk`, all endogenous).
+    pub db: Database,
+    /// The Boolean chain query.
+    pub query: ConjunctiveQuery,
+    /// One tuple of `R1` guaranteed to participate in a valuation.
+    pub probe: TupleRef,
+}
+
+/// Generate a chain database. Layer `i` values are strings `L{i}_{v}`,
+/// so adjacent relations join only on the shared layer. A designated
+/// "spine" valuation guarantees the probe tuple joins end-to-end.
+pub fn chain(cfg: &ChainConfig) -> ChainInstance {
+    assert!(cfg.atoms >= 1);
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rels: Vec<_> = (1..=cfg.atoms)
+        .map(|i| db.add_relation(Schema::new(format!("R{i}"), &["from", "to"])))
+        .collect();
+    let val = |layer: usize, v: usize| Value::str(format!("L{layer}_{v}"));
+
+    // Spine: value 0 at every layer.
+    let mut probe = None;
+    for (i, &rel) in rels.iter().enumerate() {
+        let t = db.insert_endo(rel, vec![val(i, 0), val(i + 1, 0)]);
+        if i == 0 {
+            probe = Some(t);
+        }
+    }
+    for (i, &rel) in rels.iter().enumerate() {
+        for _ in 0..cfg.tuples_per_relation.saturating_sub(1) {
+            let from = rng.gen_range(0..cfg.domain_per_layer);
+            let to = rng.gen_range(0..cfg.domain_per_layer);
+            db.insert_endo(rel, vec![val(i, from), val(i + 1, to)]);
+        }
+    }
+
+    let atoms_text: Vec<String> = (1..=cfg.atoms)
+        .map(|i| format!("R{i}(x{}, x{})", i - 1, i))
+        .collect();
+    let query = ConjunctiveQuery::parse(&format!("chain :- {}", atoms_text.join(", ")))
+        .expect("generated chain query parses");
+    ChainInstance {
+        db,
+        query,
+        probe: probe.expect("at least one atom"),
+    }
+}
+
+/// A generated triangle (h2*) instance.
+#[derive(Clone, Debug)]
+pub struct TriangleInstance {
+    /// The database (`R`, `S`, `T`, all endogenous).
+    pub db: Database,
+    /// `h2 :- R(x, y), S(y, z), T(z, x)`.
+    pub query: ConjunctiveQuery,
+    /// One `R` tuple guaranteed to close a triangle.
+    pub probe: TupleRef,
+}
+
+/// Generate a random triangle database over `n` node ids per role with
+/// `m` tuples per relation; one guaranteed triangle `(0, 0, 0)`.
+pub fn triangles(n: usize, m: usize, seed: u64) -> TriangleInstance {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y", "z"]));
+    let t = db.add_relation(Schema::new("T", &["z", "x"]));
+    let xv = |i: usize| Value::str(format!("x{i}"));
+    let yv = |i: usize| Value::str(format!("y{i}"));
+    let zv = |i: usize| Value::str(format!("z{i}"));
+
+    let probe = db.insert_endo(r, vec![xv(0), yv(0)]);
+    db.insert_endo(s, vec![yv(0), zv(0)]);
+    db.insert_endo(t, vec![zv(0), xv(0)]);
+    for _ in 0..m.saturating_sub(1) {
+        db.insert_endo(r, vec![xv(rng.gen_range(0..n)), yv(rng.gen_range(0..n))]);
+        db.insert_endo(s, vec![yv(rng.gen_range(0..n)), zv(rng.gen_range(0..n))]);
+        db.insert_endo(t, vec![zv(rng.gen_range(0..n)), xv(rng.gen_range(0..n))]);
+    }
+    TriangleInstance {
+        db,
+        query: ConjunctiveQuery::parse("h2 :- R(x, y), S(y, z), T(z, x)").expect("static"),
+        probe,
+    }
+}
+
+/// A random simple graph's edge list over `0..n` with `m` attempted
+/// edges (self-loops and duplicates dropped).
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !edges.contains(&(u, v)) && !edges.contains(&(v, u)) {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::evaluate;
+
+    #[test]
+    fn chain_spine_guarantees_valuation() {
+        for atoms in 1..=5 {
+            let inst = chain(&ChainConfig {
+                atoms,
+                tuples_per_relation: 30,
+                domain_per_layer: 5,
+                seed: 3,
+            });
+            let result = evaluate(&inst.db, &inst.query).unwrap();
+            assert!(result.holds(), "k={atoms}");
+            assert!(
+                result
+                    .valuations
+                    .iter()
+                    .any(|v| v.atom_tuples.contains(&inst.probe)),
+                "probe participates"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_layers_do_not_cross() {
+        let inst = chain(&ChainConfig::default());
+        // R1 'to' values live in layer 1, R2 'from' values too: they join;
+        // but R1 'from' (layer 0) never joins R2 'to' (layer 2).
+        let r1 = inst.db.relation_id("R1").unwrap();
+        let vals = inst.db.relation(r1).column_values(0);
+        assert!(vals.iter().all(|v| v.as_str().unwrap().starts_with("L0_")));
+    }
+
+    #[test]
+    fn chain_sizes_match_config() {
+        let cfg = ChainConfig {
+            atoms: 3,
+            tuples_per_relation: 50,
+            domain_per_layer: 10,
+            seed: 9,
+        };
+        let inst = chain(&cfg);
+        assert_eq!(inst.db.relation_count(), 3);
+        for (_, rel) in inst.db.relations() {
+            assert!(rel.len() <= 50, "duplicates may reduce below the target");
+            // With domain 10x10 = 100 pairs and 50 draws, collisions are
+            // expected; just require a healthy fraction of distinct tuples.
+            assert!(rel.len() >= 30, "got {}", rel.len());
+        }
+    }
+
+    #[test]
+    fn triangle_probe_closes_triangle() {
+        let inst = triangles(10, 50, 4);
+        let result = evaluate(&inst.db, &inst.query).unwrap();
+        assert!(result.holds());
+        assert!(result
+            .valuations
+            .iter()
+            .any(|v| v.atom_tuples.contains(&inst.probe)));
+    }
+
+    #[test]
+    fn random_graph_is_simple() {
+        let edges = random_graph(8, 30, 5);
+        for &(u, v) in &edges {
+            assert_ne!(u, v);
+            assert!(u < 8 && v < 8);
+        }
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            for &(a, b) in &edges[i + 1..] {
+                let duplicate = (a == u && b == v) || (a == v && b == u);
+                assert!(!duplicate, "duplicate edge");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = chain(&ChainConfig::default());
+        let b = chain(&ChainConfig::default());
+        assert_eq!(a.db.tuple_count(), b.db.tuple_count());
+        assert_eq!(random_graph(6, 10, 1), random_graph(6, 10, 1));
+    }
+}

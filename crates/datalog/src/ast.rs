@@ -1,0 +1,284 @@
+//! Datalog abstract syntax.
+//!
+//! A program is a list of rules `H(x̄) :- L1, …, Lk` where each body
+//! literal is a possibly negated atom. Predicates split into:
+//!
+//! * **EDB** — relations of the underlying [`Database`], optionally viewed
+//!   through the endogenous/exogenous partition (`R^n` / `R^x`), exactly
+//!   the `Rn_i`, `Rx_i` symbols of Theorem 3.4's program;
+//! * **IDB** — predicates defined by rules (e.g. the `I` and `C_Ri`
+//!   predicates of Examples 3.5/3.6).
+//!
+//! [`Database`]: causality_engine::Database
+
+use causality_engine::{Nature, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term in a Datalog literal: named variable or constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DTerm {
+    /// A variable, scoped to its rule.
+    Var(String),
+    /// A constant.
+    Const(Value),
+}
+
+impl DTerm {
+    /// Shorthand variable constructor.
+    pub fn var(name: impl Into<String>) -> Self {
+        DTerm::Var(name.into())
+    }
+
+    /// Shorthand constant constructor.
+    pub fn cst(v: impl Into<Value>) -> Self {
+        DTerm::Const(v.into())
+    }
+
+    /// The variable name, if a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            DTerm::Var(v) => Some(v),
+            DTerm::Const(_) => None,
+        }
+    }
+}
+
+/// A body literal `[¬] P^nature(t̄)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Literal {
+    /// Predicate (EDB relation or IDB symbol).
+    pub predicate: String,
+    /// Endo/exo view for EDB predicates; must be `Any` for IDB predicates.
+    pub nature: Nature,
+    /// Argument terms.
+    pub terms: Vec<DTerm>,
+    /// Whether the literal is negated.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(predicate: impl Into<String>, nature: Nature, terms: Vec<DTerm>) -> Self {
+        Literal {
+            predicate: predicate.into(),
+            nature,
+            terms,
+            negated: false,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(predicate: impl Into<String>, nature: Nature, terms: Vec<DTerm>) -> Self {
+        Literal {
+            predicate: predicate.into(),
+            nature,
+            terms,
+            negated: true,
+        }
+    }
+
+    /// The distinct variable names of the literal.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        self.terms.iter().filter_map(DTerm::as_var).collect()
+    }
+}
+
+/// One rule `head :- body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head predicate name.
+    pub head: String,
+    /// Head argument terms.
+    pub head_terms: Vec<DTerm>,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: impl Into<String>, head_terms: Vec<DTerm>, body: Vec<Literal>) -> Self {
+        Rule {
+            head: head.into(),
+            head_terms,
+            body,
+        }
+    }
+}
+
+/// A Datalog program: rules plus a stable list of IDB output predicates.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// The IDB predicates: those appearing in some rule head, in first-use
+    /// order.
+    pub fn idb_predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.head.as_str()) {
+                out.push(&r.head);
+            }
+        }
+        out
+    }
+
+    /// Whether `name` is an IDB predicate.
+    pub fn is_idb(&self, name: &str) -> bool {
+        self.rules.iter().any(|r| r.head == name)
+    }
+
+    /// The EDB predicates referenced (body predicates that are not IDB).
+    pub fn edb_predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rules {
+            for l in &r.body {
+                if !self.is_idb(&l.predicate) && !out.contains(&l.predicate.as_str()) {
+                    out.push(&l.predicate);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTerm::Var(v) => write!(f, "{v}"),
+            DTerm::Const(Value::Int(i)) => write!(f, "{i}"),
+            DTerm::Const(Value::Str(s)) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}{}(", self.predicate, self.nature.suffix())?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head)?;
+        for (i, t) in self.head_terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Example 3.5 program:
+    /// I(y)      :- Rx(x,y), Sn(y)
+    /// CR(x,y)   :- Rn(x,y), Sn(y), ¬I(y)
+    /// CS(y)     :- Rn(x,y), Sn(y), ¬I(y)
+    /// CS(y)     :- Rx(x,y), Sn(y)
+    pub(crate) fn example_3_5_program() -> Program {
+        let x = || DTerm::var("x");
+        let y = || DTerm::var("y");
+        Program::new(vec![
+            Rule::new(
+                "I",
+                vec![y()],
+                vec![
+                    Literal::pos("R", Nature::Exo, vec![x(), y()]),
+                    Literal::pos("S", Nature::Endo, vec![y()]),
+                ],
+            ),
+            Rule::new(
+                "CR",
+                vec![x(), y()],
+                vec![
+                    Literal::pos("R", Nature::Endo, vec![x(), y()]),
+                    Literal::pos("S", Nature::Endo, vec![y()]),
+                    Literal::neg("I", Nature::Any, vec![y()]),
+                ],
+            ),
+            Rule::new(
+                "CS",
+                vec![y()],
+                vec![
+                    Literal::pos("R", Nature::Endo, vec![x(), y()]),
+                    Literal::pos("S", Nature::Endo, vec![y()]),
+                    Literal::neg("I", Nature::Any, vec![y()]),
+                ],
+            ),
+            Rule::new(
+                "CS",
+                vec![y()],
+                vec![
+                    Literal::pos("R", Nature::Exo, vec![x(), y()]),
+                    Literal::pos("S", Nature::Endo, vec![y()]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn idb_edb_classification() {
+        let p = example_3_5_program();
+        assert_eq!(p.idb_predicates(), vec!["I", "CR", "CS"]);
+        assert_eq!(p.edb_predicates(), vec!["R", "S"]);
+        assert!(p.is_idb("I"));
+        assert!(!p.is_idb("R"));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = example_3_5_program();
+        let text = p.to_string();
+        assert!(text.contains("I(y) :- R^x(x, y), S^n(y)"));
+        assert!(text.contains("CR(x, y) :- R^n(x, y), S^n(y), ¬I(y)"));
+    }
+
+    #[test]
+    fn literal_vars() {
+        let l = Literal::pos(
+            "R",
+            Nature::Any,
+            vec![DTerm::var("x"), DTerm::cst(3), DTerm::var("x")],
+        );
+        assert_eq!(l.vars().len(), 1);
+    }
+}

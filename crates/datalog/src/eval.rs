@@ -1,0 +1,579 @@
+//! Bottom-up evaluation of stratified programs.
+//!
+//! Each stratum is computed to fixpoint by naive iteration (re-deriving
+//! rules until nothing new appears); negated literals consult only fully
+//! computed lower strata or EDB relations, giving the standard stratified
+//! semantics. For the non-recursive two-strata programs of Theorem 3.4 the
+//! fixpoint loop converges in one pass per stratum.
+
+use crate::ast::{DTerm, Literal, Program};
+use crate::safety::{check_program, SafetyError};
+use crate::stratify::{stratify, StratifyError};
+use causality_engine::{Database, EngineError, Nature, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors raised by program evaluation.
+#[derive(Clone, Debug)]
+pub enum DatalogError {
+    /// A rule violates range restriction.
+    Safety(SafetyError),
+    /// The program is not stratifiable.
+    Stratify(StratifyError),
+    /// An EDB literal referenced a missing relation or wrong arity.
+    Engine(EngineError),
+    /// An IDB literal used an endogenous/exogenous view.
+    NatureOnIdb {
+        /// The predicate name.
+        predicate: String,
+    },
+    /// An IDB predicate was used with two different arities.
+    ArityConflict {
+        /// The predicate name.
+        predicate: String,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Safety(e) => write!(f, "{e}"),
+            DatalogError::Stratify(e) => write!(f, "{e}"),
+            DatalogError::Engine(e) => write!(f, "{e}"),
+            DatalogError::NatureOnIdb { predicate } => {
+                write!(f, "IDB predicate `{predicate}` cannot carry an endo/exo view")
+            }
+            DatalogError::ArityConflict { predicate } => {
+                write!(f, "IDB predicate `{predicate}` used with conflicting arities")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<SafetyError> for DatalogError {
+    fn from(e: SafetyError) -> Self {
+        DatalogError::Safety(e)
+    }
+}
+
+impl From<StratifyError> for DatalogError {
+    fn from(e: StratifyError) -> Self {
+        DatalogError::Stratify(e)
+    }
+}
+
+impl From<EngineError> for DatalogError {
+    fn from(e: EngineError) -> Self {
+        DatalogError::Engine(e)
+    }
+}
+
+/// The computed IDB relations.
+#[derive(Clone, Debug, Default)]
+pub struct DatalogResult {
+    relations: HashMap<String, Vec<Tuple>>,
+}
+
+impl DatalogResult {
+    /// The tuples of an IDB predicate (sorted, deduplicated). Unknown
+    /// predicates yield the empty slice.
+    pub fn tuples(&self, predicate: &str) -> &[Tuple] {
+        self.relations
+            .get(predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether the predicate derived the given tuple.
+    pub fn contains(&self, predicate: &str, tuple: &Tuple) -> bool {
+        self.relations
+            .get(predicate)
+            .is_some_and(|ts| ts.binary_search(tuple).is_ok())
+    }
+
+    /// Predicate names present.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+}
+
+/// Evaluate a stratified program over a database.
+pub fn evaluate_program(db: &Database, program: &Program) -> Result<DatalogResult, DatalogError> {
+    check_program(program)?;
+    let (strata, stratum_count) = stratify(program)?;
+    validate_literals(db, program)?;
+
+    let mut idb: HashMap<String, HashSet<Tuple>> = HashMap::new();
+    for p in program.idb_predicates() {
+        idb.insert(p.to_string(), HashSet::new());
+    }
+
+    for s in 0..stratum_count {
+        let rules: Vec<_> = program
+            .rules
+            .iter()
+            .filter(|r| strata[&r.head] == s)
+            .collect();
+        // Naive fixpoint for this stratum.
+        loop {
+            let mut changed = false;
+            for rule in &rules {
+                let derived = derive(db, &idb, rule)?;
+                let target = idb.get_mut(&rule.head).expect("idb initialised");
+                for t in derived {
+                    if target.insert(t) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let mut relations = HashMap::new();
+    for (name, set) in idb {
+        let mut v: Vec<Tuple> = set.into_iter().collect();
+        v.sort();
+        relations.insert(name, v);
+    }
+    Ok(DatalogResult { relations })
+}
+
+fn validate_literals(db: &Database, program: &Program) -> Result<(), DatalogError> {
+    let mut idb_arity: HashMap<String, usize> = HashMap::new();
+    let mut check_idb = |name: &str, arity: usize| -> Result<(), DatalogError> {
+        match idb_arity.get(name) {
+            Some(&a) if a != arity => Err(DatalogError::ArityConflict {
+                predicate: name.to_string(),
+            }),
+            _ => {
+                idb_arity.insert(name.to_string(), arity);
+                Ok(())
+            }
+        }
+    };
+    for rule in &program.rules {
+        check_idb(&rule.head, rule.head_terms.len())?;
+    }
+    for rule in &program.rules {
+        for lit in &rule.body {
+            if program.is_idb(&lit.predicate) {
+                if lit.nature != Nature::Any {
+                    return Err(DatalogError::NatureOnIdb {
+                        predicate: lit.predicate.clone(),
+                    });
+                }
+                check_idb(&lit.predicate, lit.terms.len())?;
+            } else {
+                let rel = db.require_relation(&lit.predicate)?;
+                let expected = db.relation(rel).schema().arity();
+                if expected != lit.terms.len() {
+                    return Err(DatalogError::Engine(EngineError::ArityMismatch {
+                        relation: lit.predicate.clone(),
+                        expected,
+                        found: lit.terms.len(),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+type Bindings = HashMap<String, Value>;
+
+/// Derive all head tuples of one rule under the current IDB state.
+fn derive(
+    db: &Database,
+    idb: &HashMap<String, HashSet<Tuple>>,
+    rule: &crate::ast::Rule,
+) -> Result<Vec<Tuple>, DatalogError> {
+    // Order: positive literals first (in source order), then negated ones.
+    let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
+    let negatives: Vec<&Literal> = rule.body.iter().filter(|l| l.negated).collect();
+    let mut out = Vec::new();
+    let mut bindings: Bindings = HashMap::new();
+    join(
+        db,
+        idb,
+        &positives,
+        0,
+        &mut bindings,
+        &mut |bindings| {
+            for lit in &negatives {
+                if literal_holds(db, idb, lit, bindings) {
+                    return; // negated literal satisfied positively → rule blocked
+                }
+            }
+            let tuple: Tuple = rule
+                .head_terms
+                .iter()
+                .map(|t| match t {
+                    DTerm::Var(v) => bindings[v].clone(),
+                    DTerm::Const(c) => c.clone(),
+                })
+                .collect();
+            out.push(tuple);
+        },
+    );
+    Ok(out)
+}
+
+fn join(
+    db: &Database,
+    idb: &HashMap<String, HashSet<Tuple>>,
+    literals: &[&Literal],
+    depth: usize,
+    bindings: &mut Bindings,
+    emit: &mut dyn FnMut(&Bindings),
+) {
+    if depth == literals.len() {
+        emit(bindings);
+        return;
+    }
+    let lit = literals[depth];
+    let try_tuple = |tuple: &Tuple, bindings: &mut Bindings| -> Option<Vec<String>> {
+        let mut added = Vec::new();
+        for (term, val) in lit.terms.iter().zip(tuple.values()) {
+            match term {
+                DTerm::Const(c) => {
+                    if c != val {
+                        for a in &added {
+                            bindings.remove(a);
+                        }
+                        return None;
+                    }
+                }
+                DTerm::Var(v) => match bindings.get(v) {
+                    Some(bound) => {
+                        if bound != val {
+                            for a in &added {
+                                bindings.remove(a);
+                            }
+                            return None;
+                        }
+                    }
+                    None => {
+                        bindings.insert(v.clone(), val.clone());
+                        added.push(v.clone());
+                    }
+                },
+            }
+        }
+        Some(added)
+    };
+
+    if let Some(set) = idb.get(&lit.predicate) {
+        for tuple in set {
+            if let Some(added) = try_tuple(tuple, bindings) {
+                join(db, idb, literals, depth + 1, bindings, emit);
+                for a in added {
+                    bindings.remove(&a);
+                }
+            }
+        }
+    } else {
+        let rel = db
+            .relation_id(&lit.predicate)
+            .expect("validated EDB relation");
+        for (_, tuple, endo) in db.relation(rel).iter() {
+            match lit.nature {
+                Nature::Endo if !endo => continue,
+                Nature::Exo if endo => continue,
+                _ => {}
+            }
+            if let Some(added) = try_tuple(tuple, bindings) {
+                join(db, idb, literals, depth + 1, bindings, emit);
+                for a in added {
+                    bindings.remove(&a);
+                }
+            }
+        }
+    }
+}
+
+/// Check a fully bound literal (used for negation).
+fn literal_holds(
+    db: &Database,
+    idb: &HashMap<String, HashSet<Tuple>>,
+    lit: &Literal,
+    bindings: &Bindings,
+) -> bool {
+    let tuple: Tuple = lit
+        .terms
+        .iter()
+        .map(|t| match t {
+            DTerm::Var(v) => bindings[v].clone(),
+            DTerm::Const(c) => c.clone(),
+        })
+        .collect();
+    if let Some(set) = idb.get(&lit.predicate) {
+        return set.contains(&tuple);
+    }
+    let rel = db
+        .relation_id(&lit.predicate)
+        .expect("validated EDB relation");
+    match db.relation(rel).find(&tuple) {
+        None => false,
+        Some(row) => {
+            let endo = db.relation(rel).is_endogenous(row);
+            match lit.nature {
+                Nature::Endo => endo,
+                Nature::Exo => !endo,
+                Nature::Any => true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Rule;
+    use causality_engine::{tup, Schema};
+
+    fn lit(pred: &str, nature: Nature, terms: Vec<DTerm>) -> Literal {
+        Literal::pos(pred, nature, terms)
+    }
+
+    fn v(name: &str) -> DTerm {
+        DTerm::var(name)
+    }
+
+    /// Example 3.5's database: R = {(a4,a3),(a3,a3)} with Rn = {(a3,a3)},
+    /// Rx = {(a4,a3)}; S = Sn = {a3}. The program must derive CR = ∅ and
+    /// CS = {a3}.
+    #[test]
+    fn example_3_5_evaluation() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup!["a4", "a3"]);
+        db.insert_endo(r, tup!["a3", "a3"]);
+        db.insert_endo(s, tup!["a3"]);
+
+        let program = Program::new(vec![
+            Rule::new(
+                "I",
+                vec![v("y")],
+                vec![
+                    lit("R", Nature::Exo, vec![v("x"), v("y")]),
+                    lit("S", Nature::Endo, vec![v("y")]),
+                ],
+            ),
+            Rule::new(
+                "CR",
+                vec![v("x"), v("y")],
+                vec![
+                    lit("R", Nature::Endo, vec![v("x"), v("y")]),
+                    lit("S", Nature::Endo, vec![v("y")]),
+                    Literal::neg("I", Nature::Any, vec![v("y")]),
+                ],
+            ),
+            Rule::new(
+                "CS",
+                vec![v("y")],
+                vec![
+                    lit("R", Nature::Endo, vec![v("x"), v("y")]),
+                    lit("S", Nature::Endo, vec![v("y")]),
+                    Literal::neg("I", Nature::Any, vec![v("y")]),
+                ],
+            ),
+            Rule::new(
+                "CS",
+                vec![v("y")],
+                vec![
+                    lit("R", Nature::Exo, vec![v("x"), v("y")]),
+                    lit("S", Nature::Endo, vec![v("y")]),
+                ],
+            ),
+        ]);
+
+        let result = evaluate_program(&db, &program).unwrap();
+        assert_eq!(result.tuples("I"), &[tup!["a3"]]);
+        assert!(result.tuples("CR").is_empty(), "R(a3,a3) is redundant, not a cause");
+        assert_eq!(result.tuples("CS"), &[tup!["a3"]]);
+    }
+
+    #[test]
+    fn projection_and_constants() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        db.insert_endo(r, tup![1, 10]);
+        db.insert_endo(r, tup![2, 20]);
+        let program = Program::new(vec![Rule::new(
+            "P",
+            vec![v("y"), DTerm::cst(99)],
+            vec![lit("R", Nature::Any, vec![DTerm::cst(1), v("y")])],
+        )]);
+        let result = evaluate_program(&db, &program).unwrap();
+        assert_eq!(result.tuples("P"), &[tup![10, 99]]);
+        assert!(result.contains("P", &tup![10, 99]));
+        assert!(!result.contains("P", &tup![20, 99]));
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        let mut db = Database::new();
+        let e = db.add_relation(Schema::new("E", &["x", "y"]));
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert_endo(e, tup![a, b]);
+        }
+        let program = Program::new(vec![
+            Rule::new(
+                "T",
+                vec![v("x"), v("y")],
+                vec![lit("E", Nature::Any, vec![v("x"), v("y")])],
+            ),
+            Rule::new(
+                "T",
+                vec![v("x"), v("z")],
+                vec![
+                    lit("T", Nature::Any, vec![v("x"), v("y")]),
+                    lit("E", Nature::Any, vec![v("y"), v("z")]),
+                ],
+            ),
+        ]);
+        let result = evaluate_program(&db, &program).unwrap();
+        assert_eq!(result.tuples("T").len(), 6); // 3 + 2 + 1 pairs
+        assert!(result.contains("T", &tup![1, 4]));
+    }
+
+    #[test]
+    fn stratified_negation_set_difference() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        let s = db.add_relation(Schema::new("S", &["x"]));
+        db.insert_endo(r, tup![1]);
+        db.insert_endo(r, tup![2]);
+        db.insert_endo(s, tup![2]);
+        // Diff(x) :- R(x), ¬S(x).
+        let program = Program::new(vec![Rule::new(
+            "Diff",
+            vec![v("x")],
+            vec![
+                lit("R", Nature::Any, vec![v("x")]),
+                Literal::neg("S", Nature::Any, vec![v("x")]),
+            ],
+        )]);
+        let result = evaluate_program(&db, &program).unwrap();
+        assert_eq!(result.tuples("Diff"), &[tup![1]]);
+    }
+
+    #[test]
+    fn negation_against_idb_predicate() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_endo(r, tup![1]);
+        db.insert_endo(r, tup![2]);
+        // Bad(x) :- R(x) with x=1; Good(x) :- R(x), ¬Bad(x).
+        let program = Program::new(vec![
+            Rule::new(
+                "Bad",
+                vec![v("x")],
+                vec![lit("R", Nature::Any, vec![DTerm::cst(1)]), lit("R", Nature::Any, vec![v("x")])],
+            ),
+            Rule::new(
+                "Good",
+                vec![v("x")],
+                vec![
+                    lit("R", Nature::Any, vec![v("x")]),
+                    Literal::neg("Bad", Nature::Any, vec![v("x")]),
+                ],
+            ),
+        ]);
+        let result = evaluate_program(&db, &program).unwrap();
+        // Bad derives {1, 2} (the constant literal only gates firing).
+        assert_eq!(result.tuples("Bad").len(), 2);
+        assert!(result.tuples("Good").is_empty());
+    }
+
+    #[test]
+    fn negated_exogenous_view() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_endo(r, tup![1]);
+        db.insert_exo(r, tup![2]);
+        // OnlyEndo(x) :- R^n(x), ¬R^x(x): true for 1 (2 is exo).
+        let program = Program::new(vec![Rule::new(
+            "OnlyEndo",
+            vec![v("x")],
+            vec![
+                lit("R", Nature::Endo, vec![v("x")]),
+                Literal::neg("R", Nature::Exo, vec![v("x")]),
+            ],
+        )]);
+        let result = evaluate_program(&db, &program).unwrap();
+        assert_eq!(result.tuples("OnlyEndo"), &[tup![1]]);
+    }
+
+    #[test]
+    fn error_paths() {
+        let db = Database::new();
+        // Unsafe rule.
+        let p = Program::new(vec![Rule::new("H", vec![v("z")], vec![])]);
+        assert!(matches!(
+            evaluate_program(&db, &p),
+            Err(DatalogError::Safety(_))
+        ));
+        // Unknown EDB relation.
+        let p = Program::new(vec![Rule::new(
+            "H",
+            vec![v("x")],
+            vec![lit("Nope", Nature::Any, vec![v("x")])],
+        )]);
+        assert!(matches!(
+            evaluate_program(&db, &p),
+            Err(DatalogError::Engine(EngineError::UnknownRelation(_)))
+        ));
+        // Nature on IDB.
+        let p = Program::new(vec![
+            Rule::new("A", vec![v("x")], vec![lit("R", Nature::Any, vec![v("x")])]),
+            Rule::new("B", vec![v("x")], vec![lit("A", Nature::Endo, vec![v("x")])]),
+        ]);
+        let mut db2 = Database::new();
+        db2.add_relation(Schema::new("R", &["x"]));
+        assert!(matches!(
+            evaluate_program(&db2, &p),
+            Err(DatalogError::NatureOnIdb { .. })
+        ));
+        // Arity conflict on IDB.
+        let p = Program::new(vec![
+            Rule::new("A", vec![v("x")], vec![lit("R", Nature::Any, vec![v("x")])]),
+            Rule::new(
+                "B",
+                vec![v("x")],
+                vec![lit("A", Nature::Any, vec![v("x"), v("y")])],
+            ),
+        ]);
+        assert!(matches!(
+            evaluate_program(&db2, &p),
+            Err(DatalogError::ArityConflict { .. })
+        ));
+        // Not stratifiable.
+        let p = Program::new(vec![Rule::new(
+            "P",
+            vec![v("x")],
+            vec![
+                lit("R", Nature::Any, vec![v("x")]),
+                Literal::neg("P", Nature::Any, vec![v("x")]),
+            ],
+        )]);
+        assert!(matches!(
+            evaluate_program(&db2, &p),
+            Err(DatalogError::Stratify(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_empty_result() {
+        let db = Database::new();
+        let result = evaluate_program(&db, &Program::default()).unwrap();
+        assert_eq!(result.predicates().count(), 0);
+        assert!(result.tuples("anything").is_empty());
+    }
+}

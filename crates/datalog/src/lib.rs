@@ -1,0 +1,32 @@
+//! # causality-datalog — stratified Datalog with negation
+//!
+//! Theorem 3.4 of the paper shows that the set of all causes of a
+//! conjunctive query "can be expressed in non-recursive stratified Datalog
+//! with negation, with only two strata" — and hence as a SQL query. This
+//! crate supplies the language that theorem targets:
+//!
+//! * [`ast`] — programs, rules, literals (positive and negated) over the
+//!   engine's relations, with `R^n` / `R^x` views of the endogenous /
+//!   exogenous partition as EDB predicates.
+//! * [`safety`] — range-restriction checks (head and negated variables
+//!   must be bound by positive body literals).
+//! * [`mod@stratify`] — stratification with negative-cycle detection. The
+//!   evaluator supports arbitrary stratified programs (recursion included),
+//!   a strict superset of what Theorem 3.4 emits.
+//! * [`eval`] — bottom-up fixpoint evaluation, stratum by stratum.
+//! * [`pretty`] — rendering as Datalog text and as executable-style SQL
+//!   (`SELECT … WHERE NOT EXISTS`), substantiating the paper's claim that
+//!   causes "can be retrieved … by simply running a certain SQL query".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod pretty;
+pub mod safety;
+pub mod stratify;
+
+pub use ast::{DTerm, Literal, Program, Rule};
+pub use eval::{evaluate_program, DatalogResult};
+pub use stratify::stratify;

@@ -1,0 +1,237 @@
+//! Rendering programs as SQL.
+//!
+//! Theorem 3.4's punchline: "one can retrieve all causes to a conjunctive
+//! query by simply running a certain SQL query. In general, the latter
+//! cannot be a conjunctive query, but must have one level of negation."
+//! This module makes the claim concrete by translating a stratified
+//! program into SQL: one `SELECT DISTINCT` per rule, `UNION` across rules
+//! of the same predicate, and `NOT EXISTS` subqueries for negated
+//! literals. Endogenous/exogenous views become `WHERE endo = TRUE/FALSE`
+//! filters on an `endo` flag column.
+//!
+//! The output targets readability (it is printed by the experiment
+//! harnesses next to the Datalog form); lower strata are emitted as common
+//! table expressions so the whole program is one executable statement.
+
+use crate::ast::{DTerm, Literal, Program, Rule};
+use crate::stratify::stratify;
+use causality_engine::{Nature, Value};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render an entire program as a single SQL statement: lower-stratum IDB
+/// predicates become CTEs (`WITH name AS (…)`), and the final stratum's
+/// predicates are emitted as a UNION of labelled selects.
+pub fn program_to_sql(program: &Program) -> String {
+    let (strata, _) = match stratify(program) {
+        Ok(s) => s,
+        Err(e) => return format!("-- not stratifiable: {e}"),
+    };
+    let idb = program.idb_predicates();
+    let mut ordered: Vec<&str> = idb.clone();
+    ordered.sort_by_key(|p| strata[*p]);
+
+    let mut sql = String::new();
+    let mut ctes: Vec<String> = Vec::new();
+    for pred in &ordered {
+        let rules: Vec<&Rule> = program.rules.iter().filter(|r| &r.head == pred).collect();
+        let selects: Vec<String> = rules.iter().map(|r| rule_to_select(r)).collect();
+        let body = selects.join("\n  UNION\n");
+        ctes.push(format!("{pred} AS (\n{body}\n)"));
+    }
+    if !ctes.is_empty() {
+        let _ = write!(sql, "WITH {}", ctes.join(",\n"));
+    }
+    let finals: Vec<String> = ordered
+        .iter()
+        .map(|p| format!("SELECT '{p}' AS predicate, * FROM {p}"))
+        .collect();
+    let _ = write!(sql, "\n{}", finals.join("\nUNION ALL\n"));
+    sql
+}
+
+/// Render one rule as a `SELECT`.
+pub fn rule_to_select(rule: &Rule) -> String {
+    let mut aliases: Vec<(String, &Literal)> = Vec::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        aliases.push((format!("t{i}"), lit));
+    }
+    // First binding position of each variable among positive literals.
+    let mut var_col: HashMap<&str, String> = HashMap::new();
+    let mut conditions: Vec<String> = Vec::new();
+    for (alias, lit) in aliases.iter().filter(|(_, l)| !l.negated) {
+        for (pos, term) in lit.terms.iter().enumerate() {
+            let col = format!("{alias}.c{pos}");
+            match term {
+                DTerm::Const(c) => conditions.push(format!("{col} = {}", sql_value(c))),
+                DTerm::Var(v) => match var_col.get(v.as_str()) {
+                    Some(first) => conditions.push(format!("{col} = {first}")),
+                    None => {
+                        var_col.insert(v, col);
+                    }
+                },
+            }
+        }
+        if let Some(cond) = nature_condition(alias, lit.nature) {
+            conditions.push(cond);
+        }
+    }
+    // Negated literals become NOT EXISTS.
+    for (_, lit) in aliases.iter().filter(|(_, l)| l.negated) {
+        let mut inner: Vec<String> = Vec::new();
+        for (pos, term) in lit.terms.iter().enumerate() {
+            let col = format!("n.c{pos}");
+            match term {
+                DTerm::Const(c) => inner.push(format!("{col} = {}", sql_value(c))),
+                DTerm::Var(v) => {
+                    let outer = var_col
+                        .get(v.as_str())
+                        .cloned()
+                        .unwrap_or_else(|| "/* unbound */".to_string());
+                    inner.push(format!("{col} = {outer}"));
+                }
+            }
+        }
+        if let Some(cond) = nature_condition("n", lit.nature) {
+            inner.push(cond);
+        }
+        let where_inner = if inner.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", inner.join(" AND "))
+        };
+        conditions.push(format!(
+            "NOT EXISTS (SELECT 1 FROM {} n{where_inner})",
+            lit.predicate
+        ));
+    }
+
+    let projections: Vec<String> = rule
+        .head_terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            DTerm::Var(v) => format!("{} AS c{i}", var_col[v.as_str()]),
+            DTerm::Const(c) => format!("{} AS c{i}", sql_value(c)),
+        })
+        .collect();
+    let from: Vec<String> = aliases
+        .iter()
+        .filter(|(_, l)| !l.negated)
+        .map(|(alias, lit)| format!("{} {alias}", lit.predicate))
+        .collect();
+    let where_clause = if conditions.is_empty() {
+        String::new()
+    } else {
+        format!("\n  WHERE {}", conditions.join("\n    AND "))
+    };
+    format!(
+        "  SELECT DISTINCT {}\n  FROM {}{}",
+        projections.join(", "),
+        from.join(", "),
+        where_clause
+    )
+}
+
+fn nature_condition(alias: &str, nature: Nature) -> Option<String> {
+    match nature {
+        Nature::Any => None,
+        Nature::Endo => Some(format!("{alias}.endo = TRUE")),
+        Nature::Exo => Some(format!("{alias}.endo = FALSE")),
+    }
+}
+
+fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DTerm, Literal, Program, Rule};
+    use causality_engine::Nature;
+
+    fn v(name: &str) -> DTerm {
+        DTerm::var(name)
+    }
+
+    fn example_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                "I",
+                vec![v("y")],
+                vec![
+                    Literal::pos("R", Nature::Exo, vec![v("x"), v("y")]),
+                    Literal::pos("S", Nature::Endo, vec![v("y")]),
+                ],
+            ),
+            Rule::new(
+                "CS",
+                vec![v("y")],
+                vec![
+                    Literal::pos("R", Nature::Endo, vec![v("x"), v("y")]),
+                    Literal::pos("S", Nature::Endo, vec![v("y")]),
+                    Literal::neg("I", Nature::Any, vec![v("y")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn single_rule_select_shape() {
+        let p = example_program();
+        let sql = rule_to_select(&p.rules[0]);
+        // y first binds at R's second column (alias t0, position 1).
+        assert!(sql.contains("SELECT DISTINCT t0.c1 AS c0"), "sql was: {sql}");
+        assert!(sql.contains("FROM R t0, S t1"));
+        assert!(sql.contains("t0.endo = FALSE"));
+        assert!(sql.contains("t1.endo = TRUE"));
+        assert!(sql.contains("t1.c0 = t0.c1"), "join condition on y");
+    }
+
+    #[test]
+    fn negation_becomes_not_exists() {
+        let p = example_program();
+        let sql = rule_to_select(&p.rules[1]);
+        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM I n WHERE n.c0 = t0.c1)"), "sql: {sql}");
+    }
+
+    #[test]
+    fn program_renders_with_ctes() {
+        let p = example_program();
+        let sql = program_to_sql(&p);
+        assert!(sql.starts_with("WITH I AS ("));
+        assert!(sql.contains("CS AS ("));
+        assert!(sql.contains("SELECT 'CS' AS predicate, * FROM CS"));
+    }
+
+    #[test]
+    fn constants_are_quoted() {
+        let rule = Rule::new(
+            "H",
+            vec![v("x")],
+            vec![Literal::pos(
+                "R",
+                Nature::Any,
+                vec![v("x"), DTerm::cst("o'hara"), DTerm::cst(5)],
+            )],
+        );
+        let sql = rule_to_select(&rule);
+        assert!(sql.contains("t0.c1 = 'o''hara'"));
+        assert!(sql.contains("t0.c2 = 5"));
+    }
+
+    #[test]
+    fn union_across_rules_of_same_predicate() {
+        let p = Program::new(vec![
+            Rule::new("A", vec![v("x")], vec![Literal::pos("R", Nature::Any, vec![v("x")])]),
+            Rule::new("A", vec![v("x")], vec![Literal::pos("S", Nature::Any, vec![v("x")])]),
+        ]);
+        let sql = program_to_sql(&p);
+        assert!(sql.contains("UNION"));
+        assert!(sql.matches("SELECT DISTINCT").count() >= 2);
+    }
+}

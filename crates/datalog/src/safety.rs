@@ -1,0 +1,151 @@
+//! Range restriction (safety) for Datalog rules.
+//!
+//! A rule is **safe** when every variable in its head and every variable in
+//! a negated body literal also occurs in some positive body literal. Safe
+//! rules have finite answers and give negation its set-difference reading —
+//! the form Theorem 3.4's generated programs take.
+
+use crate::ast::{Program, Rule};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyError {
+    /// Index of the offending rule.
+    pub rule_index: usize,
+    /// The unbound variable.
+    pub variable: String,
+    /// Where the variable occurred.
+    pub location: SafetyLocation,
+}
+
+/// Where an unsafe variable occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SafetyLocation {
+    /// In the rule head.
+    Head,
+    /// In a negated body literal.
+    NegatedLiteral,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let place = match self.location {
+            SafetyLocation::Head => "head",
+            SafetyLocation::NegatedLiteral => "negated literal",
+        };
+        write!(
+            f,
+            "rule #{}: variable `{}` in {place} is not bound by a positive body literal",
+            self.rule_index, self.variable
+        )
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Check one rule for range restriction.
+pub fn check_rule(index: usize, rule: &Rule) -> Result<(), SafetyError> {
+    let positive: BTreeSet<&str> = rule
+        .body
+        .iter()
+        .filter(|l| !l.negated)
+        .flat_map(|l| l.vars())
+        .collect();
+    for t in &rule.head_terms {
+        if let Some(v) = t.as_var() {
+            if !positive.contains(v) {
+                return Err(SafetyError {
+                    rule_index: index,
+                    variable: v.to_string(),
+                    location: SafetyLocation::Head,
+                });
+            }
+        }
+    }
+    for l in rule.body.iter().filter(|l| l.negated) {
+        for v in l.vars() {
+            if !positive.contains(v) {
+                return Err(SafetyError {
+                    rule_index: index,
+                    variable: v.to_string(),
+                    location: SafetyLocation::NegatedLiteral,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check every rule of a program.
+pub fn check_program(program: &Program) -> Result<(), SafetyError> {
+    for (i, r) in program.rules.iter().enumerate() {
+        check_rule(i, r)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DTerm, Literal};
+    use causality_engine::Nature;
+
+    fn lit(pred: &str, vars: &[&str]) -> Literal {
+        Literal::pos(pred, Nature::Any, vars.iter().map(|v| DTerm::var(*v)).collect())
+    }
+
+    fn nlit(pred: &str, vars: &[&str]) -> Literal {
+        Literal::neg(pred, Nature::Any, vars.iter().map(|v| DTerm::var(*v)).collect())
+    }
+
+    #[test]
+    fn safe_rule_passes() {
+        let r = Rule::new("H", vec![DTerm::var("x")], vec![lit("R", &["x", "y"])]);
+        assert!(check_rule(0, &r).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_variable_fails() {
+        let r = Rule::new("H", vec![DTerm::var("z")], vec![lit("R", &["x", "y"])]);
+        let err = check_rule(3, &r).unwrap_err();
+        assert_eq!(err.rule_index, 3);
+        assert_eq!(err.variable, "z");
+        assert_eq!(err.location, SafetyLocation::Head);
+        assert!(err.to_string().contains("`z`"));
+    }
+
+    #[test]
+    fn unbound_negated_variable_fails() {
+        let r = Rule::new(
+            "H",
+            vec![DTerm::var("x")],
+            vec![lit("R", &["x"]), nlit("I", &["w"])],
+        );
+        let err = check_rule(0, &r).unwrap_err();
+        assert_eq!(err.location, SafetyLocation::NegatedLiteral);
+    }
+
+    #[test]
+    fn negated_literal_does_not_bind() {
+        let r = Rule::new("H", vec![DTerm::var("x")], vec![nlit("I", &["x"])]);
+        assert!(check_rule(0, &r).is_err());
+    }
+
+    #[test]
+    fn constants_in_head_are_always_safe() {
+        let r = Rule::new("H", vec![DTerm::cst(1)], vec![lit("R", &["x"])]);
+        assert!(check_rule(0, &r).is_ok());
+    }
+
+    #[test]
+    fn program_check_reports_first_violation() {
+        let p = Program::new(vec![
+            Rule::new("A", vec![DTerm::var("x")], vec![lit("R", &["x"])]),
+            Rule::new("B", vec![DTerm::var("q")], vec![lit("R", &["x"])]),
+        ]);
+        let err = check_program(&p).unwrap_err();
+        assert_eq!(err.rule_index, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stratification.
+//!
+//! Negation is evaluated stratum by stratum: a rule with `¬P` in its body
+//! may only fire once `P` is fully computed. Formally, assign each IDB
+//! predicate a stratum such that positive dependencies do not increase the
+//! stratum and negative dependencies strictly increase it; a program is
+//! stratifiable iff no cycle goes through a negative edge.
+//!
+//! Theorem 3.4's cause programs use exactly two strata (`I_{s,e}` at
+//! stratum 0, the `C_Ri` at stratum 1); the implementation handles the
+//! general case.
+
+use crate::ast::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stratification failure: some cycle passes through negation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StratifyError {
+    /// A predicate on the offending cycle.
+    pub predicate: String,
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program is not stratifiable: predicate `{}` depends negatively on itself",
+            self.predicate
+        )
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// Assign strata to IDB predicates. Returns, for each IDB predicate, its
+/// stratum (0-based), plus the total number of strata.
+pub fn stratify(program: &Program) -> Result<(HashMap<String, usize>, usize), StratifyError> {
+    let idb: Vec<&str> = program.idb_predicates();
+    let mut stratum: HashMap<String, usize> =
+        idb.iter().map(|p| ((*p).to_string(), 0usize)).collect();
+    let n = idb.len().max(1);
+
+    // Bellman-Ford-style relaxation: at most |IDB| rounds, else a negative
+    // cycle exists.
+    for round in 0..=n {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head_stratum = stratum[&rule.head];
+            for lit in &rule.body {
+                let Some(&body_stratum) = stratum.get(&lit.predicate) else {
+                    continue; // EDB
+                };
+                let required = if lit.negated {
+                    body_stratum + 1
+                } else {
+                    body_stratum
+                };
+                if head_stratum < required {
+                    stratum.insert(rule.head.clone(), required);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            let max = stratum.values().copied().max().unwrap_or(0);
+            return Ok((stratum, max + 1));
+        }
+        if round == n {
+            break;
+        }
+    }
+    // Still changing after |IDB| rounds: find a predicate with an inflated
+    // stratum to report.
+    let offender = stratum
+        .iter()
+        .max_by_key(|(_, &s)| s)
+        .map(|(p, _)| p.clone())
+        .unwrap_or_default();
+    Err(StratifyError {
+        predicate: offender,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DTerm, Literal, Program, Rule};
+    use causality_engine::Nature;
+
+    fn lit(pred: &str, neg: bool) -> Literal {
+        let terms = vec![DTerm::var("x")];
+        if neg {
+            Literal::neg(pred, Nature::Any, terms)
+        } else {
+            Literal::pos(pred, Nature::Any, terms)
+        }
+    }
+
+    fn rule(head: &str, body: Vec<Literal>) -> Rule {
+        Rule::new(head, vec![DTerm::var("x")], body)
+    }
+
+    #[test]
+    fn positive_program_is_single_stratum() {
+        let p = Program::new(vec![
+            rule("A", vec![lit("R", false)]),
+            rule("B", vec![lit("A", false)]),
+        ]);
+        let (strata, count) = stratify(&p).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(strata["A"], 0);
+        assert_eq!(strata["B"], 0);
+    }
+
+    #[test]
+    fn negation_pushes_up_a_stratum() {
+        // The Theorem 3.4 shape: I at stratum 0, C at stratum 1.
+        let p = Program::new(vec![
+            rule("I", vec![lit("R", false)]),
+            rule("C", vec![lit("R", false), lit("I", true)]),
+        ]);
+        let (strata, count) = stratify(&p).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(strata["I"], 0);
+        assert_eq!(strata["C"], 1);
+    }
+
+    #[test]
+    fn chained_negation_builds_three_strata() {
+        let p = Program::new(vec![
+            rule("A", vec![lit("R", false)]),
+            rule("B", vec![lit("A", true)]),
+            rule("C", vec![lit("B", true)]),
+        ]);
+        let (strata, count) = stratify(&p).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!((strata["A"], strata["B"], strata["C"]), (0, 1, 2));
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        let p = Program::new(vec![
+            rule("T", vec![lit("E", false)]),
+            rule("T", vec![lit("T", false), lit("E", false)]),
+        ]);
+        let (strata, count) = stratify(&p).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(strata["T"], 0);
+    }
+
+    #[test]
+    fn negative_self_cycle_rejected() {
+        let p = Program::new(vec![rule("P", vec![lit("P", true)])]);
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(err.predicate, "P");
+        assert!(err.to_string().contains("not stratifiable"));
+    }
+
+    #[test]
+    fn negative_two_cycle_rejected() {
+        let p = Program::new(vec![
+            rule("P", vec![lit("Q", true)]),
+            rule("Q", vec![lit("P", false)]),
+        ]);
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn mixed_recursion_through_lower_stratum_ok() {
+        // Recursion at stratum 1 over a negated stratum-0 predicate.
+        let p = Program::new(vec![
+            rule("Base", vec![lit("R", false)]),
+            rule("Rec", vec![lit("R", false), lit("Base", true)]),
+            rule("Rec", vec![lit("Rec", false), lit("Base", true)]),
+        ]);
+        let (strata, count) = stratify(&p).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(strata["Rec"], 1);
+    }
+}

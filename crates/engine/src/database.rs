@@ -1,0 +1,302 @@
+//! Database instances `D = Dx ∪ Dn` and counterfactual masks.
+
+use crate::error::EngineError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::{RelId, Tuple, TupleRef};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A database instance: a set of named relations whose tuples each carry an
+/// endogenous flag (`Dn` vs `Dx` of Sect. 2).
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a relation; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists.
+    pub fn add_relation(&mut self, schema: Schema) -> RelId {
+        let name = schema.name().to_string();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate relation name {name}"
+        );
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(Relation::new(schema));
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of stored tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Lookup a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Lookup a relation id by name, or return an [`EngineError`].
+    pub fn require_relation(&self, name: &str) -> Result<RelId, EngineError> {
+        self.relation_id(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Mutable access to the relation with the given id.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        &mut self.relations[id.0 as usize]
+    }
+
+    /// Iterate over `(id, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Insert a tuple into `rel` with the given endogenous flag.
+    pub fn insert(&mut self, rel: RelId, tuple: impl Into<Tuple>, endogenous: bool) -> TupleRef {
+        let (row, _) = self.relation_mut(rel).insert(tuple.into(), endogenous);
+        TupleRef { rel, row }
+    }
+
+    /// Insert an endogenous tuple.
+    pub fn insert_endo(&mut self, rel: RelId, tuple: impl Into<Tuple>) -> TupleRef {
+        self.insert(rel, tuple, true)
+    }
+
+    /// Insert an exogenous tuple.
+    pub fn insert_exo(&mut self, rel: RelId, tuple: impl Into<Tuple>) -> TupleRef {
+        self.insert(rel, tuple, false)
+    }
+
+    /// The tuple a [`TupleRef`] points to.
+    pub fn tuple(&self, t: TupleRef) -> &Tuple {
+        self.relation(t.rel).tuple(t.row)
+    }
+
+    /// Whether the referenced tuple is endogenous.
+    pub fn is_endogenous(&self, t: TupleRef) -> bool {
+        self.relation(t.rel).is_endogenous(t.row)
+    }
+
+    /// Mark every tuple of every relation endogenous — the paper's suggested
+    /// default ("the user may start by declaring all tuples in the database
+    /// as endogenous, then narrow down").
+    pub fn set_all_endogenous(&mut self) {
+        for r in &mut self.relations {
+            r.set_all_endogenous(true);
+        }
+    }
+
+    /// Mark an entire relation endogenous (`Rn = R`) or exogenous (`Rx = R`).
+    pub fn set_relation_endogenous(&mut self, rel: RelId, endogenous: bool) {
+        self.relation_mut(rel).set_all_endogenous(endogenous);
+    }
+
+    /// All endogenous tuple refs, in deterministic order.
+    pub fn endogenous_tuples(&self) -> Vec<TupleRef> {
+        let mut out = Vec::new();
+        for (rel, r) in self.relations() {
+            for (row, _, endo) in r.iter() {
+                if endo {
+                    out.push(TupleRef { rel, row });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of endogenous tuples (`|Dn|`).
+    pub fn endogenous_count(&self) -> usize {
+        self.relations.iter().map(Relation::endogenous_count).sum()
+    }
+
+    /// The active domain `Adom(D)`: all values appearing anywhere.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut vals = Vec::new();
+        for r in &self.relations {
+            for (_, t, _) in r.iter() {
+                vals.extend(t.values().iter().cloned());
+            }
+        }
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Render the instance as text (one block per relation), for harnesses.
+    pub fn display_instance(&self) -> String {
+        let mut s = String::new();
+        for (_, r) in self.relations() {
+            s.push_str(&format!("{}:\n", r.schema()));
+            for (_, t, endo) in r.iter() {
+                s.push_str(&format!("  {} {}\n", if endo { "n" } else { "x" }, t));
+            }
+        }
+        s
+    }
+}
+
+/// A counterfactual view of the endogenous tuples during evaluation.
+///
+/// Exogenous tuples are always present (they "define a context determined by
+/// external factors", Sect. 1). Endogenous tuples are toggled:
+///
+/// * **Why-So** (Def. 2.1): evaluate `q` on `D − Γ` → [`EndoMask::Except`]
+///   with `Γ` as the removed set.
+/// * **Why-No** (Sect. 2): the real database is `Dx`; `Dn` are *potentially
+///   missing* tuples, and we evaluate on `Dx ∪ Γ` → [`EndoMask::Only`] with
+///   `Γ` as the inserted set.
+#[derive(Clone, Copy, Debug)]
+pub enum EndoMask<'a> {
+    /// Every endogenous tuple is present (plain evaluation over `D`).
+    All,
+    /// Every endogenous tuple except the given set is present (`D − Γ`).
+    Except(&'a HashSet<TupleRef>),
+    /// Only the given endogenous tuples are present (`Dx ∪ Γ`).
+    Only(&'a HashSet<TupleRef>),
+}
+
+impl EndoMask<'_> {
+    /// Whether the tuple `t` (with endogenous flag `endo`) is visible.
+    #[inline]
+    pub fn active(&self, t: TupleRef, endo: bool) -> bool {
+        if !endo {
+            return true;
+        }
+        match self {
+            EndoMask::All => true,
+            EndoMask::Except(gone) => !gone.contains(&t),
+            EndoMask::Only(present) => present.contains(&t),
+        }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_instance())
+    }
+}
+
+/// Build the Example 2.2 instance from the paper:
+/// `R = {(a1,a5),(a2,a1),(a3,a3),(a4,a3),(a4,a2)}`, `S = {a1,a2,a3,a4,a6}`,
+/// all tuples endogenous.
+pub fn example_2_2() -> Database {
+    let mut db = Database::new();
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y"]));
+    for (x, y) in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"), ("a4", "a2")] {
+        db.insert_endo(r, vec![Value::str(x), Value::str(y)]);
+    }
+    for y in ["a1", "a2", "a3", "a4", "a6"] {
+        db.insert_endo(s, vec![Value::str(y)]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn add_insert_lookup() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        let t = db.insert_endo(r, tup![1]);
+        assert_eq!(db.tuple(t), &tup![1]);
+        assert!(db.is_endogenous(t));
+        assert_eq!(db.relation_id("R"), Some(r));
+        assert_eq!(db.relation_id("Q"), None);
+        assert!(db.require_relation("Q").is_err());
+        assert_eq!(db.tuple_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation name")]
+    fn duplicate_names_rejected() {
+        let mut db = Database::new();
+        db.add_relation(Schema::new("R", &["x"]));
+        db.add_relation(Schema::new("R", &["y"]));
+    }
+
+    #[test]
+    fn endogenous_partitioning() {
+        let mut db = example_2_2();
+        assert_eq!(db.endogenous_count(), 10);
+        let r = db.relation_id("R").unwrap();
+        db.set_relation_endogenous(r, false);
+        assert_eq!(db.endogenous_count(), 5);
+        db.set_all_endogenous();
+        assert_eq!(db.endogenous_count(), 10);
+        assert_eq!(db.endogenous_tuples().len(), 10);
+    }
+
+    #[test]
+    fn active_domain_of_example() {
+        let db = example_2_2();
+        let adom = db.active_domain();
+        let expect: Vec<Value> = ["a1", "a2", "a3", "a4", "a5", "a6"]
+            .iter()
+            .map(Value::str)
+            .collect();
+        assert_eq!(adom, expect);
+    }
+
+    #[test]
+    fn masks() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        let endo_t = db.insert_endo(r, tup![1]);
+        let exo_t = db.insert_exo(r, tup![2]);
+
+        let mut set = HashSet::new();
+        set.insert(endo_t);
+
+        assert!(EndoMask::All.active(endo_t, true));
+        assert!(!EndoMask::Except(&set).active(endo_t, true));
+        assert!(EndoMask::Only(&set).active(endo_t, true));
+
+        let empty = HashSet::new();
+        assert!(!EndoMask::Only(&empty).active(endo_t, true));
+        // Exogenous tuples are always visible regardless of mask.
+        assert!(EndoMask::Only(&empty).active(exo_t, false));
+        assert!(EndoMask::Except(&set).active(exo_t, false));
+    }
+
+    #[test]
+    fn display_lists_tuples_with_flags() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_endo(r, tup![1]);
+        db.insert_exo(r, tup![2]);
+        let s = db.display_instance();
+        assert!(s.contains("R(x):"));
+        assert!(s.contains("n (1)"));
+        assert!(s.contains("x (2)"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the relational engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced a relation name absent from the database.
+    UnknownRelation(String),
+    /// An atom's arity does not match its relation's schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity expected by the schema.
+        expected: usize,
+        /// Arity used by the atom.
+        found: usize,
+    },
+    /// Query text could not be parsed.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the input where the error occurred.
+        offset: usize,
+    },
+    /// A query was used in a context requiring a Boolean query.
+    NotBoolean(String),
+    /// A head variable does not occur in the query body (unsafe query).
+    UnsafeQuery {
+        /// Query text.
+        query: String,
+        /// Offending variable name.
+        var: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            EngineError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch on `{relation}`: schema has {expected}, atom uses {found}"
+            ),
+            EngineError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            EngineError::NotBoolean(q) => {
+                write!(f, "query `{q}` has head variables; a Boolean query is required")
+            }
+            EngineError::UnsafeQuery { query, var } => {
+                write!(f, "unsafe query `{query}`: head variable `{var}` not in body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::UnknownRelation("R".into()).to_string(),
+            "unknown relation `R`"
+        );
+        let e = EngineError::ArityMismatch {
+            relation: "S".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("schema has 2"));
+        let p = EngineError::Parse {
+            message: "expected `(`".into(),
+            offset: 4,
+        };
+        assert!(p.to_string().contains("byte 4"));
+    }
+}

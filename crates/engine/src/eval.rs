@@ -1,0 +1,522 @@
+//! Conjunctive query evaluation.
+//!
+//! The evaluator enumerates **valuations** `θ : Var(q) → Adom(D)` — the
+//! mappings of Def. 3.1 that ground every atom to a stored tuple. A
+//! valuation is exactly one conjunct `c_θ = X_{t1} ∧ … ∧ X_{tm}` of the
+//! lineage, so the lineage crate consumes the valuation stream directly.
+//!
+//! Evaluation is a backtracking join: atoms are greedily reordered so that
+//! each step binds against already-bound variables, and per-binding-pattern
+//! hash indexes are built lazily. Counterfactual evaluation (over `D − Γ`
+//! or `Dx ∪ Γ`) is supported through [`EndoMask`] without copying the
+//! database.
+
+use crate::database::{Database, EndoMask};
+use crate::error::EngineError;
+use crate::query::{Atom, ConjunctiveQuery, Nature, Term, VarId};
+use crate::tuple::{RelId, RowId, Tuple, TupleRef};
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// Lazily built hash index: (relation, bound positions) → key → rows.
+type IndexCache = HashMap<(RelId, Vec<usize>), HashMap<Vec<Value>, Vec<RowId>>>;
+
+/// One valuation `θ` of the query body: a value for every bound variable
+/// and the tuple grounding each atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Valuation {
+    /// Per-[`VarId`] assignment (`None` for interned-but-unused variables).
+    pub assignment: Vec<Option<Value>>,
+    /// The tuple each body atom was grounded to, in atom order.
+    pub atom_tuples: Vec<TupleRef>,
+}
+
+impl Valuation {
+    /// Value bound to a variable.
+    pub fn value(&self, v: VarId) -> Option<&Value> {
+        self.assignment.get(v.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Project the valuation onto the query head, producing an answer tuple.
+    pub fn head_values(&self, q: &ConjunctiveQuery) -> Tuple {
+        q.head()
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => self
+                    .value(*v)
+                    .expect("head variable bound by safe query")
+                    .clone(),
+                Term::Const(c) => c.clone(),
+            })
+            .collect()
+    }
+
+    /// The distinct tuples grounding the atoms (a lineage conjunct's
+    /// variable set, before endo/exo substitution).
+    pub fn tuple_set(&self) -> BTreeSet<TupleRef> {
+        self.atom_tuples.iter().copied().collect()
+    }
+}
+
+/// The result of evaluating a query: distinct answers plus all valuations.
+#[derive(Clone, Debug, Default)]
+pub struct EvalResult {
+    /// Distinct answer tuples, sorted.
+    pub answers: Vec<Tuple>,
+    /// Every valuation of the body.
+    pub valuations: Vec<Valuation>,
+}
+
+impl EvalResult {
+    /// For a Boolean query: whether the query is true.
+    pub fn holds(&self) -> bool {
+        !self.valuations.is_empty()
+    }
+
+    /// The valuations producing a given answer.
+    pub fn valuations_for<'a>(
+        &'a self,
+        q: &'a ConjunctiveQuery,
+        answer: &'a Tuple,
+    ) -> impl Iterator<Item = &'a Valuation> + 'a {
+        self.valuations
+            .iter()
+            .filter(move |v| &v.head_values(q) == answer)
+    }
+}
+
+/// Evaluate `q` over the full database (all endogenous tuples present).
+pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<EvalResult, EngineError> {
+    evaluate_masked(db, q, EndoMask::All)
+}
+
+/// Evaluate `q` under a counterfactual [`EndoMask`].
+pub fn evaluate_masked(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: EndoMask<'_>,
+) -> Result<EvalResult, EngineError> {
+    Evaluator::new(db, q, mask)?.run(false)
+}
+
+/// Boolean check with early exit: is `q` (treated as Boolean) true under
+/// the mask? Faster than [`evaluate_masked`] when only truth is needed.
+pub fn holds_masked(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: EndoMask<'_>,
+) -> Result<bool, EngineError> {
+    Ok(Evaluator::new(db, q, mask)?.run(true)?.holds())
+}
+
+struct ResolvedAtom {
+    rel: RelId,
+    nature: Nature,
+    terms: Vec<Term>,
+}
+
+struct Evaluator<'a> {
+    db: &'a Database,
+    q: &'a ConjunctiveQuery,
+    mask: EndoMask<'a>,
+    /// Atoms in original order, resolved to relation ids.
+    atoms: Vec<ResolvedAtom>,
+    /// Evaluation order (indexes into `atoms`).
+    plan: Vec<usize>,
+    /// Lazily built indexes: (rel, sorted bound positions) → key → rows.
+    indexes: IndexCache,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(
+        db: &'a Database,
+        q: &'a ConjunctiveQuery,
+        mask: EndoMask<'a>,
+    ) -> Result<Self, EngineError> {
+        // Safety check: head variables must occur in the body.
+        let body_vars = q.body_vars();
+        for hv in q.head_vars() {
+            if !body_vars.contains(&hv) {
+                return Err(EngineError::UnsafeQuery {
+                    query: q.to_string(),
+                    var: q.var_name(hv).to_string(),
+                });
+            }
+        }
+        let mut atoms = Vec::with_capacity(q.atoms().len());
+        for atom in q.atoms() {
+            let rel = db.require_relation(&atom.relation)?;
+            let schema_arity = db.relation(rel).schema().arity();
+            if schema_arity != atom.arity() {
+                return Err(EngineError::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: schema_arity,
+                    found: atom.arity(),
+                });
+            }
+            atoms.push(ResolvedAtom {
+                rel,
+                nature: atom.nature,
+                terms: atom.terms.clone(),
+            });
+        }
+        let plan = plan_order(db, q.atoms(), &atoms);
+        Ok(Evaluator {
+            db,
+            q,
+            mask,
+            atoms,
+            plan,
+            indexes: HashMap::new(),
+        })
+    }
+
+    fn run(&mut self, stop_at_first: bool) -> Result<EvalResult, EngineError> {
+        let mut result = EvalResult::default();
+        let mut bindings: Vec<Option<Value>> = vec![None; self.q.var_count()];
+        let mut chosen: Vec<TupleRef> = Vec::with_capacity(self.atoms.len());
+        self.search(0, &mut bindings, &mut chosen, stop_at_first, &mut result);
+
+        let mut seen = BTreeSet::new();
+        for v in &result.valuations {
+            seen.insert(v.head_values(self.q));
+        }
+        result.answers = seen.into_iter().collect();
+        Ok(result)
+    }
+
+    fn search(
+        &mut self,
+        depth: usize,
+        bindings: &mut Vec<Option<Value>>,
+        chosen: &mut Vec<TupleRef>,
+        stop_at_first: bool,
+        result: &mut EvalResult,
+    ) -> bool {
+        if depth == self.plan.len() {
+            // Reorder chosen tuples back to original atom order.
+            let mut atom_tuples = vec![TupleRef::new(0, 0); self.plan.len()];
+            for (step, &atom_idx) in self.plan.iter().enumerate() {
+                atom_tuples[atom_idx] = chosen[step];
+            }
+            result.valuations.push(Valuation {
+                assignment: bindings.clone(),
+                atom_tuples,
+            });
+            return stop_at_first;
+        }
+        let atom_idx = self.plan[depth];
+
+        // Compute bound positions and the lookup key.
+        let (positions, key, unbound): (Vec<usize>, Vec<Value>, Vec<(usize, VarId)>) = {
+            let atom = &self.atoms[atom_idx];
+            let mut positions = Vec::new();
+            let mut key = Vec::new();
+            let mut unbound = Vec::new();
+            for (i, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        positions.push(i);
+                        key.push(c.clone());
+                    }
+                    Term::Var(v) => match &bindings[v.0 as usize] {
+                        Some(val) => {
+                            positions.push(i);
+                            key.push(val.clone());
+                        }
+                        None => unbound.push((i, *v)),
+                    },
+                }
+            }
+            (positions, key, unbound)
+        };
+
+        let rel = self.atoms[atom_idx].rel;
+        let nature = self.atoms[atom_idx].nature;
+        self.ensure_index(rel, &positions);
+        let rows: Vec<RowId> = self
+            .indexes
+            .get(&(rel, positions.clone()))
+            .and_then(|idx| idx.get(&key)).cloned()
+            .unwrap_or_default();
+
+        for row in rows {
+            let tref = TupleRef { rel, row };
+            let relation = self.db.relation(rel);
+            let endo = relation.is_endogenous(row);
+            match nature {
+                Nature::Endo if !endo => continue,
+                Nature::Exo if endo => continue,
+                _ => {}
+            }
+            if !self.mask.active(tref, endo) {
+                continue;
+            }
+            // Bind unbound variables; positions repeated within the atom
+            // must agree.
+            let tuple = relation.tuple(row).clone();
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            let mut ok = true;
+            for &(pos, var) in &unbound {
+                match &bindings[var.0 as usize] {
+                    Some(existing) => {
+                        if existing != &tuple[pos] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        bindings[var.0 as usize] = Some(tuple[pos].clone());
+                        newly_bound.push(var);
+                    }
+                }
+            }
+            if ok {
+                chosen.push(tref);
+                let stop = self.search(depth + 1, bindings, chosen, stop_at_first, result);
+                chosen.pop();
+                if stop {
+                    for v in newly_bound {
+                        bindings[v.0 as usize] = None;
+                    }
+                    return true;
+                }
+            }
+            for v in newly_bound {
+                bindings[v.0 as usize] = None;
+            }
+        }
+        false
+    }
+
+    fn ensure_index(&mut self, rel: RelId, positions: &[usize]) {
+        let cache_key = (rel, positions.to_vec());
+        if self.indexes.contains_key(&cache_key) {
+            return;
+        }
+        let relation = self.db.relation(rel);
+        let mut index: HashMap<Vec<Value>, Vec<RowId>> = HashMap::new();
+        for (row, tuple, _) in relation.iter() {
+            let key: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
+            index.entry(key).or_default().push(row);
+        }
+        self.indexes.insert(cache_key, index);
+    }
+}
+
+/// Greedy join-order planning: repeatedly pick the atom with the most bound
+/// terms (constants count as bound), tie-breaking by smaller relation.
+fn plan_order(db: &Database, atoms: &[Atom], resolved: &[ResolvedAtom]) -> Vec<usize> {
+    let n = atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut bound_vars: BTreeSet<VarId> = BTreeSet::new();
+    for _ in 0..n {
+        let mut best: Option<(usize, usize, usize)> = None; // (idx, bound count, rel size)
+        for i in 0..n {
+            if placed[i] {
+                continue;
+            }
+            let bound = atoms[i]
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound_vars.contains(v),
+                })
+                .count();
+            let size = db.relation(resolved[i].rel).len();
+            let better = match best {
+                None => true,
+                Some((_, b, s)) => bound > b || (bound == b && size < s),
+            };
+            if better {
+                best = Some((i, bound, size));
+            }
+        }
+        let (idx, _, _) = best.expect("unplaced atom exists");
+        placed[idx] = true;
+        bound_vars.extend(atoms[idx].vars());
+        order.push(idx);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::example_2_2;
+    use crate::schema::Schema;
+    use crate::tup;
+    use std::collections::HashSet;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    /// Example 2.2: q(x) :- R(x,y), S(y) has answers {a2, a3, a4}.
+    #[test]
+    fn example_2_2_answers() {
+        let db = example_2_2();
+        let result = evaluate(&db, &q("q(x) :- R(x, y), S(y)")).unwrap();
+        let answers: Vec<String> = result.answers.iter().map(|t| t[0].to_string()).collect();
+        assert_eq!(answers, vec!["a2", "a3", "a4"]);
+    }
+
+    #[test]
+    fn valuations_carry_tuple_provenance() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let result = evaluate(&db, &query).unwrap();
+        // a4 joins through both S(a3) and S(a2): two valuations.
+        let a4 = tup!["a4"];
+        let vals: Vec<_> = result.valuations_for(&query, &a4).collect();
+        assert_eq!(vals.len(), 2);
+        for v in vals {
+            assert_eq!(v.atom_tuples.len(), 2);
+            let x = v.value(query.find_var("x").unwrap()).unwrap();
+            assert_eq!(x, &Value::str("a4"));
+        }
+    }
+
+    #[test]
+    fn boolean_query_with_constant() {
+        let db = example_2_2();
+        // q :- R(x, 'a3'), S('a3') — true via R(a3,a3) and R(a4,a3).
+        let query = q("q :- R(x, 'a3'), S('a3')");
+        let result = evaluate(&db, &query).unwrap();
+        assert!(result.holds());
+        assert_eq!(result.valuations.len(), 2);
+        assert_eq!(result.answers, vec![Tuple::new(vec![])]);
+    }
+
+    #[test]
+    fn masked_removal_changes_answers() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let s = db.relation_id("S").unwrap();
+        let s_a1 = TupleRef {
+            rel: s,
+            row: db.relation(s).find(&tup!["a1"]).unwrap(),
+        };
+        let mut gone = HashSet::new();
+        gone.insert(s_a1);
+        let result = evaluate_masked(&db, &query, EndoMask::Except(&gone)).unwrap();
+        // Removing S(a1) kills answer a2 (counterfactual cause, Example 2.2).
+        let answers: Vec<String> = result.answers.iter().map(|t| t[0].to_string()).collect();
+        assert_eq!(answers, vec!["a3", "a4"]);
+    }
+
+    #[test]
+    fn only_mask_models_why_no_insertions() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        let missing = db.insert_endo(r, tup![1]); // potential tuple in Dn
+        db.insert_exo(r, tup![2]);
+
+        let query = q("q :- R(1)");
+        let none = HashSet::new();
+        assert!(!holds_masked(&db, &query, EndoMask::Only(&none)).unwrap());
+        let mut ins = HashSet::new();
+        ins.insert(missing);
+        assert!(holds_masked(&db, &query, EndoMask::Only(&ins)).unwrap());
+    }
+
+    #[test]
+    fn nature_restrictions_filter_tuples() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_endo(r, tup![1]);
+        db.insert_exo(r, tup![2]);
+
+        let all = evaluate(&db, &q("q(x) :- R(x)")).unwrap();
+        assert_eq!(all.answers.len(), 2);
+        let endo = evaluate(&db, &q("q(x) :- R^n(x)")).unwrap();
+        assert_eq!(endo.answers, vec![tup![1]]);
+        let exo = evaluate(&db, &q("q(x) :- R^x(x)")).unwrap();
+        assert_eq!(exo.answers, vec![tup![2]]);
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        db.insert_endo(r, tup![1, 1]);
+        db.insert_endo(r, tup![1, 2]);
+        let result = evaluate(&db, &q("q(x) :- R(x, x)")).unwrap();
+        assert_eq!(result.answers, vec![tup![1]]);
+    }
+
+    #[test]
+    fn self_join_evaluation() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        db.insert_endo(r, tup![1, 2]);
+        db.insert_endo(r, tup![2, 3]);
+        let result = evaluate(&db, &q("q(x, z) :- R(x, y), R(y, z)")).unwrap();
+        assert_eq!(result.answers, vec![tup![1, 3]]);
+        // The valuation uses two distinct tuples of the same relation.
+        assert_eq!(result.valuations[0].tuple_set().len(), 2);
+    }
+
+    #[test]
+    fn triangle_query() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        db.insert_endo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2, 3]);
+        db.insert_endo(t, tup![3, 1]);
+        db.insert_endo(t, tup![3, 9]); // does not close the triangle
+        let result = evaluate(&db, &q("h2 :- R(x, y), S(y, z), T(z, x)")).unwrap();
+        assert_eq!(result.valuations.len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let db = Database::new();
+        let err = evaluate(&db, &q("q :- Nope(x)")).unwrap_err();
+        assert_eq!(err, EngineError::UnknownRelation("Nope".into()));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let mut db = Database::new();
+        db.add_relation(Schema::new("R", &["x", "y"]));
+        let err = evaluate(&db, &q("q :- R(x)")).unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unsafe_query_is_an_error() {
+        let mut db = Database::new();
+        db.add_relation(Schema::new("R", &["x"]));
+        let err = evaluate(&db, &q("q(y) :- R(x)")).unwrap_err();
+        assert!(matches!(err, EngineError::UnsafeQuery { .. }));
+    }
+
+    #[test]
+    fn holds_early_exit_agrees_with_full_eval() {
+        let db = example_2_2();
+        let query = q("q :- R(x, y), S(y)");
+        assert!(holds_masked(&db, &query, EndoMask::All).unwrap());
+        let all: HashSet<TupleRef> = db.endogenous_tuples().into_iter().collect();
+        assert!(!holds_masked(&db, &query, EndoMask::Only(&HashSet::new())).unwrap() || all.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_vars() {
+        let mut db = Database::new();
+        let a = db.add_relation(Schema::new("A", &["x"]));
+        let b = db.add_relation(Schema::new("B", &["y"]));
+        db.insert_endo(a, tup![1]);
+        db.insert_endo(a, tup![2]);
+        db.insert_endo(b, tup![10]);
+        db.insert_endo(b, tup![20]);
+        db.insert_endo(b, tup![30]);
+        let result = evaluate(&db, &q("q(x, y) :- A(x), B(y)")).unwrap();
+        assert_eq!(result.answers.len(), 6);
+        assert_eq!(result.valuations.len(), 6);
+    }
+}

@@ -1,0 +1,304 @@
+//! Homomorphisms, cores and isomorphism of conjunctive queries.
+//!
+//! Theorem 3.4's construction enumerates *image queries* and "always
+//! minimize\[s\] an image query" — minimization of a conjunctive query is
+//! computing its **core** (the smallest equivalent subquery), a classic
+//! homomorphism-based procedure \[Abiteboul-Hull-Vianu\]. The dichotomy
+//! search additionally needs **isomorphism** tests to recognise the
+//! canonical hard queries h1*, h2*, h3* up to variable renaming.
+//!
+//! Atoms match only when both relation name *and* nature agree: `R^n` and
+//! `R^x` are distinct symbols throughout the paper's constructions.
+
+use super::{Atom, ConjunctiveQuery, Term, VarId};
+use std::collections::HashMap;
+
+/// A variable mapping `Var(from) → Term(to)` witnessing a homomorphism.
+pub type Homomorphism = HashMap<VarId, Term>;
+
+/// Search for a homomorphism from `from` to `to`: a mapping of `from`'s
+/// variables to `to`'s terms (constants map to themselves) such that the
+/// image of every `from`-atom is an atom of `to`.
+///
+/// Both queries are treated as Boolean (heads are ignored).
+pub fn find_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> Option<Homomorphism> {
+    let mut assignment: Homomorphism = HashMap::new();
+    if hom_search(from.atoms(), 0, to, &mut assignment) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// Whether a homomorphism `from → to` exists. By the Chandra–Merlin
+/// theorem this is Boolean-query containment `to ⊆ from`.
+pub fn has_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+    find_homomorphism(from, to).is_some()
+}
+
+fn hom_search(
+    atoms: &[Atom],
+    i: usize,
+    to: &ConjunctiveQuery,
+    assignment: &mut Homomorphism,
+) -> bool {
+    if i == atoms.len() {
+        return true;
+    }
+    let atom = &atoms[i];
+    for target in to.atoms() {
+        if target.relation != atom.relation
+            || target.nature != atom.nature
+            || target.arity() != atom.arity()
+        {
+            continue;
+        }
+        // Try to extend the assignment so that atom maps onto target.
+        let mut added: Vec<VarId> = Vec::new();
+        let mut ok = true;
+        for (s, t) in atom.terms.iter().zip(target.terms.iter()) {
+            match s {
+                Term::Const(c) => {
+                    if !matches!(t, Term::Const(d) if d == c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(bound) => {
+                        if bound != t {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, t.clone());
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if ok && hom_search(atoms, i + 1, to, assignment) {
+            return true;
+        }
+        for v in added {
+            assignment.remove(&v);
+        }
+    }
+    false
+}
+
+/// Compute the **core** of a Boolean conjunctive query: repeatedly drop an
+/// atom `g` whenever the remaining query still maps homomorphically onto
+/// the original (equivalently, `q ≡ q − {g}`), until no atom is removable.
+pub fn query_core(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    current.dedup_atoms();
+    loop {
+        let mut removed = false;
+        for i in 0..current.atoms().len() {
+            let mut candidate = current.clone();
+            candidate.remove_atom(i);
+            if candidate.atoms().is_empty() {
+                continue;
+            }
+            // q − {g} ≡ q  iff  hom(q → q − {g}) exists (inclusion gives the
+            // other direction).
+            if has_homomorphism(&current, &candidate) {
+                current = candidate;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return current;
+        }
+    }
+}
+
+/// Whether two Boolean queries are isomorphic: a variable bijection turning
+/// one atom multiset into the other (relations, natures and constants must
+/// match exactly).
+pub fn is_isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    if a.atoms().len() != b.atoms().len() || a.signature() != b.signature() {
+        return false;
+    }
+    let mut forward: HashMap<VarId, VarId> = HashMap::new();
+    let mut backward: HashMap<VarId, VarId> = HashMap::new();
+    let mut used = vec![false; b.atoms().len()];
+    iso_search(a.atoms(), 0, b.atoms(), &mut used, &mut forward, &mut backward)
+}
+
+fn iso_search(
+    atoms: &[Atom],
+    i: usize,
+    targets: &[Atom],
+    used: &mut [bool],
+    forward: &mut HashMap<VarId, VarId>,
+    backward: &mut HashMap<VarId, VarId>,
+) -> bool {
+    if i == atoms.len() {
+        return true;
+    }
+    let atom = &atoms[i];
+    for j in 0..targets.len() {
+        if used[j] {
+            continue;
+        }
+        let target = &targets[j];
+        if target.relation != atom.relation
+            || target.nature != atom.nature
+            || target.arity() != atom.arity()
+        {
+            continue;
+        }
+        let mut added: Vec<VarId> = Vec::new();
+        let mut ok = true;
+        for (s, t) in atom.terms.iter().zip(target.terms.iter()) {
+            match (s, t) {
+                (Term::Const(c), Term::Const(d)) => {
+                    if c != d {
+                        ok = false;
+                        break;
+                    }
+                }
+                (Term::Var(v), Term::Var(w)) => {
+                    match (forward.get(v), backward.get(w)) {
+                        (Some(fw), Some(bw)) if fw == w && bw == v => {}
+                        (None, None) => {
+                            forward.insert(*v, *w);
+                            backward.insert(*w, *v);
+                            added.push(*v);
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            used[j] = true;
+            if iso_search(atoms, i + 1, targets, used, forward, backward) {
+                return true;
+            }
+            used[j] = false;
+        }
+        for v in added {
+            let w = forward.remove(&v).expect("tracked mapping");
+            backward.remove(&w);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let a = q("q :- R(x, y), S(y, z)");
+        assert!(has_homomorphism(&a, &a));
+    }
+
+    #[test]
+    fn homomorphism_collapses_variables() {
+        let from = q("q :- R(x, y), R(y, z)");
+        let to = q("p :- R(u, u)");
+        assert!(has_homomorphism(&from, &to));
+        assert!(!has_homomorphism(&to, &from), "R(u,u) needs a loop in the target");
+    }
+
+    #[test]
+    fn natures_block_homomorphisms() {
+        let from = q("q :- R^n(x, y)");
+        let to = q("p :- R^x(u, v)");
+        assert!(!has_homomorphism(&from, &to));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let from = q("q :- R(x, 'a')");
+        let to_good = q("p :- R(u, 'a')");
+        let to_bad = q("p :- R(u, 'b')");
+        assert!(has_homomorphism(&from, &to_good));
+        assert!(!has_homomorphism(&from, &to_bad));
+        // A variable may map to a constant…
+        let from2 = q("q :- R(x, y)");
+        assert!(has_homomorphism(&from2, &to_good));
+        // …but a constant never maps to a variable.
+        let to_var = q("p :- R(u, v)");
+        assert!(!has_homomorphism(&from, &to_var));
+    }
+
+    #[test]
+    fn core_removes_redundant_atoms() {
+        // R(x,y), R(x,z) folds onto R(x,y).
+        let cq = q("q :- R(x, y), R(x, z)");
+        let core = query_core(&cq);
+        assert_eq!(core.atoms().len(), 1);
+
+        // A path of length 2 with a loop folds onto the loop.
+        let cq = q("q :- R(x, y), R(y, z), R(w, w)");
+        let core = query_core(&cq);
+        assert_eq!(core.atoms().len(), 1);
+        assert_eq!(core.to_string(), "q :- R(w, w)");
+    }
+
+    #[test]
+    fn core_keeps_non_redundant_queries() {
+        let cq = q("q :- R(x, y), S(y, z)");
+        assert_eq!(query_core(&cq).atoms().len(), 2);
+        // Triangle query is its own core.
+        let h2 = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        assert_eq!(query_core(&h2).atoms().len(), 3);
+    }
+
+    #[test]
+    fn core_respects_natures() {
+        // R^n(x,y), R^x(x,z): different symbols, nothing folds.
+        let cq = q("q :- R^n(x, y), R^x(x, z)");
+        assert_eq!(query_core(&cq).atoms().len(), 2);
+    }
+
+    #[test]
+    fn isomorphism_up_to_renaming() {
+        let a = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        let b = q("p :- S(b, c), T(c, a), R(a, b)");
+        assert!(is_isomorphic(&a, &b));
+        let c = q("p :- R(x, y), S(y, z), T(x, z)");
+        assert!(!is_isomorphic(&a, &c), "T reversed is a different query");
+    }
+
+    #[test]
+    fn isomorphism_requires_matching_natures() {
+        let a = q("q :- R^n(x, y)");
+        let b = q("q :- R^x(x, y)");
+        assert!(!is_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn isomorphism_requires_injectivity() {
+        let a = q("q :- R(x, y)");
+        let b = q("q :- R(x, x)");
+        assert!(!is_isomorphic(&a, &b));
+        assert!(has_homomorphism(&a, &b), "hom exists but iso does not");
+    }
+
+    #[test]
+    fn isomorphism_handles_duplicate_structure() {
+        let a = q("q :- R(x, y), R(y, x)");
+        let b = q("q :- R(v, u), R(u, v)");
+        assert!(is_isomorphic(&a, &b));
+    }
+}

@@ -1,0 +1,287 @@
+//! Text syntax for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  :=  head ':-' atom (',' atom)*
+//! head   :=  ident [ '(' term (',' term)* ')' ]
+//! atom   :=  ident [ '^' ('n'|'x') ] '(' term (',' term)* ')'
+//! term   :=  ident            — a variable
+//!          | integer          — an integer constant
+//!          | '\'' chars '\''  — a string constant
+//! ```
+//!
+//! Following the paper's notation, `R^n` restricts an atom to endogenous
+//! tuples, `R^x` to exogenous tuples, and a bare `R` ranges over all tuples.
+//! Examples:
+//!
+//! ```text
+//! q(x) :- R(x, y), S(y)
+//! h2   :- R^n(x, y), S^n(y, z), T^n(z, x)
+//! q    :- R(x, 'a3'), S('a3')
+//! ```
+
+use super::{Atom, ConjunctiveQuery, Nature, Term};
+use crate::error::EngineError;
+use crate::value::Value;
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), EngineError> {
+        self.skip_ws();
+        if self.rest().starts_with(expected) {
+            self.pos += expected.len_utf8();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{expected}`")))
+        }
+    }
+
+    fn eat_str(&mut self, expected: &str) -> Result<(), EngineError> {
+        self.skip_ws();
+        if self.rest().starts_with(expected) {
+            self.pos += expected.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{expected}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, EngineError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 || rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.error("expected identifier".to_string()));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn error(&self, message: String) -> EngineError {
+        EngineError::Parse {
+            message,
+            offset: self.pos,
+        }
+    }
+}
+
+/// Parse one query. See the module docs for the grammar.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, EngineError> {
+    let mut c = Cursor::new(input);
+    let name = c.ident()?;
+    let mut q = ConjunctiveQuery::boolean(name);
+
+    let mut head = Vec::new();
+    if c.peek() == Some('(') {
+        c.eat('(')?;
+        loop {
+            head.push(parse_term(&mut c, &mut q)?);
+            match c.peek() {
+                Some(',') => c.eat(',')?,
+                Some(')') => {
+                    c.eat(')')?;
+                    break;
+                }
+                _ => return Err(c.error("expected `,` or `)` in head".into())),
+            }
+        }
+    }
+    q.set_head(head);
+
+    c.eat_str(":-")?;
+
+    loop {
+        let atom = parse_atom(&mut c, &mut q)?;
+        q.push_atom(atom);
+        c.skip_ws();
+        if c.peek() == Some(',') {
+            c.eat(',')?;
+        } else {
+            break;
+        }
+    }
+    c.skip_ws();
+    if !c.rest().is_empty() {
+        return Err(c.error(format!("trailing input `{}`", c.rest())));
+    }
+    if q.atoms().is_empty() {
+        return Err(c.error("query has no body atoms".into()));
+    }
+    Ok(q)
+}
+
+fn parse_atom(c: &mut Cursor, q: &mut ConjunctiveQuery) -> Result<Atom, EngineError> {
+    let rel = c.ident()?.to_string();
+    let nature = if c.peek() == Some('^') {
+        c.eat('^')?;
+        match c.peek() {
+            Some('n') => {
+                c.eat('n')?;
+                Nature::Endo
+            }
+            Some('x') => {
+                c.eat('x')?;
+                Nature::Exo
+            }
+            _ => return Err(c.error("expected `n` or `x` after `^`".into())),
+        }
+    } else {
+        Nature::Any
+    };
+    c.eat('(')?;
+    let mut terms = Vec::new();
+    if c.peek() == Some(')') {
+        c.eat(')')?;
+        return Ok(Atom::new(rel, nature, terms));
+    }
+    loop {
+        terms.push(parse_term(c, q)?);
+        match c.peek() {
+            Some(',') => c.eat(',')?,
+            Some(')') => {
+                c.eat(')')?;
+                break;
+            }
+            _ => return Err(c.error("expected `,` or `)` in atom".into())),
+        }
+    }
+    Ok(Atom::new(rel, nature, terms))
+}
+
+fn parse_term(c: &mut Cursor, q: &mut ConjunctiveQuery) -> Result<Term, EngineError> {
+    match c.peek() {
+        Some('\'') => {
+            c.eat('\'')?;
+            let rest = c.rest();
+            let end = rest
+                .find('\'')
+                .ok_or_else(|| c.error("unterminated string constant".into()))?;
+            let s = &rest[..end];
+            c.pos += end;
+            c.eat('\'')?;
+            Ok(Term::Const(Value::str(s)))
+        }
+        Some(ch) if ch.is_ascii_digit() || ch == '-' => {
+            c.skip_ws();
+            let rest = c.rest();
+            let end = rest
+                .char_indices()
+                .skip(1)
+                .find(|(_, d)| !d.is_ascii_digit())
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let text = &rest[..end];
+            let n: i64 = text
+                .parse()
+                .map_err(|_| c.error(format!("bad integer `{text}`")))?;
+            c.pos += end;
+            Ok(Term::Const(Value::int(n)))
+        }
+        Some(ch) if ch.is_alphabetic() || ch == '_' => {
+            let name = c.ident()?;
+            Ok(Term::Var(q.var(name)))
+        }
+        _ => Err(c.error("expected term".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse_query("q(x) :- R(x, y), S(y)").unwrap();
+        assert_eq!(q.name(), "q");
+        assert_eq!(q.head().len(), 1);
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.to_string(), "q(x) :- R(x, y), S(y)");
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("h2 :- R^n(x,y), S^n(y,z), T^n(z,x)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms()[0].nature, Nature::Endo);
+        assert_eq!(q.to_string(), "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)");
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_query("q :- R(x, 'a3'), S('a3'), T(-7)").unwrap();
+        assert_eq!(q.atoms()[0].terms[1], Term::Const(Value::str("a3")));
+        assert_eq!(q.atoms()[2].terms[0], Term::Const(Value::int(-7)));
+    }
+
+    #[test]
+    fn parses_exogenous_marker() {
+        let q = parse_query("q :- R^x(x, y), S(y)").unwrap();
+        assert_eq!(q.atoms()[0].nature, Nature::Exo);
+        assert_eq!(q.atoms()[1].nature, Nature::Any);
+    }
+
+    #[test]
+    fn shared_variables_are_interned_once() {
+        let q = parse_query("q :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(q.var_count(), 3);
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("q:-R(x,y),S(y)").unwrap();
+        let b = parse_query("  q  :-  R( x , y ) , S( y )  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("q(x)").is_err(), "missing body");
+        assert!(parse_query("q :- ").is_err(), "empty body");
+        assert!(parse_query("q :- R(x").is_err(), "unclosed paren");
+        assert!(parse_query("q :- R(x,)").is_err(), "dangling comma");
+        assert!(parse_query("q :- R^z(x)").is_err(), "bad nature");
+        assert!(parse_query("q :- R('abc)").is_err(), "unterminated string");
+        assert!(parse_query("q :- R(x) extra").is_err(), "trailing input");
+        assert!(parse_query("1q :- R(x)").is_err(), "bad identifier");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for text in [
+            "q(x) :- R(x, y), S(y)",
+            "h1 :- A^n(x), B^n(y), C^n(z), W(x, y, z)",
+            "g :- R(x, 'lit'), S(3, x)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let q2 = parse_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Tuple storage for one relation.
+//!
+//! A relation is an append-only store of distinct tuples, each carrying an
+//! *endogenous* flag. Per the paper (Sect. 1, item (1)), the partition into
+//! endogenous and exogenous tuples "is not restricted to entire relations" —
+//! so the flag lives on the tuple, not on the relation.
+
+use crate::schema::Schema;
+use crate::tuple::{RowId, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One relation instance: schema plus stored tuples with endogenous flags.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    endo: Vec<bool>,
+    /// Exact-tuple lookup, used for duplicate elimination and membership.
+    by_tuple: HashMap<Tuple, RowId>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            endo: Vec::new(),
+            by_tuple: HashMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Relation name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple with the given endogenous flag. Returns its row and
+    /// whether it was newly inserted (`false` if it was already present —
+    /// in that case the stored flag is left unchanged).
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the schema.
+    pub fn insert(&mut self, tuple: Tuple, endogenous: bool) -> (RowId, bool) {
+        assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "arity mismatch inserting into {}",
+            self.schema.name()
+        );
+        if let Some(&row) = self.by_tuple.get(&tuple) {
+            return (row, false);
+        }
+        let row = RowId(self.rows.len() as u32);
+        self.by_tuple.insert(tuple.clone(), row);
+        self.rows.push(tuple);
+        self.endo.push(endogenous);
+        (row, true)
+    }
+
+    /// The tuple stored at `row`.
+    pub fn tuple(&self, row: RowId) -> &Tuple {
+        &self.rows[row.0 as usize]
+    }
+
+    /// Whether the tuple at `row` is endogenous.
+    pub fn is_endogenous(&self, row: RowId) -> bool {
+        self.endo[row.0 as usize]
+    }
+
+    /// Set the endogenous flag of one row.
+    pub fn set_endogenous(&mut self, row: RowId, endogenous: bool) {
+        self.endo[row.0 as usize] = endogenous;
+    }
+
+    /// Set every tuple's endogenous flag.
+    pub fn set_all_endogenous(&mut self, endogenous: bool) {
+        self.endo.iter_mut().for_each(|e| *e = endogenous);
+    }
+
+    /// Set flags for every tuple matching `pred`.
+    pub fn set_endogenous_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool, endogenous: bool) {
+        for (i, t) in self.rows.iter().enumerate() {
+            if pred(t) {
+                self.endo[i] = endogenous;
+            }
+        }
+    }
+
+    /// Find the row holding exactly `tuple`, if present.
+    pub fn find(&self, tuple: &Tuple) -> Option<RowId> {
+        self.by_tuple.get(tuple).copied()
+    }
+
+    /// Iterate over `(row, tuple, endogenous)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple, bool)> {
+        self.rows
+            .iter()
+            .zip(self.endo.iter())
+            .enumerate()
+            .map(|(i, (t, &e))| (RowId(i as u32), t, e))
+    }
+
+    /// Number of endogenous tuples.
+    pub fn endogenous_count(&self) -> usize {
+        self.endo.iter().filter(|&&e| e).count()
+    }
+
+    /// Collect the distinct values appearing in column `col`.
+    pub fn column_values(&self, col: usize) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.rows.iter().map(|t| t[col].clone()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn rel() -> Relation {
+        Relation::new(Schema::new("R", &["x", "y"]))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = rel();
+        let (row, fresh) = r.insert(tup!["a", "b"], true);
+        assert!(fresh);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuple(row), &tup!["a", "b"]);
+        assert!(r.is_endogenous(row));
+        assert_eq!(r.find(&tup!["a", "b"]), Some(row));
+        assert_eq!(r.find(&tup!["a", "c"]), None);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut r = rel();
+        let (row1, fresh1) = r.insert(tup![1, 2], true);
+        let (row2, fresh2) = r.insert(tup![1, 2], false);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(row1, row2);
+        assert_eq!(r.len(), 1);
+        // Original flag preserved.
+        assert!(r.is_endogenous(row1));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        rel().insert(tup![1], true);
+    }
+
+    #[test]
+    fn endogenous_flag_management() {
+        let mut r = rel();
+        r.insert(tup![1, 1], false);
+        r.insert(tup![2, 2], false);
+        r.insert(tup![3, 3], false);
+        assert_eq!(r.endogenous_count(), 0);
+
+        r.set_all_endogenous(true);
+        assert_eq!(r.endogenous_count(), 3);
+
+        r.set_endogenous_where(|t| t[0].as_int() == Some(2), false);
+        assert_eq!(r.endogenous_count(), 2);
+        assert!(!r.is_endogenous(RowId(1)));
+
+        r.set_endogenous(RowId(1), true);
+        assert_eq!(r.endogenous_count(), 3);
+    }
+
+    #[test]
+    fn column_values_sorted_distinct() {
+        let mut r = rel();
+        r.insert(tup![2, 9], true);
+        r.insert(tup![1, 9], true);
+        r.insert(tup![2, 8], true);
+        assert_eq!(r.column_values(0), vec![Value::int(1), Value::int(2)]);
+        assert_eq!(r.column_values(1), vec![Value::int(8), Value::int(9)]);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut r = rel();
+        r.insert(tup![1, 1], true);
+        r.insert(tup![2, 2], false);
+        let collected: Vec<_> = r.iter().map(|(_, t, e)| (t.clone(), e)).collect();
+        assert_eq!(collected, vec![(tup![1, 1], true), (tup![2, 2], false)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Relation schemas.
+
+use std::fmt;
+
+/// The schema of a relation: its name and attribute names.
+///
+/// Attribute names are purely descriptive (queries bind by position, as in
+/// the paper's `R(x, y)` notation), but they make printed instances and
+/// generated SQL readable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from a relation name and attribute names.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Self {
+        Schema {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| (*a).to_string()).collect(),
+        }
+    }
+
+    /// Build a schema with anonymous attributes `a0..a{arity-1}`.
+    pub fn anon(name: impl Into<String>, arity: usize) -> Self {
+        Schema {
+            name: name.into(),
+            attrs: (0..arity).map(|i| format!("a{i}")).collect(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of a named attribute, if present.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_schema() {
+        let s = Schema::new("Movie", &["mid", "name", "year", "rank"]);
+        assert_eq!(s.name(), "Movie");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_index("year"), Some(2));
+        assert_eq!(s.attr_index("nope"), None);
+        assert_eq!(s.to_string(), "Movie(mid, name, year, rank)");
+    }
+
+    #[test]
+    fn anonymous_schema() {
+        let s = Schema::anon("W", 3);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attrs(), &["a0".to_string(), "a1".into(), "a2".into()]);
+    }
+}

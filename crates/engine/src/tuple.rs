@@ -1,0 +1,172 @@
+//! Tuples and tuple identities.
+//!
+//! Def. 3.1 of the paper associates a distinct Boolean variable `X_t` with
+//! every tuple `t ∈ D`. [`TupleRef`] is that identity: a stable
+//! (relation, row) coordinate that the lineage crate uses as its variable
+//! type and that contingency sets `Γ` (Def. 2.1) are sets of.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Deref;
+
+/// Identifier of a relation within a [`Database`](crate::Database).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+/// Index of a row within its relation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RowId(pub u32);
+
+/// Stable identity of a stored tuple — the Boolean variable `X_t`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleRef {
+    /// Relation the tuple belongs to.
+    pub rel: RelId,
+    /// Row inside that relation.
+    pub row: RowId,
+}
+
+impl TupleRef {
+    /// Build a tuple reference from raw indices.
+    pub fn new(rel: u32, row: u32) -> Self {
+        TupleRef {
+            rel: RelId(rel),
+            row: RowId(row),
+        }
+    }
+}
+
+impl fmt::Debug for TupleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.rel.0, self.row.0)
+    }
+}
+
+/// An immutable tuple of [`Value`]s.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple(values.into().into_boxed_slice())
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro building a [`Tuple`] from heterogeneous literals.
+///
+/// ```
+/// use causality_engine::tup;
+/// let t = tup!["burton", 2007];
+/// assert_eq!(t.arity(), 2);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_basics() {
+        let t = tup!["a", 1, "b"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::str("a"));
+        assert_eq!(t[1], Value::int(1));
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = tup![10, 20, 30];
+        assert_eq!(t.project(&[2, 0, 0]), tup![30, 10, 10]);
+        assert_eq!(t.project(&[]), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn tuple_ref_ordering() {
+        let a = TupleRef::new(0, 5);
+        let b = TupleRef::new(1, 0);
+        let c = TupleRef::new(0, 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = tup!["x", 3];
+        assert_eq!(t.to_string(), "(x, 3)");
+        assert_eq!(format!("{t:?}"), "(\"x\", 3)");
+        assert_eq!(format!("{:?}", TupleRef::new(2, 9)), "t2.9");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tuple = (0..3).map(Value::from).collect();
+        assert_eq!(t, tup![0, 1, 2]);
+    }
+}

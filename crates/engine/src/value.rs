@@ -1,0 +1,156 @@
+//! Attribute values.
+//!
+//! The paper's constructions only need an ordered, hashable domain with
+//! integers (gadget coordinates, ids) and strings (names, genres). Strings
+//! are reference-counted so that cloning tuples during join evaluation is
+//! cheap.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value: a 64-bit integer or an interned string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer constant.
+    Int(i64),
+    /// String constant (cheaply cloneable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Value::int(7);
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(v.as_str(), None);
+
+        let s = Value::str("burton");
+        assert_eq!(s.as_str(), Some("burton"));
+        assert_eq!(s.as_int(), None);
+    }
+
+    #[test]
+    fn equality_across_kinds() {
+        assert_ne!(Value::int(1), Value::str("1"));
+        assert_eq!(Value::str("a"), Value::from("a"));
+        assert_eq!(Value::from(5i64), Value::int(5));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        vs.sort();
+        // Ints sort before strings (enum variant order), each kind internally ordered.
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn hashing_matches_equality() {
+        let mut set = HashSet::new();
+        set.insert(Value::str("x"));
+        set.insert(Value::str("x"));
+        set.insert(Value::int(3));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&Value::from("x")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("Sweeney Todd").to_string(), "Sweeney Todd");
+        assert_eq!(format!("{:?}", Value::str("a")), "\"a\"");
+    }
+
+    #[test]
+    fn cheap_clone_shares_storage() {
+        let a = Value::str("a fairly long string value");
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("expected strings"),
+        }
+    }
+}

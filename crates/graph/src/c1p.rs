@@ -1,0 +1,244 @@
+//! The consecutive-ones property (C1P).
+//!
+//! Def. 4.4: a hypergraph is **linear** if there is a total order of its
+//! vertices in which every hyperedge is a consecutive block; a query is
+//! linear if its dual hypergraph (Def. 4.3) is. Deciding this is the
+//! classic *consecutive ones property* of the vertex/edge incidence matrix.
+//!
+//! Query hypergraphs are tiny (one vertex per atom), so the workhorse here
+//! is a pruned backtracking search that also returns a witness order. An
+//! edge-state automaton (untouched → open → closed) prunes branches as soon
+//! as a hyperedge would have to be interrupted, which makes the search fast
+//! in practice even though it is worst-case exponential.
+
+/// Whether every edge (bitset over positions) is consecutive in `order`.
+///
+/// `order[i]` is the vertex placed at position `i`.
+pub fn is_consecutive_under(edges: &[u64], order: &[usize]) -> bool {
+    for &edge in edges {
+        let mut first: Option<usize> = None;
+        let mut last: Option<usize> = None;
+        let mut count = 0usize;
+        for (pos, &v) in order.iter().enumerate() {
+            if edge & (1u64 << v) != 0 {
+                if first.is_none() {
+                    first = Some(pos);
+                }
+                last = Some(pos);
+                count += 1;
+            }
+        }
+        match (first, last) {
+            (Some(f), Some(l))
+                if l - f + 1 != count => {
+                    return false;
+                }
+            _ => {} // empty edge: trivially consecutive
+        }
+    }
+    true
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EdgeState {
+    Untouched,
+    Open,
+    Closed,
+}
+
+/// Find a vertex order on `0..n` in which every edge is consecutive, if one
+/// exists. Returns the witness order.
+pub fn c1p_order(n: usize, edges: &[u64]) -> Option<Vec<usize>> {
+    assert!(n <= 64, "at most 64 vertices supported");
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut states = vec![EdgeState::Untouched; edges.len()];
+    if place(n, edges, &mut order, &mut used, &mut states) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether the hypergraph has the consecutive-ones property.
+pub fn has_c1p(n: usize, edges: &[u64]) -> bool {
+    c1p_order(n, edges).is_some()
+}
+
+fn place(
+    n: usize,
+    edges: &[u64],
+    order: &mut Vec<usize>,
+    used: &mut [bool],
+    states: &mut [EdgeState],
+) -> bool {
+    if order.len() == n {
+        return true;
+    }
+    for v in 0..n {
+        if used[v] {
+            continue;
+        }
+        // Simulate placing v; record state changes for rollback.
+        let bit = 1u64 << v;
+        let mut changes: Vec<(usize, EdgeState)> = Vec::new();
+        let mut ok = true;
+        for (i, &edge) in edges.iter().enumerate() {
+            let contains = edge & bit != 0;
+            match (states[i], contains) {
+                (EdgeState::Closed, true) => {
+                    ok = false;
+                    break;
+                }
+                (EdgeState::Untouched, true) => {
+                    changes.push((i, states[i]));
+                    states[i] = EdgeState::Open;
+                }
+                (EdgeState::Open, false) => {
+                    changes.push((i, states[i]));
+                    states[i] = EdgeState::Closed;
+                }
+                _ => {}
+            }
+        }
+        if ok {
+            used[v] = true;
+            order.push(v);
+            if place(n, edges, order, used, states) {
+                return true;
+            }
+            order.pop();
+            used[v] = false;
+        }
+        for (i, s) in changes {
+            states[i] = s;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_trivial_instances() {
+        assert_eq!(c1p_order(0, &[]), Some(vec![]));
+        assert!(has_c1p(1, &[0b1]));
+        assert!(has_c1p(3, &[])); // no edges: any order works
+    }
+
+    #[test]
+    fn chain_is_c1p() {
+        // Edges {0,1}, {1,2}, {2,3}: the identity order works.
+        let edges = [0b0011, 0b0110, 0b1100];
+        let order = c1p_order(4, &edges).expect("chain has C1P");
+        assert!(is_consecutive_under(&edges, &order));
+    }
+
+    #[test]
+    fn paper_fig5a_linear_query_hypergraph() {
+        // q :- A(x), S1(x,v), S2(v,y), R(y,u), S3(y,z), T(z,w), B(z)
+        // Atoms (vertices): A=0, S1=1, S2=2, R=3, S3=4, T=5, B=6.
+        // Variables (edges): x={A,S1}, v={S1,S2}, y={S2,R,S3}, u={R},
+        // z={S3,T,B}, w={T}.
+        let edges = [
+            0b0000011, // x
+            0b0000110, // v
+            0b0011100, // y
+            0b0001000, // u
+            0b1110000, // z
+            0b0100000, // w
+        ];
+        let order = c1p_order(7, &edges).expect("Fig 5a query is linear");
+        assert!(is_consecutive_under(&edges, &order));
+    }
+
+    #[test]
+    fn paper_fig5b_h1_star_is_not_c1p() {
+        // h1* :- A(x), B(y), C(z), W(x,y,z).
+        // Atoms: A=0, B=1, C=2, W=3. Edges: x={A,W}, y={B,W}, z={C,W}.
+        let edges = [0b1001, 0b1010, 0b1100];
+        assert!(!has_c1p(4, &edges));
+    }
+
+    #[test]
+    fn triangle_h2_star_is_not_c1p() {
+        // h2* :- R(x,y), S(y,z), T(z,x). Atoms R=0,S=1,T=2.
+        // Edges: x={R,T}, y={R,S}, z={S,T}.
+        let edges = [0b101, 0b011, 0b110];
+        // Every pair of the three vertices must be adjacent *and* each edge
+        // has exactly 2 of 3 vertices — any order breaks the edge joining
+        // the two extremes.
+        assert!(!has_c1p(3, &edges));
+    }
+
+    #[test]
+    fn overlapping_blocks() {
+        // Edges {0,1,2}, {1,2,3}: C1P with order 0,1,2,3.
+        assert!(has_c1p(4, &[0b0111, 0b1110]));
+        // Tucker's forbidden configuration M_I(1): the 3-cycle above is the
+        // smallest non-C1P example; adding a universal edge keeps failure.
+        assert!(!has_c1p(3, &[0b101, 0b011, 0b110, 0b111]));
+    }
+
+    #[test]
+    fn witness_order_is_a_permutation() {
+        let edges = [0b01111, 0b11110];
+        let order = c1p_order(5, &edges).unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert!(is_consecutive_under(&edges, &order));
+    }
+
+    #[test]
+    fn is_consecutive_under_detects_gaps() {
+        // Edge {0,2} under order 0,1,2 has a gap.
+        assert!(!is_consecutive_under(&[0b101], &[0, 1, 2]));
+        assert!(is_consecutive_under(&[0b101], &[0, 2, 1]));
+        assert!(is_consecutive_under(&[0b101], &[1, 0, 2]));
+    }
+
+    /// Brute-force cross-check on all hypergraphs with 4 vertices and up to
+    /// 3 edges: the backtracking search agrees with trying all 24 orders.
+    #[test]
+    fn exhaustive_cross_check_small() {
+        let n = 4;
+        let perms = all_permutations(n);
+        let mut checked = 0usize;
+        for e1 in 0u64..16 {
+            for e2 in 0u64..16 {
+                for e3 in [0u64, 0b1011, 0b0111, 0b1101] {
+                    let edges = [e1, e2, e3];
+                    let brute = perms.iter().any(|p| is_consecutive_under(&edges, p));
+                    assert_eq!(has_c1p(n, &edges), brute, "edges {edges:?}");
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, 16 * 16 * 4);
+    }
+
+    fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut items: Vec<usize> = (0..n).collect();
+        permute(&mut items, 0, &mut out);
+        out
+    }
+
+    fn permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Hypergraphs over at most 64 vertices.
+//!
+//! The dichotomy analysis works on the **dual query hypergraph** `H^D(V, E)`
+//! of Def. 4.3: vertices are the query's atoms and there is one hyperedge
+//! per variable, containing the atoms in which the variable occurs. With
+//! conjunctive queries having a handful of atoms, a `u64` bitset per edge
+//! is both the simplest and fastest representation.
+
+use std::fmt;
+
+/// A hypergraph on vertices `0..n` (`n ≤ 64`), edges stored as bitsets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<u64>,
+    edge_labels: Vec<String>,
+}
+
+impl Hypergraph {
+    /// Create a hypergraph with `n` vertices and no edges.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 64, "Hypergraph supports at most 64 vertices");
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+            edge_labels: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a hyperedge given its member vertices; returns its index.
+    pub fn add_edge(&mut self, members: &[usize], label: impl Into<String>) -> usize {
+        let mut bits = 0u64;
+        for &v in members {
+            assert!(v < self.n, "vertex {v} out of range");
+            bits |= 1 << v;
+        }
+        self.edges.push(bits);
+        self.edge_labels.push(label.into());
+        self.edges.len() - 1
+    }
+
+    /// Add a hyperedge from a pre-built bitset.
+    pub fn add_edge_bits(&mut self, bits: u64, label: impl Into<String>) -> usize {
+        assert!(
+            self.n == 64 || bits < (1u64 << self.n),
+            "edge bits out of range"
+        );
+        self.edges.push(bits);
+        self.edge_labels.push(label.into());
+        self.edges.len() - 1
+    }
+
+    /// The bitset of edge `i`.
+    pub fn edge(&self, i: usize) -> u64 {
+        self.edges[i]
+    }
+
+    /// All edge bitsets.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// The label of edge `i`.
+    pub fn edge_label(&self, i: usize) -> &str {
+        &self.edge_labels[i]
+    }
+
+    /// The member vertices of edge `i`, ascending.
+    pub fn edge_members(&self, i: usize) -> Vec<usize> {
+        let bits = self.edges[i];
+        (0..self.n).filter(|&v| bits & (1 << v) != 0).collect()
+    }
+
+    /// Indices of the edges containing vertex `v`.
+    pub fn edges_containing(&self, v: usize) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&i| self.edges[i] & (1 << v) != 0)
+            .collect()
+    }
+
+    /// Whether two vertices share an edge.
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        let mask = (1u64 << u) | (1 << v);
+        self.edges.iter().any(|&e| e & mask == mask)
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Hypergraph on {} vertices:", self.n)?;
+        for i in 0..self.edges.len() {
+            writeln!(
+                f,
+                "  {} = {{{}}}",
+                self.edge_label(i),
+                self.edge_members(i)
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let mut h = Hypergraph::new(4);
+        let e0 = h.add_edge(&[0, 1], "x");
+        let e1 = h.add_edge(&[1, 2, 3], "y");
+        assert_eq!(h.vertex_count(), 4);
+        assert_eq!(h.edge_count(), 2);
+        assert_eq!(h.edge_members(e0), vec![0, 1]);
+        assert_eq!(h.edge_members(e1), vec![1, 2, 3]);
+        assert_eq!(h.edges_containing(1), vec![0, 1]);
+        assert_eq!(h.edges_containing(3), vec![1]);
+        assert_eq!(h.edge_label(0), "x");
+        assert!(h.adjacent(0, 1));
+        assert!(h.adjacent(2, 3));
+        assert!(!h.adjacent(0, 3));
+    }
+
+    #[test]
+    fn bitset_edge_api() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge_bits(0b101, "z");
+        assert_eq!(h.edge_members(0), vec![0, 2]);
+        assert_eq!(h.edge(0), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vertex_bounds_checked() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(&[2], "bad");
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(&[0, 2], "w");
+        let s = h.to_string();
+        assert!(s.contains("w = {0, 2}"));
+    }
+
+    #[test]
+    fn sixty_four_vertices_supported() {
+        let mut h = Hypergraph::new(64);
+        h.add_edge(&[0, 63], "wide");
+        assert_eq!(h.edge_members(0), vec![0, 63]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # causality-graph — graphs, flows and hypergraphs
+//!
+//! Graph-algorithmic substrate for the causality reproduction:
+//!
+//! * [`maxflow`] — flow networks with Edmonds–Karp and Dinic max-flow and
+//!   min-cut extraction. Algorithm 1 of the paper reduces responsibility of
+//!   linear queries to repeated min-cut computations ("the capacity of a
+//!   min-cut can be computed in PTIME using Ford-Fulkerson's algorithm",
+//!   Example 4.2); Theorem 4.15's LOGSPACE argument reduces reachability to
+//!   a four-partite max-flow problem.
+//! * [`hypergraph`] — hypergraphs over ≤ 64 vertices (bitset edges), the
+//!   *dual query hypergraph* representation (Def. 4.3).
+//! * [`c1p`] — the consecutive-ones property: a query is *linear*
+//!   (Def. 4.4) iff its dual hypergraph admits a vertex order in which
+//!   every hyperedge is consecutive.
+//! * [`cover`] — exact minimum vertex cover for graphs and for 3-partite
+//!   3-uniform hypergraphs (the NP-hard source problems of Theorem 4.1 and
+//!   Proposition 4.16), used as test oracles for the reductions.
+//! * [`ugraph`] — undirected graphs with BFS reachability (the UGAP
+//!   problem that anchors Theorem 4.15's LOGSPACE chain).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c1p;
+pub mod cover;
+pub mod hypergraph;
+pub mod maxflow;
+pub mod ugraph;
+
+pub use c1p::{c1p_order, is_consecutive_under};
+pub use cover::{min_hypergraph_cover_3p, min_vertex_cover};
+pub use hypergraph::Hypergraph;
+pub use maxflow::{FlowAlgorithm, FlowNetwork, INF};
+pub use ugraph::UGraph;

@@ -1,0 +1,422 @@
+//! Flow networks with max-flow / min-cut.
+//!
+//! Algorithm 1 of the paper computes the responsibility of a tuple for a
+//! linear query by repeated min-cut computations on a layered network whose
+//! edges are database tuples: endogenous tuples get capacity 1, exogenous
+//! tuples capacity ∞, and the tuple under scrutiny capacity 0 (Example
+//! 4.2). The min-cut *value* is then exactly the size of the minimum
+//! contingency set `Γ`.
+//!
+//! Two algorithms are provided — Edmonds–Karp (the textbook realisation of
+//! the paper's "Ford–Fulkerson" reference) and Dinic — which must agree on
+//! every network; the bench suite ablates one against the other.
+
+use std::collections::VecDeque;
+
+/// Effectively-infinite capacity. Large enough that summing every edge of
+/// any realistic network cannot overflow, and excluded from min-cuts.
+pub const INF: u64 = u64::MAX / 8;
+
+/// Which augmenting strategy to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowAlgorithm {
+    /// BFS augmenting paths (Edmonds–Karp).
+    EdmondsKarp,
+    /// Level graphs + blocking flows (Dinic).
+    Dinic,
+}
+
+/// Handle to an edge added via [`FlowNetwork::add_edge`], usable to change
+/// its capacity and to identify it in a min-cut.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeHandle(pub usize);
+
+#[derive(Clone, Debug)]
+struct HalfEdge {
+    to: usize,
+    /// Residual capacity during a run.
+    cap: u64,
+}
+
+/// A directed flow network under construction. Capacities may be changed
+/// between runs; each [`FlowNetwork::max_flow`] call works on a scratch
+/// copy so the builder stays pristine.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    node_count: usize,
+    /// Interleaved half-edges: forward at `2i`, reverse at `2i + 1`.
+    halves: Vec<HalfEdge>,
+    adj: Vec<Vec<usize>>,
+    caps: Vec<u64>,
+}
+
+/// Result of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The max-flow value == min-cut capacity.
+    pub value: u64,
+    /// Edges of one minimum cut (source-side → sink-side saturated edges).
+    pub min_cut: Vec<EdgeHandle>,
+}
+
+impl FlowNetwork {
+    /// Create a network with `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        FlowNetwork {
+            node_count,
+            halves: Vec::new(),
+            adj: vec![Vec::new(); node_count],
+            caps: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of (forward) edges.
+    pub fn edge_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Append a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.node_count += 1;
+        self.node_count - 1
+    }
+
+    /// Add a directed edge `from → to` with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeHandle {
+        assert!(from < self.node_count && to < self.node_count, "node out of range");
+        let idx = self.caps.len();
+        self.halves.push(HalfEdge { to, cap });
+        self.halves.push(HalfEdge { to: from, cap: 0 });
+        self.adj[from].push(2 * idx);
+        self.adj[to].push(2 * idx + 1);
+        self.caps.push(cap);
+        EdgeHandle(idx)
+    }
+
+    /// Change the capacity of an edge (affects subsequent runs).
+    pub fn set_capacity(&mut self, edge: EdgeHandle, cap: u64) {
+        self.caps[edge.0] = cap;
+    }
+
+    /// Current capacity of an edge.
+    pub fn capacity(&self, edge: EdgeHandle) -> u64 {
+        self.caps[edge.0]
+    }
+
+    /// The endpoints `(from, to)` of an edge.
+    pub fn endpoints(&self, edge: EdgeHandle) -> (usize, usize) {
+        let to = self.halves[2 * edge.0].to;
+        let from = self.halves[2 * edge.0 + 1].to;
+        (from, to)
+    }
+
+    /// Compute the max flow from `source` to `sink`.
+    pub fn max_flow(&self, source: usize, sink: usize, algo: FlowAlgorithm) -> FlowResult {
+        let mut run = Run {
+            halves: self.halves.clone(),
+            adj: &self.adj,
+        };
+        // Load current capacities into the scratch halves.
+        for (i, &c) in self.caps.iter().enumerate() {
+            run.halves[2 * i].cap = c;
+            run.halves[2 * i + 1].cap = 0;
+        }
+        let value = match algo {
+            FlowAlgorithm::EdmondsKarp => run.edmonds_karp(source, sink),
+            FlowAlgorithm::Dinic => run.dinic(source, sink),
+        };
+        // Min cut: forward edges from the residual-reachable side to the rest.
+        let reachable = run.residual_reachable(source);
+        let mut min_cut = Vec::new();
+        for i in 0..self.caps.len() {
+            let (from, to) = self.endpoints(EdgeHandle(i));
+            if reachable[from] && !reachable[to] && self.caps[i] > 0 {
+                min_cut.push(EdgeHandle(i));
+            }
+        }
+        FlowResult { value, min_cut }
+    }
+}
+
+struct Run<'a> {
+    halves: Vec<HalfEdge>,
+    adj: &'a [Vec<usize>],
+}
+
+impl Run<'_> {
+    fn edmonds_karp(&mut self, source: usize, sink: usize) -> u64 {
+        let mut flow = 0u64;
+        loop {
+            // BFS for the shortest augmenting path.
+            let mut pred: Vec<Option<usize>> = vec![None; self.adj.len()];
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            let mut seen = vec![false; self.adj.len()];
+            seen[source] = true;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &h in &self.adj[u] {
+                    let e = &self.halves[h];
+                    if e.cap > 0 && !seen[e.to] {
+                        seen[e.to] = true;
+                        pred[e.to] = Some(h);
+                        if e.to == sink {
+                            break 'bfs;
+                        }
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !seen[sink] {
+                return flow;
+            }
+            // Find bottleneck and augment.
+            let mut bottleneck = u64::MAX;
+            let mut v = sink;
+            while v != source {
+                let h = pred[v].expect("path exists");
+                bottleneck = bottleneck.min(self.halves[h].cap);
+                v = self.halves[h ^ 1].to;
+            }
+            let mut v = sink;
+            while v != source {
+                let h = pred[v].expect("path exists");
+                self.halves[h].cap -= bottleneck;
+                self.halves[h ^ 1].cap += bottleneck;
+                v = self.halves[h ^ 1].to;
+            }
+            flow += bottleneck;
+        }
+    }
+
+    fn dinic(&mut self, source: usize, sink: usize) -> u64 {
+        let n = self.adj.len();
+        let mut flow = 0u64;
+        loop {
+            // Build level graph.
+            let mut level = vec![usize::MAX; n];
+            level[source] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            while let Some(u) = queue.pop_front() {
+                for &h in &self.adj[u] {
+                    let e = &self.halves[h];
+                    if e.cap > 0 && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] == usize::MAX {
+                return flow;
+            }
+            // Blocking flow with iteration pointers.
+            let mut iter = vec![0usize; n];
+            loop {
+                let pushed = self.dfs_push(source, sink, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        sink: usize,
+        limit: u64,
+        level: &[usize],
+        iter: &mut [usize],
+    ) -> u64 {
+        if u == sink {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let h = self.adj[u][iter[u]];
+            let (to, cap) = {
+                let e = &self.halves[h];
+                (e.to, e.cap)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs_push(to, sink, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.halves[h].cap -= pushed;
+                    self.halves[h ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    fn residual_reachable(&self, source: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        seen[source] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &h in &self.adj[u] {
+                let e = &self.halves[h];
+                if e.cap > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(net: &FlowNetwork, s: usize, t: usize) -> u64 {
+        let a = net.max_flow(s, t, FlowAlgorithm::EdmondsKarp);
+        let b = net.max_flow(s, t, FlowAlgorithm::Dinic);
+        assert_eq!(a.value, b.value, "Edmonds–Karp and Dinic must agree");
+        a.value
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5);
+        assert_eq!(both(&net, 0, 1), 5);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(both(&net, 0, 5), 23);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        assert_eq!(both(&net, 0, 1), 5);
+    }
+
+    #[test]
+    fn disconnected_network_has_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(2, 3, 10);
+        assert_eq!(both(&net, 0, 3), 0);
+    }
+
+    #[test]
+    fn min_cut_edges_separate_source_from_sink() {
+        // Diamond: s→a (1), s→b (1), a→t (INF), b→t (INF). Cut = the two
+        // unit edges.
+        let mut net = FlowNetwork::new(4);
+        let e1 = net.add_edge(0, 1, 1);
+        let e2 = net.add_edge(0, 2, 1);
+        net.add_edge(1, 3, INF);
+        net.add_edge(2, 3, INF);
+        let result = net.max_flow(0, 3, FlowAlgorithm::Dinic);
+        assert_eq!(result.value, 2);
+        let mut cut = result.min_cut.clone();
+        cut.sort();
+        assert_eq!(cut, vec![e1, e2]);
+    }
+
+    #[test]
+    fn infinite_capacities_never_cut() {
+        // s→a INF, a→t 1: cut must be the unit edge.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, INF);
+        let unit = net.add_edge(1, 2, 1);
+        let result = net.max_flow(0, 2, FlowAlgorithm::EdmondsKarp);
+        assert_eq!(result.value, 1);
+        assert_eq!(result.min_cut, vec![unit]);
+    }
+
+    #[test]
+    fn zero_capacity_edges_are_free_to_cut() {
+        // Example 4.2's trick: the tuple under scrutiny gets capacity 0, so
+        // cutting it costs nothing.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 0);
+        net.add_edge(1, 2, 7);
+        let result = net.max_flow(0, 2, FlowAlgorithm::Dinic);
+        assert_eq!(result.value, 0);
+    }
+
+    #[test]
+    fn capacity_updates_apply_to_next_run() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 1);
+        assert_eq!(both(&net, 0, 1), 1);
+        net.set_capacity(e, 9);
+        assert_eq!(net.capacity(e), 9);
+        assert_eq!(both(&net, 0, 1), 9);
+        assert_eq!(net.endpoints(e), (0, 1));
+    }
+
+    #[test]
+    fn layered_tuple_network_like_example_4_2() {
+        // R(x,y), S(y,z) with R = {(x1,y1),(x1,y2)}, S = {(y1,z1),(y2,z1)}.
+        // Nodes: s=0, x1=1, y1=2, y2=3, z1=4, t=5.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, INF);
+        net.add_edge(1, 2, 1); // R(x1,y1)
+        net.add_edge(1, 3, 1); // R(x1,y2)
+        net.add_edge(2, 4, 1); // S(y1,z1)
+        net.add_edge(3, 4, 1); // S(y2,z1)
+        net.add_edge(4, 5, INF);
+        // Two disjoint tuple paths → flow 2; removing any 2 tuples cutting
+        // both paths kills the query.
+        assert_eq!(both(&net, 0, 5), 2);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut net = FlowNetwork::new(1);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_edge(a, b, 3);
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(both(&net, a, b), 3);
+    }
+
+    #[test]
+    fn large_grid_agreement() {
+        // 5x5 grid from corner to corner, unit capacities; EK and Dinic agree.
+        let n = 5usize;
+        let id = |r: usize, c: usize| r * n + c;
+        let mut net = FlowNetwork::new(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                if r + 1 < n {
+                    net.add_edge(id(r, c), id(r + 1, c), 1);
+                }
+                if c + 1 < n {
+                    net.add_edge(id(r, c), id(r, c + 1), 1);
+                }
+            }
+        }
+        assert_eq!(both(&net, id(0, 0), id(n - 1, n - 1)), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Undirected graphs and reachability (UGAP).
+//!
+//! Theorem 4.15's LOGSPACE-hardness chain starts from the Undirected Graph
+//! Accessibility Problem: given `G = (V, E)` and nodes `a, b`, is there a
+//! path from `a` to `b`? This module supplies the graph type, BFS
+//! reachability, and the bipartite incidence construction (UGAP → BGAP)
+//! used as the first reduction step.
+
+use std::collections::VecDeque;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct UGraph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl UGraph {
+    /// Create a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list, in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge out of range");
+        self.adj[u].push(v);
+        if u != v {
+            self.adj[v].push(u);
+        }
+        self.edges.push((u, v));
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// BFS reachability: is there a path from `a` to `b`? (UGAP.)
+    pub fn reachable(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        seen[a] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adj[u] {
+                if w == b {
+                    return true;
+                }
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// The **incidence bipartition** used by the paper's UGAP → BGAP step:
+    /// left side `X = V`, right side `Y = E ∪ {c}` where `c` is a fresh
+    /// node, with edges `(x, (x,y))`, `(y, (x,y))` for every original edge,
+    /// plus `(b, c)`. There is a path `a → b` in `G` iff there is a path
+    /// `a → c` in the bipartite graph.
+    ///
+    /// Returns `(bipartite graph, left_size, a', c')` where vertices
+    /// `0..left_size` are `X` and the rest are `Y`; `a' = a` and `c'` is the
+    /// fresh target node.
+    pub fn to_bgap(&self, a: usize, b: usize) -> (UGraph, usize, usize, usize) {
+        let left = self.n;
+        let right = self.edges.len() + 1;
+        let mut bg = UGraph::new(left + right);
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            let edge_node = left + i;
+            bg.add_edge(u, edge_node);
+            bg.add_edge(v, edge_node);
+        }
+        let c = left + self.edges.len();
+        bg.add_edge(b, c);
+        (bg, left, a, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_basics() {
+        let mut g = UGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        assert!(g.reachable(0, 2));
+        assert!(g.reachable(2, 0), "undirected");
+        assert!(!g.reachable(0, 3));
+        assert!(g.reachable(4, 4), "trivially reachable from itself");
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let mut g = UGraph::new(2);
+        g.add_edge(0, 0);
+        assert!(!g.reachable(0, 1));
+        g.add_edge(0, 1);
+        assert!(g.reachable(0, 1));
+    }
+
+    #[test]
+    fn bgap_preserves_reachability_positive() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let (bg, left, a, c) = g.to_bgap(0, 3);
+        assert_eq!(left, 4);
+        assert!(bg.reachable(a, c));
+    }
+
+    #[test]
+    fn bgap_preserves_reachability_negative() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let (bg, _, a, c) = g.to_bgap(0, 3);
+        assert!(!bg.reachable(a, c));
+    }
+
+    #[test]
+    fn bgap_is_bipartite() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let (bg, left, _, _) = g.to_bgap(0, 2);
+        // Every edge of the bipartite graph crosses the partition.
+        for &(u, v) in bg.edges() {
+            assert!((u < left) != (v < left), "edge ({u},{v}) stays inside a side");
+        }
+    }
+
+    #[test]
+    fn bgap_agrees_with_ugap_on_random_graphs() {
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..30 {
+            let n = 6;
+            let mut g = UGraph::new(n);
+            let m = next() % 8;
+            for _ in 0..m {
+                g.add_edge(next() % n, next() % n);
+            }
+            let a = next() % n;
+            let b = next() % n;
+            if a == b {
+                continue;
+            }
+            let (bg, _, a2, c) = g.to_bgap(a, b);
+            assert_eq!(g.reachable(a, b), bg.reachable(a2, c));
+        }
+    }
+}

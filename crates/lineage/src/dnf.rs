@@ -1,0 +1,351 @@
+//! Positive Boolean expressions in DNF over tuple variables.
+//!
+//! The paper (Sect. 3) works with positive DNFs like
+//! `Φ = X1X3 ∨ X1X2X3 ∨ X1X4` and relies on three operations:
+//!
+//! * **restriction** `Φ[X := true]` / `Φ[X := false]`,
+//! * **satisfiability** — "a positive DNF is satisfiable if it has at
+//!   least one conjunct; otherwise it is equivalent to false",
+//! * **redundancy removal** — "a conjunct c is redundant if there exists
+//!   another conjunct c′ that is a strict subset of c".
+//!
+//! One corner case deserves care: restriction with `true` may empty a
+//! conjunct, making the whole DNF a tautology. An empty conjunct is kept
+//! explicitly; it subsumes every other conjunct during minimization, which
+//! is exactly the behaviour Theorem 3.2 needs (a tautological n-lineage has
+//! no causes).
+
+use causality_engine::TupleRef;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunct `X_{t1} ∧ … ∧ X_{tk}`: a set of tuple variables.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Conjunct(BTreeSet<TupleRef>);
+
+impl Conjunct {
+    /// Build a conjunct from tuple variables (duplicates collapse).
+    pub fn new(vars: impl IntoIterator<Item = TupleRef>) -> Self {
+        Conjunct(vars.into_iter().collect())
+    }
+
+    /// The empty conjunct (the constant `true`).
+    pub fn empty() -> Self {
+        Conjunct(BTreeSet::new())
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty conjunct (constant `true`).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the conjunct mentions `t`.
+    pub fn contains(&self, t: TupleRef) -> bool {
+        self.0.contains(&t)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Conjunct) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Whether `self ⊂ other` strictly.
+    pub fn is_strict_subset(&self, other: &Conjunct) -> bool {
+        self.0.len() < other.0.len() && self.0.is_subset(&other.0)
+    }
+
+    /// Iterate over the variables.
+    pub fn vars(&self) -> impl Iterator<Item = TupleRef> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Whether the conjunct intersects the given set.
+    pub fn intersects(&self, set: &BTreeSet<TupleRef>) -> bool {
+        self.0.iter().any(|t| set.contains(t))
+    }
+
+    /// Remove all variables in `set` (restriction with `true`).
+    pub fn without(&self, set: &BTreeSet<TupleRef>) -> Conjunct {
+        Conjunct(self.0.iter().filter(|t| !set.contains(t)).copied().collect())
+    }
+
+    /// The underlying set.
+    pub fn as_set(&self) -> &BTreeSet<TupleRef> {
+        &self.0
+    }
+}
+
+impl FromIterator<TupleRef> for Conjunct {
+    fn from_iter<I: IntoIterator<Item = TupleRef>>(iter: I) -> Self {
+        Conjunct::new(iter)
+    }
+}
+
+/// A positive DNF `c1 ∨ … ∨ cn`. The empty DNF is `false`; a DNF
+/// containing the empty conjunct is `true`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Dnf {
+    conjuncts: Vec<Conjunct>,
+}
+
+impl Dnf {
+    /// The constant `false` (no conjuncts).
+    pub fn unsatisfiable() -> Self {
+        Dnf::default()
+    }
+
+    /// Build a DNF from conjuncts (kept as given; call
+    /// [`Dnf::minimized`] to remove redundancy).
+    pub fn new(conjuncts: Vec<Conjunct>) -> Self {
+        Dnf { conjuncts }
+    }
+
+    /// The conjuncts.
+    pub fn conjuncts(&self) -> &[Conjunct] {
+        &self.conjuncts
+    }
+
+    /// Add one conjunct.
+    pub fn push(&mut self, c: Conjunct) {
+        self.conjuncts.push(c);
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// Whether there are no conjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Satisfiability of a positive DNF: at least one conjunct.
+    pub fn is_satisfiable(&self) -> bool {
+        !self.conjuncts.is_empty()
+    }
+
+    /// Whether the DNF is the constant `true` (contains an empty conjunct).
+    pub fn is_tautology(&self) -> bool {
+        self.conjuncts.iter().any(Conjunct::is_empty)
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> BTreeSet<TupleRef> {
+        self.conjuncts.iter().flat_map(|c| c.vars()).collect()
+    }
+
+    /// Whether variable `t` occurs anywhere.
+    pub fn mentions(&self, t: TupleRef) -> bool {
+        self.conjuncts.iter().any(|c| c.contains(t))
+    }
+
+    /// Evaluate under a truth assignment.
+    pub fn evaluate(&self, truth: impl Fn(TupleRef) -> bool) -> bool {
+        self.conjuncts.iter().any(|c| c.vars().all(&truth))
+    }
+
+    /// Restriction `Φ[X_t := true, ∀t ∈ set]`: drop those variables from
+    /// every conjunct (possibly creating the empty conjunct = `true`).
+    pub fn assign_true(&self, set: &BTreeSet<TupleRef>) -> Dnf {
+        Dnf {
+            conjuncts: self.conjuncts.iter().map(|c| c.without(set)).collect(),
+        }
+    }
+
+    /// Restriction `Φ[X_t := false, ∀t ∈ set]`: drop every conjunct that
+    /// mentions a falsified variable.
+    pub fn assign_false(&self, set: &BTreeSet<TupleRef>) -> Dnf {
+        Dnf {
+            conjuncts: self
+                .conjuncts
+                .iter()
+                .filter(|c| !c.intersects(set))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Remove redundant conjuncts: duplicates collapse and any conjunct
+    /// strictly containing another conjunct is dropped (Sect. 3). The
+    /// result is the unique minimal positive DNF for this monotone
+    /// function, sorted for determinism.
+    pub fn minimized(&self) -> Dnf {
+        // Sort by size so that potential subsets come first; keep a
+        // conjunct only if no kept conjunct is a subset of it.
+        let mut sorted: Vec<Conjunct> = self.conjuncts.clone();
+        sorted.sort_by_key(|c| (c.len(), c.clone()));
+        sorted.dedup();
+        let mut kept: Vec<Conjunct> = Vec::new();
+        'outer: for c in sorted {
+            for k in &kept {
+                if k.is_subset(&c) {
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        kept.sort();
+        Dnf { conjuncts: kept }
+    }
+
+    /// Render with a tuple-variable naming function.
+    pub fn display_with(&self, name: impl Fn(TupleRef) -> String) -> String {
+        if self.conjuncts.is_empty() {
+            return "false".to_string();
+        }
+        self.conjuncts
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    "true".to_string()
+                } else {
+                    c.vars().map(&name).collect::<Vec<_>>().join("·")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ∨ ")
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|t| format!("X{:?}", t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rel: u32, row: u32) -> TupleRef {
+        TupleRef::new(rel, row)
+    }
+
+    fn c(vars: &[(u32, u32)]) -> Conjunct {
+        Conjunct::new(vars.iter().map(|&(r, w)| t(r, w)))
+    }
+
+    #[test]
+    fn conjunct_subset_relations() {
+        let small = c(&[(0, 1), (0, 3)]);
+        let big = c(&[(0, 1), (0, 2), (0, 3)]);
+        assert!(small.is_subset(&big));
+        assert!(small.is_strict_subset(&big));
+        assert!(!big.is_strict_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(!small.is_strict_subset(&small));
+    }
+
+    /// The paper's running example: Φ = X1X3 ∨ X1X2X3 ∨ X1X4 simplifies to
+    /// X1X3 ∨ X1X4 (X1X2X3 strictly contains X1X3).
+    #[test]
+    fn paper_redundancy_example() {
+        let phi = Dnf::new(vec![
+            c(&[(0, 1), (0, 3)]),
+            c(&[(0, 1), (0, 2), (0, 3)]),
+            c(&[(0, 1), (0, 4)]),
+        ]);
+        let min = phi.minimized();
+        assert_eq!(min.len(), 2);
+        assert!(min.conjuncts().contains(&c(&[(0, 1), (0, 3)])));
+        assert!(min.conjuncts().contains(&c(&[(0, 1), (0, 4)])));
+        assert!(!min.mentions(t(0, 2)), "X2 only occurred in the redundant conjunct");
+    }
+
+    #[test]
+    fn minimization_dedupes_equal_conjuncts() {
+        let phi = Dnf::new(vec![c(&[(0, 1)]), c(&[(0, 1)])]);
+        assert_eq!(phi.minimized().len(), 1);
+    }
+
+    #[test]
+    fn satisfiability_is_nonemptiness() {
+        assert!(!Dnf::unsatisfiable().is_satisfiable());
+        assert!(Dnf::new(vec![c(&[(0, 0)])]).is_satisfiable());
+    }
+
+    #[test]
+    fn empty_conjunct_is_tautology_and_subsumes_everything() {
+        let phi = Dnf::new(vec![Conjunct::empty(), c(&[(0, 1)]), c(&[(0, 2)])]);
+        assert!(phi.is_tautology());
+        let min = phi.minimized();
+        assert_eq!(min.len(), 1);
+        assert!(min.conjuncts()[0].is_empty());
+        assert!(min.variables().is_empty(), "a tautology has no causes");
+    }
+
+    #[test]
+    fn assign_true_removes_variables() {
+        let phi = Dnf::new(vec![c(&[(0, 1), (1, 0)]), c(&[(0, 2), (1, 0)])]);
+        let exo: BTreeSet<TupleRef> = [t(1, 0)].into_iter().collect();
+        let restricted = phi.assign_true(&exo);
+        assert_eq!(restricted.conjuncts()[0], c(&[(0, 1)]));
+        assert_eq!(restricted.conjuncts()[1], c(&[(0, 2)]));
+    }
+
+    #[test]
+    fn assign_false_drops_conjuncts() {
+        let phi = Dnf::new(vec![c(&[(0, 1), (1, 0)]), c(&[(0, 2)])]);
+        let gamma: BTreeSet<TupleRef> = [t(1, 0)].into_iter().collect();
+        let restricted = phi.assign_false(&gamma);
+        assert_eq!(restricted.len(), 1);
+        assert_eq!(restricted.conjuncts()[0], c(&[(0, 2)]));
+        // Falsifying everything yields the unsatisfiable DNF.
+        let all = phi.variables();
+        assert!(!phi.assign_false(&all).is_satisfiable());
+    }
+
+    #[test]
+    fn evaluate_matches_semantics() {
+        let phi = Dnf::new(vec![c(&[(0, 1), (0, 2)]), c(&[(0, 3)])]);
+        assert!(phi.evaluate(|v| v == t(0, 3)));
+        assert!(phi.evaluate(|v| v == t(0, 1) || v == t(0, 2)));
+        assert!(!phi.evaluate(|v| v == t(0, 1)));
+        assert!(!Dnf::unsatisfiable().evaluate(|_| true));
+        assert!(Dnf::new(vec![Conjunct::empty()]).evaluate(|_| false));
+    }
+
+    #[test]
+    fn minimization_preserves_semantics_on_all_assignments() {
+        // 4 variables, a handful of conjuncts; check 2^4 assignments.
+        let vars = [t(0, 0), t(0, 1), t(0, 2), t(0, 3)];
+        let phi = Dnf::new(vec![
+            c(&[(0, 0), (0, 1)]),
+            c(&[(0, 0), (0, 1), (0, 2)]),
+            c(&[(0, 2), (0, 3)]),
+            c(&[(0, 3), (0, 2)]),
+        ]);
+        let min = phi.minimized();
+        for mask in 0u32..16 {
+            let truth = |v: TupleRef| {
+                let idx = vars.iter().position(|&x| x == v).unwrap();
+                mask & (1 << idx) != 0
+            };
+            assert_eq!(phi.evaluate(truth), min.evaluate(truth), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dnf::unsatisfiable().to_string(), "false");
+        let phi = Dnf::new(vec![Conjunct::empty()]);
+        assert_eq!(phi.to_string(), "true");
+        let phi = Dnf::new(vec![c(&[(0, 1), (1, 2)])]);
+        assert_eq!(phi.display_with(|t| format!("X{}", t.row.0)), "X1·X2");
+    }
+
+    #[test]
+    fn variables_collects_all() {
+        let phi = Dnf::new(vec![c(&[(0, 1)]), c(&[(1, 5), (0, 1)])]);
+        let vars = phi.variables();
+        assert_eq!(vars.len(), 2);
+        assert!(phi.mentions(t(1, 5)));
+        assert!(!phi.mentions(t(2, 0)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Provenance semirings (Green, Karvounarakis, Tannen \[12\]).
+//!
+//! Sect. 5 situates causality within the provenance landscape: lineage is
+//! the Boolean specialization of semiring provenance. This module
+//! generalizes the valuation stream to arbitrary commutative semirings —
+//! the annotation of an answer is `Σ_θ Π_{t ∈ θ} ann(t)` — giving, beyond
+//! the Boolean lineage, multiplicity counting, minimum-weight derivations
+//! (tropical), and the full *how-provenance* polynomial.
+
+use causality_engine::{evaluate_masked, ConjunctiveQuery, Database, EndoMask, EngineError, TupleRef};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A commutative semiring `(K, ⊕, ⊗, 0, 1)`.
+pub trait Semiring {
+    /// Element type.
+    type Elem: Clone + PartialEq + fmt::Debug;
+    /// Additive identity.
+    fn zero(&self) -> Self::Elem;
+    /// Multiplicative identity.
+    fn one(&self) -> Self::Elem;
+    /// Addition (alternative derivations).
+    fn plus(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Multiplication (joint use within one derivation).
+    fn times(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// Evaluate the provenance annotation of a Boolean query: each valuation
+/// contributes the product of its tuples' annotations; valuations add up.
+///
+/// A tuple grounding several atoms of one valuation is multiplied once per
+/// occurrence *position* collapse — following \[12\], `Π_{t∈θ}` ranges over
+/// the atom positions, so a tuple used twice contributes its annotation
+/// squared (how-provenance distinguishes `x²` from `x`).
+pub fn annotate<S: Semiring>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    semiring: &S,
+    ann: impl Fn(TupleRef) -> S::Elem,
+) -> Result<S::Elem, EngineError> {
+    let result = evaluate_masked(db, q, EndoMask::All)?;
+    let mut total = semiring.zero();
+    for v in &result.valuations {
+        let mut prod = semiring.one();
+        for &t in &v.atom_tuples {
+            prod = semiring.times(&prod, &ann(t));
+        }
+        total = semiring.plus(&total, &prod);
+    }
+    Ok(total)
+}
+
+/// The Boolean semiring: annotation = query truth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type Elem = bool;
+    fn zero(&self) -> bool {
+        false
+    }
+    fn one(&self) -> bool {
+        true
+    }
+    fn plus(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn times(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+/// The counting semiring (ℕ, +, ×): annotation = number of derivations
+/// under bag semantics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingSemiring;
+
+impl Semiring for CountingSemiring {
+    type Elem = u64;
+    fn zero(&self) -> u64 {
+        0
+    }
+    fn one(&self) -> u64 {
+        1
+    }
+    fn plus(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn times(&self, a: &u64, b: &u64) -> u64 {
+        a * b
+    }
+}
+
+/// The tropical semiring (ℕ ∪ {∞}, min, +): annotation = cost of the
+/// cheapest derivation. `None` is ∞.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TropicalSemiring;
+
+impl Semiring for TropicalSemiring {
+    type Elem = Option<u64>;
+    fn zero(&self) -> Option<u64> {
+        None
+    }
+    fn one(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn plus(&self, a: &Option<u64>, b: &Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (None, x) | (x, None) => *x,
+            (Some(x), Some(y)) => Some(*x.min(y)),
+        }
+    }
+    fn times(&self, a: &Option<u64>, b: &Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x + y),
+            _ => None,
+        }
+    }
+}
+
+/// A how-provenance polynomial: a formal sum of monomials over tuple
+/// variables, `Σ coeff · Π X_t^e`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial {
+    /// monomial (variable → exponent) → coefficient
+    terms: BTreeMap<BTreeMap<TupleRef, u32>, u64>,
+}
+
+impl Polynomial {
+    /// The single-variable polynomial `X_t`.
+    pub fn var(t: TupleRef) -> Self {
+        let mut mono = BTreeMap::new();
+        mono.insert(t, 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(mono, 1);
+        Polynomial { terms }
+    }
+
+    /// Number of monomials.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluate the polynomial in another semiring by mapping variables —
+    /// the "specialization" homomorphism of \[12\].
+    pub fn eval_in<S: Semiring>(&self, semiring: &S, map: impl Fn(TupleRef) -> S::Elem) -> S::Elem {
+        let mut total = semiring.zero();
+        for (mono, &coeff) in &self.terms {
+            let mut prod = semiring.one();
+            for (&t, &e) in mono {
+                for _ in 0..e {
+                    prod = semiring.times(&prod, &map(t));
+                }
+            }
+            let mut scaled = semiring.zero();
+            for _ in 0..coeff {
+                scaled = semiring.plus(&scaled, &prod);
+            }
+            total = semiring.plus(&total, &scaled);
+        }
+        total
+    }
+
+    /// Render with a variable naming function.
+    pub fn display_with(&self, name: impl Fn(TupleRef) -> String) -> String {
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        self.terms
+            .iter()
+            .map(|(mono, coeff)| {
+                let vars = mono
+                    .iter()
+                    .map(|(&t, &e)| {
+                        if e == 1 {
+                            name(t)
+                        } else {
+                            format!("{}^{e}", name(t))
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("·");
+                if mono.is_empty() {
+                    coeff.to_string()
+                } else if *coeff == 1 {
+                    vars
+                } else {
+                    format!("{coeff}·{vars}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+/// The polynomial (how-provenance) semiring `ℕ[X]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolynomialSemiring;
+
+impl Semiring for PolynomialSemiring {
+    type Elem = Polynomial;
+    fn zero(&self) -> Polynomial {
+        Polynomial::default()
+    }
+    fn one(&self) -> Polynomial {
+        let mut terms = BTreeMap::new();
+        terms.insert(BTreeMap::new(), 1);
+        Polynomial { terms }
+    }
+    fn plus(&self, a: &Polynomial, b: &Polynomial) -> Polynomial {
+        let mut out = a.clone();
+        for (mono, coeff) in &b.terms {
+            *out.terms.entry(mono.clone()).or_insert(0) += coeff;
+        }
+        out.terms.retain(|_, c| *c > 0);
+        out
+    }
+    fn times(&self, a: &Polynomial, b: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::default();
+        for (m1, c1) in &a.terms {
+            for (m2, c2) in &b.terms {
+                let mut mono = m1.clone();
+                for (&t, &e) in m2 {
+                    *mono.entry(t).or_insert(0) += e;
+                }
+                *out.terms.entry(mono).or_insert(0) += c1 * c2;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::Value;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn boolean_annotation_is_query_truth() {
+        let db = example_2_2();
+        let truth = annotate(&db, &q("q :- R(x, y), S(y)"), &BoolSemiring, |_| true).unwrap();
+        assert!(truth);
+        let falsity =
+            annotate(&db, &q("q :- R(x, 'a6'), S('a6')"), &BoolSemiring, |_| true).unwrap();
+        assert!(!falsity);
+    }
+
+    #[test]
+    fn counting_annotation_counts_valuations() {
+        let db = example_2_2();
+        // a4 joins twice, a2 and a3 once each → 4 valuations in total.
+        let n = annotate(&db, &q("q :- R(x, y), S(y)"), &CountingSemiring, |_| 1).unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn tropical_annotation_finds_cheapest_derivation() {
+        let db = example_2_2();
+        // Cost = 1 per tuple: every derivation uses 2 tuples.
+        let cost = annotate(&db, &q("q :- R(x, y), S(y)"), &TropicalSemiring, |_| Some(1)).unwrap();
+        assert_eq!(cost, Some(2));
+        let no = annotate(&db, &q("q :- R(x, 'a6'), S('a6')"), &TropicalSemiring, |_| Some(1))
+            .unwrap();
+        assert_eq!(no, None);
+    }
+
+    #[test]
+    fn polynomial_annotation_lists_derivations() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let p = annotate(&db, &query, &PolynomialSemiring, Polynomial::var).unwrap();
+        assert_eq!(p.term_count(), 2, "a4 has two derivations");
+        // Specializing the polynomial to the counting semiring matches the
+        // direct counting annotation.
+        let direct = annotate(&db, &query, &CountingSemiring, |_| 1).unwrap();
+        assert_eq!(p.eval_in(&CountingSemiring, |_| 1), direct);
+    }
+
+    #[test]
+    fn polynomial_squares_reused_tuples() {
+        use causality_engine::{tup, Schema};
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        db.insert_endo(r, tup![1, 1]);
+        let p = annotate(&db, &q("q :- R(x, y), R(y, x)"), &PolynomialSemiring, Polynomial::var)
+            .unwrap();
+        let shown = p.display_with(|_| "r".to_string());
+        assert_eq!(shown, "r^2");
+    }
+
+    #[test]
+    fn semiring_laws_spot_checks() {
+        let s = PolynomialSemiring;
+        let a = Polynomial::var(TupleRef::new(0, 0));
+        let b = Polynomial::var(TupleRef::new(0, 1));
+        let c = Polynomial::var(TupleRef::new(1, 0));
+        // Commutativity.
+        assert_eq!(s.plus(&a, &b), s.plus(&b, &a));
+        assert_eq!(s.times(&a, &b), s.times(&b, &a));
+        // Associativity.
+        assert_eq!(s.times(&s.times(&a, &b), &c), s.times(&a, &s.times(&b, &c)));
+        // Distributivity.
+        assert_eq!(
+            s.times(&a, &s.plus(&b, &c)),
+            s.plus(&s.times(&a, &b), &s.times(&a, &c))
+        );
+        // Identities.
+        assert_eq!(s.plus(&a, &s.zero()), a);
+        assert_eq!(s.times(&a, &s.one()), a);
+        assert_eq!(s.times(&a, &s.zero()), s.zero());
+    }
+
+    #[test]
+    fn polynomial_display() {
+        let s = PolynomialSemiring;
+        assert_eq!(s.zero().display_with(|_| "x".into()), "0");
+        assert_eq!(s.one().display_with(|_| "x".into()), "1");
+        let a = Polynomial::var(TupleRef::new(0, 0));
+        let two_a = s.plus(&a, &a);
+        assert_eq!(two_a.display_with(|_| "a".into()), "2·a");
+    }
+}

@@ -1,0 +1,151 @@
+//! Lineage of non-answers (the Why-No setting, Sect. 2).
+//!
+//! For Why-No causality "the real database consists entirely of exogenous
+//! tuples, Dx. In addition, we are given a set of potentially missing
+//! tuples … these form the endogenous tuples, Dn". Conventionally we store
+//! `Dn` in the same [`Database`] with the endogenous flag set: exogenous
+//! rows are the *real* tuples, endogenous rows the *candidate insertions*.
+//!
+//! The non-answer lineage is then structurally the n-lineage of the
+//! completed database `Dx ∪ Dn`: each conjunct lists the missing tuples
+//! whose joint insertion would produce one valuation of the query. The
+//! paper does not address computing `Dn` itself (it cites Huang et al.
+//! \[15\]); callers provide it.
+
+use crate::dnf::Dnf;
+use crate::whyso::{n_lineage, require_boolean};
+use causality_engine::{holds_masked, Database, EndoMask, EngineError};
+use causality_engine::ConjunctiveQuery;
+use std::collections::HashSet;
+
+/// Compute the Why-No lineage of a Boolean non-answer: the n-lineage over
+/// `Dx ∪ Dn`, whose conjuncts are the candidate insertion sets.
+///
+/// # Errors
+/// * [`EngineError::NotBoolean`] for non-Boolean queries.
+/// * Propagates evaluation errors.
+///
+/// Following the paper's convention (`Dx ⊭ q`, "otherwise we have no
+/// causes"), a query that is already true on `Dx` alone is not an error:
+/// the returned DNF is a tautology, which minimizes to zero causes.
+/// [`is_non_answer`] lets callers check the precondition explicitly.
+pub fn non_answer_lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> {
+    require_boolean(q)?;
+    n_lineage(db, q)
+}
+
+/// Whether the Boolean query is indeed false on the real (exogenous-only)
+/// database `Dx` — the precondition of the Why-No setting.
+pub fn is_non_answer(db: &Database, q: &ConjunctiveQuery) -> Result<bool, EngineError> {
+    require_boolean(q)?;
+    let none = HashSet::new();
+    Ok(!holds_masked(db, q, EndoMask::Only(&none))?)
+}
+
+/// Whether the completed database `Dx ∪ Dn` makes the query true — the
+/// other precondition (`Dx ∪ Dn ⊨ q`); if even the candidate insertions
+/// cannot produce the answer, there are no Why-No causes at all.
+pub fn is_recoverable(db: &Database, q: &ConjunctiveQuery) -> Result<bool, EngineError> {
+    require_boolean(q)?;
+    holds_masked(db, q, EndoMask::All)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::{tup, Schema};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    /// A small Why-No scenario: real R = {(1,2)}, real S = {}; candidate
+    /// insertions S(2) and S(3). Why is q :- R(x,y),S(y) not true? The
+    /// lineage over Dx ∪ Dn must list {S(2)} as the single repair.
+    #[test]
+    fn single_missing_tuple() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        let s2 = db.insert_endo(s, tup![2]);
+        db.insert_endo(s, tup![3]);
+
+        let query = q("q :- R(x, y), S(y)");
+        assert!(is_non_answer(&db, &query).unwrap());
+        assert!(is_recoverable(&db, &query).unwrap());
+
+        let phi = non_answer_lineage(&db, &query).unwrap().minimized();
+        assert_eq!(phi.len(), 1);
+        assert_eq!(phi.conjuncts()[0].len(), 1);
+        assert!(phi.conjuncts()[0].contains(s2));
+    }
+
+    /// Two missing tuples must be inserted together: the conjunct has both.
+    #[test]
+    fn joint_insertion_conjunct() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        let r12 = db.insert_endo(r, tup![1, 2]);
+        let s2 = db.insert_endo(s, tup![2]);
+
+        let query = q("q :- R(x, y), S(y)");
+        assert!(is_non_answer(&db, &query).unwrap());
+        let phi = non_answer_lineage(&db, &query).unwrap().minimized();
+        assert_eq!(phi.len(), 1);
+        assert_eq!(phi.conjuncts()[0].len(), 2);
+        assert!(phi.conjuncts()[0].contains(r12));
+        assert!(phi.conjuncts()[0].contains(s2));
+    }
+
+    #[test]
+    fn already_answer_yields_tautology() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_exo(r, tup![1]);
+        db.insert_endo(r, tup![2]);
+        let query = q("q :- R(x)");
+        assert!(!is_non_answer(&db, &query).unwrap());
+        let phi = non_answer_lineage(&db, &query).unwrap();
+        assert!(phi.is_tautology());
+        assert!(phi.minimized().variables().is_empty());
+    }
+
+    #[test]
+    fn unrecoverable_non_answer_has_no_conjuncts() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        // No candidate S tuples at all.
+        let query = q("q :- R(x, y), S(y)");
+        assert!(is_non_answer(&db, &query).unwrap());
+        assert!(!is_recoverable(&db, &query).unwrap());
+        let phi = non_answer_lineage(&db, &query).unwrap();
+        assert!(!phi.is_satisfiable());
+    }
+
+    #[test]
+    fn minimal_repairs_dominate() {
+        // q can be recovered via one insertion {S(2)} or via two {R(5,3),
+        // S(3)}: both are non-redundant (disjoint), so both survive; but a
+        // superset repair {S(2), R(1,2)…} never appears because valuations
+        // ground exactly one tuple per atom.
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2]);
+        db.insert_endo(r, tup![5, 3]);
+        db.insert_endo(s, tup![3]);
+
+        let phi = non_answer_lineage(&db, &q("q :- R(x, y), S(y)"))
+            .unwrap()
+            .minimized();
+        assert_eq!(phi.len(), 2);
+        let mut sizes: Vec<usize> = phi.conjuncts().iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Why-provenance: the minimal witness basis.
+//!
+//! Sect. 5 of the paper relates Why-So causality to *why-provenance*
+//! (Buneman, Khanna, Tan \[2\]): the minimal witness basis of an answer is
+//! the set of minimal tuple sets that each suffice to produce the answer.
+//! Footnote 4: "To compare it with Why-So causality, we consider the union
+//! of tuples across those sets" — and when *all* tuples are endogenous,
+//! that union is exactly the cause set. The integration tests exercise
+//! this correspondence.
+
+use crate::dnf::Conjunct;
+use crate::whyso::lineage;
+use causality_engine::{ConjunctiveQuery, Database, EngineError, TupleRef};
+use std::collections::BTreeSet;
+
+/// The minimal witness basis of a Boolean query: the minimal (under ⊆)
+/// tuple sets each sufficient to make the query true. Computed as the
+/// minimized full lineage (over endogenous *and* exogenous tuples alike —
+/// provenance does not distinguish them).
+pub fn why_provenance(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<Vec<BTreeSet<TupleRef>>, EngineError> {
+    let phi = lineage(db, q)?.minimized();
+    Ok(phi
+        .conjuncts()
+        .iter()
+        .map(|c| c.as_set().clone())
+        .collect())
+}
+
+/// The union of the minimal witness basis — the tuple set footnote 4
+/// compares against Why-So causes.
+pub fn witness_union(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<BTreeSet<TupleRef>, EngineError> {
+    Ok(why_provenance(db, q)?
+        .into_iter()
+        .flatten()
+        .collect())
+}
+
+/// Whether a tuple set is a witness (makes the query true by itself).
+pub fn is_witness(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    tuples: &BTreeSet<TupleRef>,
+) -> Result<bool, EngineError> {
+    let phi = lineage(db, q)?;
+    let conj = Conjunct::new(tuples.iter().copied());
+    Ok(phi.conjuncts().iter().any(|c| c.is_subset(&conj)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, Value};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    fn tref(db: &Database, rel: &str, tuple: causality_engine::Tuple) -> TupleRef {
+        let rid = db.relation_id(rel).unwrap();
+        TupleRef {
+            rel: rid,
+            row: db.relation(rid).find(&tuple).unwrap(),
+        }
+    }
+
+    #[test]
+    fn witness_basis_of_a4() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let basis = why_provenance(&db, &query).unwrap();
+        assert_eq!(basis.len(), 2, "a4 derives via S(a3) and via S(a2)");
+        for w in &basis {
+            assert_eq!(w.len(), 2);
+        }
+        let union = witness_union(&db, &query).unwrap();
+        assert_eq!(union.len(), 4);
+    }
+
+    #[test]
+    fn is_witness_checks_sufficiency() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a2")]);
+        let r21 = tref(&db, "R", tup!["a2", "a1"]);
+        let s1 = tref(&db, "S", tup!["a1"]);
+        let good: BTreeSet<TupleRef> = [r21, s1].into_iter().collect();
+        assert!(is_witness(&db, &query, &good).unwrap());
+        let partial: BTreeSet<TupleRef> = [r21].into_iter().collect();
+        assert!(!is_witness(&db, &query, &partial).unwrap());
+    }
+
+    #[test]
+    fn false_query_has_empty_basis() {
+        let db = example_2_2();
+        let query = q("q :- R(x, 'a6'), S('a6')");
+        assert!(why_provenance(&db, &query).unwrap().is_empty());
+        assert!(witness_union(&db, &query).unwrap().is_empty());
+    }
+
+    #[test]
+    fn witness_sets_are_minimal() {
+        let db = example_2_2();
+        let query = q("q :- R(x, y), S(y)");
+        let basis = why_provenance(&db, &query).unwrap();
+        for (i, a) in basis.iter().enumerate() {
+            for (j, b) in basis.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(b), "witness {i} ⊆ witness {j}");
+                }
+            }
+        }
+    }
+}

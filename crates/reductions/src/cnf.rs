@@ -1,0 +1,192 @@
+//! 3-CNF formulas.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A literal: variable index with polarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Literal {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Whether the literal is satisfied under an assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+
+    /// The negated literal.
+    pub fn negated(&self) -> Literal {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+/// A clause: disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause(pub Vec<Literal>);
+
+impl Clause {
+    /// Whether the clause is satisfied under an assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.satisfied(assignment))
+    }
+}
+
+/// A CNF formula over variables `0..var_count`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    /// Number of variables.
+    pub var_count: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build a formula; clause literals must reference variables in range.
+    pub fn new(var_count: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in &c.0 {
+                assert!(l.var < var_count, "literal variable out of range");
+            }
+        }
+        Cnf { var_count, clauses }
+    }
+
+    /// Whether an assignment satisfies every clause.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.var_count);
+        self.clauses.iter().all(|c| c.satisfied(assignment))
+    }
+
+    /// Number of clauses containing variable `v` (`|C_{Xv}|` in the ring
+    /// construction).
+    pub fn occurrences(&self, v: usize) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.0.iter().any(|l| l.var == v))
+            .count()
+    }
+
+    /// Generate a random 3-CNF with `clause_count` clauses over
+    /// `var_count ≥ 3` variables; each clause uses three *distinct*
+    /// variables (as the ring construction's clause gadget assumes).
+    pub fn random_3sat(var_count: usize, clause_count: usize, rng: &mut impl Rng) -> Cnf {
+        assert!(var_count >= 3, "3-CNF clauses need three distinct variables");
+        let mut clauses = Vec::with_capacity(clause_count);
+        let vars: Vec<usize> = (0..var_count).collect();
+        for _ in 0..clause_count {
+            let chosen: Vec<usize> = vars.choose_multiple(rng, 3).copied().collect();
+            let lits = chosen
+                .into_iter()
+                .map(|v| Literal {
+                    var: v,
+                    positive: rng.gen_bool(0.5),
+                })
+                .collect();
+            clauses.push(Clause(lits));
+        }
+        Cnf::new(var_count, clauses)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<String> = c
+                    .0
+                    .iter()
+                    .map(|l| {
+                        if l.positive {
+                            format!("x{}", l.var)
+                        } else {
+                            format!("¬x{}", l.var)
+                        }
+                    })
+                    .collect();
+                format!("({})", lits.join(" ∨ "))
+            })
+            .collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn satisfaction_semantics() {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
+        let cnf = Cnf::new(
+            3,
+            vec![
+                Clause(vec![Literal::pos(0), Literal::neg(1)]),
+                Clause(vec![Literal::pos(1), Literal::pos(2)]),
+            ],
+        );
+        assert!(cnf.satisfied(&[true, true, false]));
+        assert!(!cnf.satisfied(&[false, true, false]));
+        assert!(cnf.satisfied(&[false, false, true]));
+    }
+
+    #[test]
+    fn occurrences_counts_clauses_not_literals() {
+        let cnf = Cnf::new(
+            2,
+            vec![Clause(vec![Literal::pos(0), Literal::neg(0)]), Clause(vec![Literal::pos(1)])],
+        );
+        assert_eq!(cnf.occurrences(0), 1);
+        assert_eq!(cnf.occurrences(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_checked() {
+        Cnf::new(1, vec![Clause(vec![Literal::pos(3)])]);
+    }
+
+    #[test]
+    fn random_3sat_has_distinct_vars_per_clause() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cnf = Cnf::random_3sat(5, 20, &mut rng);
+        assert_eq!(cnf.clauses.len(), 20);
+        for c in &cnf.clauses {
+            assert_eq!(c.0.len(), 3);
+            let mut vars: Vec<usize> = c.0.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cnf = Cnf::new(2, vec![Clause(vec![Literal::pos(0), Literal::neg(1)])]);
+        assert_eq!(cnf.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

@@ -1,0 +1,224 @@
+//! A complete DPLL SAT solver.
+//!
+//! The oracle for the ring reduction's correctness (Lemma C.3: `φ`
+//! satisfiable ⟺ `Gφ` has a contingency of size `Σ mᵢ`). Classic DPLL
+//! with unit propagation and pure-literal elimination — complete, and fast
+//! at the formula sizes the reductions produce.
+
+use crate::cnf::{Cnf, Literal};
+
+/// Solve a CNF formula. Returns a satisfying assignment or `None`.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.var_count];
+    if dpll(cnf, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Whether the formula is satisfiable.
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    solve(cnf).is_some()
+}
+
+#[derive(PartialEq)]
+enum ClauseState {
+    Satisfied,
+    Unit(Literal),
+    Unresolved,
+    Conflict,
+}
+
+fn clause_state(lits: &[Literal], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned: Option<Literal> = None;
+    let mut unassigned_count = 0;
+    for l in lits {
+        match assignment[l.var] {
+            Some(v) if v == l.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(*l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted")),
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in &cnf.clauses {
+            match clause_state(&clause.0, assignment) {
+                ClauseState::Conflict => {
+                    for v in trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(lit) => {
+                    assignment[lit.var] = Some(lit.positive);
+                    trail.push(lit.var);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+    // Pure literal elimination.
+    let mut polarity: Vec<(bool, bool)> = vec![(false, false); cnf.var_count];
+    for clause in &cnf.clauses {
+        if clause_state(&clause.0, assignment) == ClauseState::Satisfied {
+            continue;
+        }
+        for l in &clause.0 {
+            if assignment[l.var].is_none() {
+                if l.positive {
+                    polarity[l.var].0 = true;
+                } else {
+                    polarity[l.var].1 = true;
+                }
+            }
+        }
+    }
+    for v in 0..cnf.var_count {
+        if assignment[v].is_none() {
+            match polarity[v] {
+                (true, false) => {
+                    assignment[v] = Some(true);
+                    trail.push(v);
+                }
+                (false, true) => {
+                    assignment[v] = Some(false);
+                    trail.push(v);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Pick a branching variable.
+    let branch = (0..cnf.var_count).find(|&v| assignment[v].is_none());
+    let result = match branch {
+        None => cnf
+            .clauses
+            .iter()
+            .all(|c| clause_state(&c.0, assignment) == ClauseState::Satisfied),
+        Some(v) => {
+            let mut ok = false;
+            for value in [true, false] {
+                assignment[v] = Some(value);
+                if dpll(cnf, assignment) {
+                    ok = true;
+                    break;
+                }
+                assignment[v] = None;
+            }
+            ok
+        }
+    };
+    if !result {
+        for v in trail {
+            assignment[v] = None;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Clause;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause(
+            lits.iter()
+                .map(|&(v, p)| Literal { var: v, positive: p })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = Cnf::new(0, vec![]);
+        assert!(is_satisfiable(&empty));
+        let single = Cnf::new(1, vec![clause(&[(0, true)])]);
+        assert_eq!(solve(&single), Some(vec![true]));
+        let contradiction = Cnf::new(1, vec![clause(&[(0, true)]), clause(&[(0, false)])]);
+        assert!(!is_satisfiable(&contradiction));
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x0, x0→x1, x1→x2 encoded as clauses.
+        let cnf = Cnf::new(
+            3,
+            vec![
+                clause(&[(0, true)]),
+                clause(&[(0, false), (1, true)]),
+                clause(&[(1, false), (2, true)]),
+            ],
+        );
+        assert_eq!(solve(&cnf), Some(vec![true, true, true]));
+    }
+
+    #[test]
+    fn unsatisfiable_xor_chain() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (x0 ∨ ¬x1) ∧ (¬x0 ∨ ¬x1) is UNSAT.
+        let cnf = Cnf::new(
+            2,
+            vec![
+                clause(&[(0, true), (1, true)]),
+                clause(&[(0, false), (1, true)]),
+                clause(&[(0, true), (1, false)]),
+                clause(&[(0, false), (1, false)]),
+            ],
+        );
+        assert!(!is_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p0 ∧ p1 ∧ (¬p0 ∨ ¬p1).
+        let cnf = Cnf::new(
+            2,
+            vec![
+                clause(&[(0, true)]),
+                clause(&[(1, true)]),
+                clause(&[(0, false), (1, false)]),
+            ],
+        );
+        assert!(!is_satisfiable(&cnf));
+    }
+
+    /// Brute-force cross-validation on random 3-CNFs.
+    #[test]
+    fn matches_brute_force_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let cnf = Cnf::random_3sat(5, 12, &mut rng);
+            let brute = (0u32..32).any(|mask| {
+                let assignment: Vec<bool> = (0..5).map(|i| mask & (1 << i) != 0).collect();
+                cnf.satisfied(&assignment)
+            });
+            match solve(&cnf) {
+                Some(a) => {
+                    assert!(brute, "solver found assignment for unsat formula");
+                    assert!(cnf.satisfied(&a), "returned assignment must satisfy");
+                }
+                None => assert!(!brute, "solver missed a satisfying assignment"),
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The h2* → h3* instance transformation (Fig. 9).
+//!
+//! Hardness of `h3* :- A(x), B(y), C(z), R(x,y), S(y,z), T(z,x)` follows
+//! from h2* by re-encoding: every `R`-tuple of the h2* instance becomes a
+//! value of `A'` (likewise `S → B'`, `T → C'`), and every *valuation*
+//! `(rᵢ, sⱼ, tₖ)` of h2* becomes the triple of binary tuples
+//! `R'(rᵢ,sⱼ), S'(sⱼ,tₖ), T'(tₖ,rᵢ)`. The binary relations are dominated
+//! by the unary ones, so causes and responsibilities transfer verbatim
+//! (proof of Theorem 4.1, h3*).
+
+use causality_engine::{evaluate, ConjunctiveQuery, Database, Schema, TupleRef, Value};
+use std::collections::BTreeMap;
+
+/// The generated h3* instance, with the tuple correspondence.
+#[derive(Clone, Debug)]
+pub struct H3Instance {
+    /// Database with `A`, `B`, `C` endogenous and `R`, `S`, `T` exogenous
+    /// (they are dominated; Theorem 4.1 allows either nature).
+    pub db: Database,
+    /// `h3 :- A(x), B(y), C(z), R(x, y), S(y, z), T(z, x)`.
+    pub query: ConjunctiveQuery,
+    /// Maps each h2* tuple to its unary image in the h3* instance.
+    pub tuple_map: BTreeMap<TupleRef, TupleRef>,
+}
+
+/// Transform an h2* database (relations `R`, `S`, `T`) into an h3*
+/// database per Fig. 9. `h2_query` must be the triangle query.
+pub fn h2_to_h3(h2_db: &Database, h2_query: &ConjunctiveQuery) -> H3Instance {
+    let mut db = Database::new();
+    let a = db.add_relation(Schema::new("A", &["x"]));
+    let b = db.add_relation(Schema::new("B", &["y"]));
+    let c = db.add_relation(Schema::new("C", &["z"]));
+    let r2 = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s2 = db.add_relation(Schema::new("S", &["y", "z"]));
+    let t2 = db.add_relation(Schema::new("T", &["z", "x"]));
+
+    // One unary value per h2* tuple, named by relation and row.
+    let mut tuple_map = BTreeMap::new();
+    let mut value_of: BTreeMap<TupleRef, Value> = BTreeMap::new();
+    for (rel_name, target) in [("R", a), ("S", b), ("T", c)] {
+        let rel = h2_db
+            .relation_id(rel_name)
+            .expect("h2 instance has R, S, T");
+        for (row, _, endo) in h2_db.relation(rel).iter() {
+            let src = TupleRef { rel, row };
+            let value = Value::str(format!("{}{}", rel_name.to_lowercase(), row.0));
+            let dst = db.insert(target, vec![value.clone()], endo);
+            tuple_map.insert(src, dst);
+            value_of.insert(src, value);
+        }
+    }
+
+    // One binary triple per h2* valuation.
+    let result = evaluate(h2_db, h2_query).expect("h2 query evaluates");
+    for val in &result.valuations {
+        let (rt, st, tt) = (val.atom_tuples[0], val.atom_tuples[1], val.atom_tuples[2]);
+        let (rv, sv, tv) = (
+            value_of[&rt].clone(),
+            value_of[&st].clone(),
+            value_of[&tt].clone(),
+        );
+        db.insert_exo(r2, vec![rv.clone(), sv.clone()]);
+        db.insert_exo(s2, vec![sv, tv.clone()]);
+        db.insert_exo(t2, vec![tv, rv]);
+    }
+
+    H3Instance {
+        db,
+        query: ConjunctiveQuery::parse("h3 :- A(x), B(y), C(z), R(x, y), S(y, z), T(z, x)")
+            .expect("static query"),
+        tuple_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_core::resp::exact::why_so_responsibility_exact;
+    use causality_engine::tup;
+
+    /// Fig. 9's instance D: R = {(1,1),(1,2)}, S = {(1,1),(1,2)},
+    /// T = {(1,1),(2,1)} plus r3 = (1,1) duplicate? The figure lists
+    /// R = {r1(1,1), r2(1,2), r3(1,1)} — r3 duplicates r1, which a set
+    /// database collapses; we use the distinct tuples.
+    fn small_h2() -> (Database, ConjunctiveQuery) {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        for (x, y) in [(1, 1), (1, 2)] {
+            db.insert_endo(r, tup![x, y]);
+        }
+        for (y, z) in [(1, 1), (1, 2), (2, 1)] {
+            db.insert_endo(s, tup![y, z]);
+        }
+        for (z, x) in [(1, 1), (2, 1)] {
+            db.insert_endo(t, tup![z, x]);
+        }
+        let q = ConjunctiveQuery::parse("h2 :- R(x, y), S(y, z), T(z, x)").unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn structure_of_transformed_instance() {
+        let (db, q) = small_h2();
+        let inst = h2_to_h3(&db, &q);
+        // Unary relations mirror the h2 tuples.
+        let a = inst.db.relation_id("A").unwrap();
+        let b = inst.db.relation_id("B").unwrap();
+        let c = inst.db.relation_id("C").unwrap();
+        assert_eq!(inst.db.relation(a).len(), 2);
+        assert_eq!(inst.db.relation(b).len(), 3);
+        assert_eq!(inst.db.relation(c).len(), 2);
+        // Binary relations are exogenous.
+        let r = inst.db.relation_id("R").unwrap();
+        assert_eq!(inst.db.relation(r).endogenous_count(), 0);
+        assert_eq!(inst.tuple_map.len(), 7);
+    }
+
+    /// The heart of the reduction: responsibilities transfer through the
+    /// tuple map.
+    #[test]
+    fn responsibility_is_preserved() {
+        let (db, q) = small_h2();
+        let inst = h2_to_h3(&db, &q);
+        for (src, dst) in &inst.tuple_map {
+            let before = why_so_responsibility_exact(&db, &q, *src).unwrap();
+            let after = why_so_responsibility_exact(&inst.db, &inst.query, *dst).unwrap();
+            assert_eq!(before.rho, after.rho, "tuple {src:?} → {dst:?}");
+        }
+    }
+
+    /// Valuation counts match: one h3 valuation per h2 valuation.
+    #[test]
+    fn valuations_correspond() {
+        let (db, q) = small_h2();
+        let before = evaluate(&db, &q).unwrap().valuations.len();
+        let inst = h2_to_h3(&db, &q);
+        let after = evaluate(&inst.db, &inst.query).unwrap().valuations.len();
+        assert_eq!(before, after);
+    }
+
+    /// Works on a ring-reduction instance end to end (small formula).
+    #[test]
+    fn composes_with_ring_reduction() {
+        use crate::cnf::{Clause, Cnf, Literal};
+        use crate::ring::reduce_3sat_to_h2;
+        let cnf = Cnf::new(
+            3,
+            vec![Clause(vec![
+                Literal::pos(0),
+                Literal::pos(1),
+                Literal::pos(2),
+            ])],
+        );
+        let red = reduce_3sat_to_h2(&cnf);
+        let inst = h2_to_h3(&red.db, &red.query);
+        // The witness's unary image exists and the instance evaluates.
+        let witness_image = inst.tuple_map[&red.witness];
+        assert_eq!(inst.db.relation(witness_image.rel).name(), "A");
+        assert!(evaluate(&inst.db, &inst.query).unwrap().holds());
+    }
+}

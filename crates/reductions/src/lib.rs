@@ -1,0 +1,34 @@
+//! # causality-reductions — the paper's hardness constructions, executable
+//!
+//! Theorem 4.1, Proposition 4.16 and Theorem 4.15 are proven by
+//! reductions; this crate implements every one of them as code that
+//! *builds database instances*, so the test- and bench-suites can verify
+//! the reductions against independent oracles (a DPLL SAT solver, exact
+//! vertex-cover search, BFS reachability):
+//!
+//! * [`cnf`] / [`dpll`] — 3-CNF formulas, random generation, and a
+//!   complete DPLL solver (the oracle for Lemma C.3).
+//! * [`ring`] — the 3SAT → h2* construction: local rings (Fig. 7), clause
+//!   gadgets (Fig. 8), and the global graph `Gφ` as an `R, S, T` database
+//!   whose minimum contingency equals `Σᵢ mᵢ` iff `φ` is satisfiable.
+//! * [`h1_vc`] — minimum vertex cover in 3-partite 3-uniform hypergraphs
+//!   → h1* (Fig. 6).
+//! * [`h3`] — the instance transformation h2* → h3* (Fig. 9).
+//! * [`selfjoin`] — vertex cover → `Rⁿ(x), S(x,y), Rⁿ(y)` (Prop. 4.16).
+//! * [`logspace`] — the UGAP → BGAP → FPMF → responsibility chain
+//!   (Theorem 4.15), showing PTIME responsibility is LOGSPACE-hard and
+//!   hence not expressible as a relational query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dpll;
+pub mod h1_vc;
+pub mod h3;
+pub mod logspace;
+pub mod ring;
+pub mod selfjoin;
+
+pub use cnf::{Cnf, Clause, Literal};
+pub use dpll::solve as dpll_solve;

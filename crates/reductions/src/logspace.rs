@@ -1,0 +1,248 @@
+//! Theorem 4.15: responsibility is LOGSPACE-hard, hence not first-order.
+//!
+//! Even when responsibility is PTIME (the linear query
+//! `q :- Rⁿ(x,u1,y), Sⁿ(y,u2,z), Tⁿ(z,u3,w)`), it cannot be computed by a
+//! relational query: it is hard for LOGSPACE, shown by the chain
+//!
+//! ```text
+//! UGAP  →  BGAP  →  Four-Partite-Max-Flow (FPMF)  →  responsibility of q
+//! ```
+//!
+//! * UGAP → BGAP: incidence bipartition ([`causality_graph::UGraph::to_bgap`]).
+//! * BGAP → FPMF: edge nodes on both sides (`U = V = E`), `U→X` and
+//!   `Y→V` edges of capacity 1, the bipartite edges with capacity 2, plus
+//!   the probe nodes `a' → a` and `b → b'`. Max-flow is `|E|` when `a`
+//!   and `b` are disconnected and `|E| + 1` when a path exists.
+//! * FPMF → query: each capacity-`c` edge becomes `c` parallel tuples
+//!   (distinguished by the middle column), and the responsibility of the
+//!   fresh witness tuple `R(x₀,1,y₀)` has minimum contingency exactly the
+//!   max-flow value.
+
+use causality_engine::{ConjunctiveQuery, Database, Schema, TupleRef, Value};
+use causality_graph::maxflow::{FlowAlgorithm, FlowNetwork, INF};
+use causality_graph::UGraph;
+
+/// A four-partite max-flow instance in layered form.
+#[derive(Clone, Debug)]
+pub struct Fpmf {
+    /// Number of nodes in each partition `(U, X, Y, V)`.
+    pub sizes: (usize, usize, usize, usize),
+    /// `U → X` edges (capacity 1).
+    pub ux: Vec<(usize, usize)>,
+    /// `X → Y` edges with capacity 1 or 2.
+    pub xy: Vec<(usize, usize, u64)>,
+    /// `Y → V` edges (capacity 1).
+    pub yv: Vec<(usize, usize)>,
+    /// The decision threshold `k = |E| + 1`.
+    pub k: u64,
+}
+
+/// Build the FPMF instance from a bipartite graph (as produced by
+/// [`UGraph::to_bgap`]): left vertices `0..left` are `X`, the rest `Y`;
+/// `a ∈ X` and `c ∈ Y` are the probe endpoints.
+pub fn bgap_to_fpmf(bg: &UGraph, left: usize, a: usize, c: usize) -> Fpmf {
+    let edges: Vec<(usize, usize)> = bg
+        .edges()
+        .iter()
+        .map(|&(u, v)| if u < left { (u, v - left) } else { (v, u - left) })
+        .collect();
+    let e = edges.len();
+    let right = bg.vertex_count() - left;
+    // U and V both have one node per bipartite edge, plus the probes a', b'.
+    let mut ux: Vec<(usize, usize)> = edges.iter().enumerate().map(|(i, &(x, _))| (i, x)).collect();
+    let mut yv: Vec<(usize, usize)> = edges.iter().enumerate().map(|(i, &(_, y))| (y, i)).collect();
+    let xy: Vec<(usize, usize, u64)> = edges.iter().map(|&(x, y)| (x, y, 2)).collect();
+    // Probe a' = U node index e; probe b' = V node index e.
+    ux.push((e, a));
+    yv.push((c - left, e));
+    Fpmf {
+        sizes: (e + 1, left, right, e + 1),
+        ux,
+        xy,
+        yv,
+        k: e as u64 + 1,
+    }
+}
+
+impl Fpmf {
+    /// Materialize as a flow network with source/target; returns
+    /// `(network, source, target)`.
+    pub fn to_network(&self) -> (FlowNetwork, usize, usize) {
+        let (u, x, y, v) = self.sizes;
+        let total = 2 + u + x + y + v;
+        let mut net = FlowNetwork::new(total);
+        let source = 0usize;
+        let target = 1usize;
+        let u_base = 2;
+        let x_base = 2 + u;
+        let y_base = x_base + x;
+        let v_base = y_base + y;
+        for i in 0..u {
+            net.add_edge(source, u_base + i, INF);
+        }
+        for &(ui, xi) in &self.ux {
+            net.add_edge(u_base + ui, x_base + xi, 1);
+        }
+        for &(xi, yi, cap) in &self.xy {
+            net.add_edge(x_base + xi, y_base + yi, cap);
+        }
+        for &(yi, vi) in &self.yv {
+            net.add_edge(y_base + yi, v_base + vi, 1);
+        }
+        for i in 0..v {
+            net.add_edge(v_base + i, target, INF);
+        }
+        (net, source, target)
+    }
+
+    /// The max-flow value of the instance.
+    pub fn max_flow(&self) -> u64 {
+        let (net, s, t) = self.to_network();
+        net.max_flow(s, t, FlowAlgorithm::Dinic).value
+    }
+
+    /// Materialize as a database instance for
+    /// `q :- R(x,u1,y), S(y,u2,z), T(z,u3,w)` with a fresh witness tuple
+    /// `R(x₀,1,y₀)`. All tuples endogenous. Returns `(db, query, witness)`.
+    pub fn to_database(&self) -> (Database, ConjunctiveQuery, TupleRef) {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "u1", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "u2", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "u3", "w"]));
+        let uval = |i: usize| Value::str(format!("u{i}"));
+        let xval = |i: usize| Value::str(format!("x{i}"));
+        let yval = |i: usize| Value::str(format!("y{i}"));
+        let vval = |i: usize| Value::str(format!("v{i}"));
+        for &(ui, xi) in &self.ux {
+            db.insert_endo(r, vec![uval(ui), Value::int(1), xval(xi)]);
+        }
+        for &(xi, yi, cap) in &self.xy {
+            for mult in 1..=cap {
+                db.insert_endo(s, vec![xval(xi), Value::int(mult as i64), yval(yi)]);
+            }
+        }
+        for &(yi, vi) in &self.yv {
+            db.insert_endo(t, vec![yval(yi), Value::int(1), vval(vi)]);
+        }
+        let witness = db.insert_endo(r, vec![Value::str("w_x0"), Value::int(1), Value::str("w_y0")]);
+        db.insert_endo(s, vec![Value::str("w_y0"), Value::int(1), Value::str("w_z0")]);
+        db.insert_endo(t, vec![Value::str("w_z0"), Value::int(1), Value::str("w_w0")]);
+        let q = ConjunctiveQuery::parse("q :- R(x, u1, y), S(y, u2, z), T(z, u3, w)")
+            .expect("static query");
+        (db, q, witness)
+    }
+}
+
+/// End-to-end chain: decide UGAP through responsibility. Returns the
+/// computed minimum contingency size of the witness and the threshold
+/// `k`; reachability holds iff the contingency reaches `k`.
+pub fn ugap_via_responsibility(g: &UGraph, a: usize, b: usize) -> (usize, u64) {
+    use causality_core::resp::exact::why_so_responsibility_exact;
+    let (bg, left, a2, c) = g.to_bgap(a, b);
+    let fpmf = bgap_to_fpmf(&bg, left, a2, c);
+    let (db, q, witness) = fpmf.to_database();
+    let resp = why_so_responsibility_exact(&db, &q, witness).expect("valid instance");
+    let gamma = resp.min_contingency.expect("witness is always a cause");
+    (gamma.len(), fpmf.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn fpmf_flow_distinguishes_reachability() {
+        // Connected: a path 0-1-2-3, probe 0 → 3.
+        let g = path_graph(4);
+        let (bg, left, a, c) = g.to_bgap(0, 3);
+        let fpmf = bgap_to_fpmf(&bg, left, a, c);
+        assert_eq!(fpmf.max_flow(), fpmf.k, "reachable: flow = |E| + 1");
+
+        // Disconnected: two components.
+        let mut g2 = UGraph::new(4);
+        g2.add_edge(0, 1);
+        g2.add_edge(2, 3);
+        let (bg2, left2, a2, c2) = g2.to_bgap(0, 3);
+        let fpmf2 = bgap_to_fpmf(&bg2, left2, a2, c2);
+        assert_eq!(fpmf2.max_flow(), fpmf2.k - 1, "unreachable: flow = |E|");
+    }
+
+    #[test]
+    fn responsibility_equals_max_flow() {
+        let g = path_graph(3);
+        let (bg, left, a, c) = g.to_bgap(0, 2);
+        let fpmf = bgap_to_fpmf(&bg, left, a, c);
+        let flow = fpmf.max_flow();
+        let (db, q, witness) = fpmf.to_database();
+        let resp =
+            causality_core::resp::exact::why_so_responsibility_exact(&db, &q, witness).unwrap();
+        assert_eq!(resp.min_contingency.unwrap().len() as u64, flow);
+    }
+
+    #[test]
+    fn end_to_end_chain_decides_ugap() {
+        // Reachable case.
+        let g = path_graph(4);
+        let (gamma, k) = ugap_via_responsibility(&g, 0, 3);
+        assert_eq!(gamma as u64, k, "path exists → contingency = |E| + 1");
+
+        // Unreachable case.
+        let mut g2 = UGraph::new(5);
+        g2.add_edge(0, 1);
+        g2.add_edge(1, 2);
+        g2.add_edge(3, 4);
+        let (gamma2, k2) = ugap_via_responsibility(&g2, 0, 4);
+        assert_eq!(gamma2 as u64, k2 - 1, "no path → contingency = |E|");
+    }
+
+    #[test]
+    fn random_graphs_agree_with_bfs() {
+        let mut seed = 0xFACEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed as usize
+        };
+        for _ in 0..8 {
+            let n = 4;
+            let mut g = UGraph::new(n);
+            for _ in 0..(1 + next() % 4) {
+                let (u, v) = (next() % n, next() % n);
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            let (a, b) = (0, n - 1);
+            let (gamma, k) = ugap_via_responsibility(&g, a, b);
+            let reachable = g.reachable(a, b);
+            assert_eq!(
+                gamma as u64 == k,
+                reachable,
+                "edges {:?} reachable={reachable}",
+                g.edges()
+            );
+        }
+    }
+
+    #[test]
+    fn database_tuple_counts() {
+        let g = path_graph(3);
+        let (bg, left, a, c) = g.to_bgap(0, 2);
+        let fpmf = bgap_to_fpmf(&bg, left, a, c);
+        let (db, _, _) = fpmf.to_database();
+        // R: |ux| + witness; S: Σ caps + witness; T: |yv| + witness.
+        let expected =
+            (fpmf.ux.len() + 1) + (fpmf.xy.iter().map(|&(_, _, c)| c as usize).sum::<usize>() + 1)
+                + (fpmf.yv.len() + 1);
+        assert_eq!(db.tuple_count(), expected);
+    }
+}

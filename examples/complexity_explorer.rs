@@ -1,0 +1,80 @@
+//! Interactive dichotomy classifier (Fig. 3 + Corollary 4.14).
+//!
+//! Run with `cargo run --example complexity_explorer` to classify the
+//! paper's catalogue of queries, or pass your own marked queries:
+//!
+//! ```text
+//! cargo run --example complexity_explorer -- "q :- R^n(x,y), S^x(y,z), T^n(z,x)"
+//! ```
+//!
+//! Atoms are marked `^n` (endogenous) or `^x` (exogenous). The verdict
+//! comes with a machine-checkable certificate: a weakening sequence plus
+//! linear order (PTIME) or a rewrite chain reaching one of the canonical
+//! hard queries h1*, h2*, h3* (NP-hard).
+
+use causality::prelude::*;
+use causality_core::dichotomy::classify::classify_why_no;
+
+fn classify_and_print(text: &str) {
+    let q = match ConjunctiveQuery::parse(text) {
+        Ok(q) => q,
+        Err(e) => {
+            println!("{text}\n  parse error: {e}\n");
+            return;
+        }
+    };
+    match classify_why_so(&q) {
+        Ok(Complexity::PTime(cert)) => {
+            println!("{q}\n  Why-So responsibility: PTIME (weakly linear)");
+            if cert.steps.is_empty() {
+                println!("  already linear; witness order: {:?}", cert.linear_order);
+            } else {
+                for step in &cert.steps {
+                    println!("  weaken: {step:?}");
+                }
+                println!("  weakened to: {}", cert.weakened.render());
+                println!("  linear order: {:?}", cert.linear_order);
+            }
+        }
+        Ok(Complexity::NpHard(cert)) => {
+            println!("{q}\n  Why-So responsibility: NP-hard");
+            for step in &cert.steps {
+                println!("  rewrite: {step}");
+            }
+            println!("  reached canonical hard query {}", cert.target.name());
+        }
+        Ok(other) => println!("{q}\n  Why-So responsibility: {}", other.label()),
+        Err(e) => println!("{q}\n  error: {e}"),
+    }
+    println!("  Why-No responsibility: {}", classify_why_no(&q));
+    println!("  causality (Why-So and Why-No): PTIME, FO-expressible (Thm. 3.2/3.4)\n");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        for text in &args {
+            classify_and_print(text);
+        }
+        return;
+    }
+    println!("=== The paper's complexity landscape (Fig. 3 / Sect. 4) ===\n");
+    for text in [
+        // Linear / weakly linear (PTIME).
+        "chain2 :- R^n(x, y), S^n(y, z)",
+        "fig5a :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
+        "ex412a :- R^n(x, y), S^x(y, z), T^n(z, x)",
+        "ex412b :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)",
+        // The canonical hard queries (Theorem 4.1).
+        "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)",
+        "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)",
+        "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
+        // Example 4.8's 4-cycle.
+        "cycle4 :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)",
+        // Self-joins (Prop. 4.16 / open).
+        "sj :- R^n(x), S^x(x, y), R^n(y)",
+        "open :- R^n(x, y), R^n(y, z)",
+    ] {
+        classify_and_print(text);
+    }
+}

@@ -1,0 +1,60 @@
+//! A Why-No scenario from the paper's introduction: "What caused my
+//! favorite undergrad student to not appear on the Dean's list this
+//! year?"
+//!
+//! Run with `cargo run --example deans_list`.
+//!
+//! The Dean's list requires an honors-eligible enrollment and a top
+//! grade. The real database (exogenous tuples) lacks some tuples; the
+//! endogenous tuples are *candidate insertions* — tuple updates that
+//! would put the student on the list (the paper delegates computing them
+//! to Huang et al. [15]; here they are given). Why-No causality ranks
+//! the repairs: counterfactual insertions (one missing fact) first.
+
+use causality::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    let enrolled = db.add_relation(Schema::new("Enrolled", &["student", "program"]));
+    let honors = db.add_relation(Schema::new("HonorsProgram", &["program"]));
+    let grade = db.add_relation(Schema::new("TopGrade", &["student", "year"]));
+
+    // The real database: what the registrar actually recorded.
+    db.insert_exo(enrolled, vec![Value::from("alice"), Value::from("cs")]);
+    db.insert_exo(honors, vec![Value::from("cs-honors")]);
+    db.insert_exo(grade, vec![Value::from("bob"), Value::from(2010)]);
+
+    // Candidate missing tuples (endogenous): plausible corrections.
+    db.insert_endo(enrolled, vec![Value::from("alice"), Value::from("cs-honors")]);
+    db.insert_endo(honors, vec![Value::from("cs")]);
+    db.insert_endo(grade, vec![Value::from("alice"), Value::from(2010)]);
+
+    let q = ConjunctiveQuery::parse(
+        "deans_list(s) :- Enrolled(s, p), HonorsProgram(p), TopGrade(s, y)",
+    )
+    .expect("query parses");
+    println!("Query: {q}\n");
+
+    let result = evaluate(&db, &q).expect("evaluation succeeds");
+    println!(
+        "Current answers (over the real database plus nothing): {}",
+        if result.answers.is_empty() { "—".to_string() } else { format!("{:?}", result.answers) }
+    );
+
+    let explanation = Explainer::new(&db, &q)
+        .why_not(&[Value::from("alice")])
+        .expect("why-not succeeds");
+    println!("\n{explanation}");
+    println!("Reading: every cause is a missing tuple; ρ = 1/(1 + further");
+    println!("insertions needed). alice's missing TopGrade row must combine");
+    println!("with one enrollment fix, so each repair tuple has ρ = 1/2;");
+    println!("a repair set is visible in each cause's contingency:");
+    for cause in &explanation.causes {
+        println!(
+            "  insert {}{}   together with {{{}}}",
+            cause.relation,
+            cause.values,
+            cause.contingency.join(", ")
+        );
+    }
+}

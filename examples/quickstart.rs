@@ -1,0 +1,60 @@
+//! Quickstart: causes and responsibilities on the paper's Example 2.2.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Builds the instance of Example 2.2 (R(x,y), S(y), all endogenous),
+//! evaluates `q(x) :- R(x,y), S(y)`, and explains every answer: the
+//! causes (Def. 2.1), their responsibilities (Def. 2.3), and a minimum
+//! contingency witnessing each.
+
+use causality::prelude::*;
+
+fn main() {
+    // The database of Example 2.2.
+    let db = causality::engine::database::example_2_2();
+    println!("Database:\n{db}");
+
+    let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").expect("query parses");
+    println!("Query: {q}\n");
+
+    let result = evaluate(&db, &q).expect("evaluation succeeds");
+    println!(
+        "Answers: {}",
+        result
+            .answers
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let explainer = Explainer::new(&db, &q);
+    for answer in &result.answers {
+        let explanation = explainer
+            .why(answer.values())
+            .expect("explanation succeeds");
+        println!("\n{explanation}");
+        for cause in &explanation.causes {
+            if !cause.counterfactual {
+                println!(
+                    "        (remove {} to make {}{} counterfactual)",
+                    cause.contingency.join(", "),
+                    cause.relation,
+                    cause.values
+                );
+            }
+        }
+    }
+
+    // The lineage view of the same facts (Sect. 3).
+    let grounded = q.ground(&[Value::from("a4")]);
+    let phi = causality::lineage::lineage(&db, &grounded).expect("lineage");
+    println!(
+        "\nLineage of a4: {}",
+        phi.display_with(|t| format!(
+            "X[{}{}]",
+            db.relation(t.rel).name(),
+            db.tuple(t)
+        ))
+    );
+}

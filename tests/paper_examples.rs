@@ -1,0 +1,249 @@
+//! Integration tests reproducing every worked example in the paper.
+//!
+//! Each test cites the example/figure it validates; together they form
+//! the "paper conformance suite" (see EXPERIMENTS.md).
+
+use causality::prelude::*;
+use causality_core::dichotomy::aquery::AQuery;
+use causality_core::dichotomy::classify::classify_why_so;
+use causality_core::resp::exact::why_so_responsibility_exact;
+use causality_datagen::imdb::{burton_genre_query, fig2a_instance};
+use causality_engine::database::example_2_2;
+use causality_engine::{tup, TupleRef};
+
+fn tref(db: &Database, rel: &str, tuple: Tuple) -> TupleRef {
+    let rid = db.relation_id(rel).unwrap();
+    TupleRef {
+        rel: rid,
+        row: db.relation(rid).find(&tuple).unwrap(),
+    }
+}
+
+/// Example 2.2: S(a1) is counterfactual for answer a2; S(a3) is an actual
+/// cause for a4 with contingency {S(a2)}.
+#[test]
+fn example_2_2_causality() {
+    let db = example_2_2();
+    let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+
+    let causes_a2 = why_so_causes(&db, &q.ground(&[Value::from("a2")])).unwrap();
+    assert!(causes_a2.counterfactual.contains(&tref(&db, "S", tup!["a1"])));
+
+    let causes_a4 = why_so_causes(&db, &q.ground(&[Value::from("a4")])).unwrap();
+    let s_a3 = tref(&db, "S", tup!["a3"]);
+    assert!(causes_a4.actual.contains(&s_a3));
+    assert!(!causes_a4.counterfactual.contains(&s_a3));
+    let resp = why_so_responsibility_exact(&db, &q.ground(&[Value::from("a4")]), s_a3).unwrap();
+    assert_eq!(resp.min_contingency.unwrap().len(), 1);
+}
+
+/// Example 2.2 (Boolean part): with Rx = {(a4,a3),(a4,a2)}, the tuple
+/// Rn(a3,a3) is not an actual cause of q :- R(x,'a3'), S('a3').
+#[test]
+fn example_2_2_boolean_query() {
+    let mut db = example_2_2();
+    let r = db.relation_id("R").unwrap();
+    for t in [tup!["a4", "a3"], tup!["a4", "a2"]] {
+        let row = db.relation(r).find(&t).unwrap();
+        db.relation_mut(r).set_endogenous(row, false);
+    }
+    let q = ConjunctiveQuery::parse("q :- R(x, 'a3'), S('a3')").unwrap();
+    let causes = why_so_causes(&db, &q).unwrap();
+    assert!(!causes.is_cause(tref(&db, "R", tup!["a3", "a3"])));
+    assert!(causes.counterfactual.contains(&tref(&db, "S", tup!["a3"])));
+}
+
+/// Example 2.4 / Fig. 2b: the full Musical responsibility ranking —
+/// reproduced value for value.
+#[test]
+fn fig_2b_musical_ranking() {
+    let (db, refs) = fig2a_instance();
+    let q = burton_genre_query();
+    let grounded = q.ground(&[Value::from("Musical")]);
+
+    let expectations = [
+        (refs.sweeney, 1.0 / 3.0),
+        (refs.david, 1.0 / 3.0),
+        (refs.humphrey, 1.0 / 3.0),
+        (refs.tim, 1.0 / 3.0),
+        (refs.falls_in_love, 1.0 / 4.0),
+        (refs.melody, 1.0 / 4.0),
+        (refs.candide, 1.0 / 5.0),
+        (refs.flight, 1.0 / 5.0),
+        (refs.manon, 1.0 / 5.0),
+    ];
+    for (tuple, expected) in expectations {
+        let resp = causality_core::resp::why_so_responsibility(&db, &grounded, tuple).unwrap();
+        assert!(
+            (resp.rho - expected).abs() < 1e-12,
+            "tuple {:?}: got {}, paper says {}",
+            db.tuple(tuple),
+            resp.rho,
+            expected
+        );
+    }
+
+    // Example 2.4's explicit contingencies: Sweeney Todd's is the two
+    // other directors; Manon Lescaut's has size 4.
+    let sweeney = why_so_responsibility_exact(&db, &grounded, refs.sweeney).unwrap();
+    let gamma = sweeney.min_contingency.unwrap();
+    assert_eq!(gamma.len(), 2);
+    assert!(gamma.contains(&refs.david) && gamma.contains(&refs.humphrey));
+    let manon = why_so_responsibility_exact(&db, &grounded, refs.manon).unwrap();
+    assert_eq!(manon.min_contingency.unwrap().len(), 4);
+}
+
+/// Example 3.3: lineage and n-lineage of q :- R(x,'a3'), S('a3').
+#[test]
+fn example_3_3_lineage() {
+    let mut db = example_2_2();
+    let r = db.relation_id("R").unwrap();
+    let row = db.relation(r).find(&tup!["a4", "a3"]).unwrap();
+    db.relation_mut(r).set_endogenous(row, false);
+
+    let q = ConjunctiveQuery::parse("q :- R(x, 'a3'), S('a3')").unwrap();
+    let phi = lineage(&db, &q).unwrap();
+    assert_eq!(phi.len(), 2);
+    let phin = n_lineage(&db, &q).unwrap().minimized();
+    assert_eq!(phin.len(), 1);
+    assert_eq!(phin.conjuncts()[0].len(), 1, "Φn ≡ X_S(a3)");
+}
+
+/// Examples 3.5 and 3.6: the generated Datalog programs compute the same
+/// causes as Theorem 3.2, and causality is non-monotone.
+#[test]
+fn examples_3_5_and_3_6_datalog() {
+    use causality_core::fo::run_causal_program;
+
+    // Example 3.5's instance.
+    let mut db = Database::new();
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y"]));
+    db.insert_exo(r, tup!["a4", "a3"]);
+    db.insert_endo(r, tup!["a3", "a3"]);
+    db.insert_endo(s, tup!["a3"]);
+    let q = ConjunctiveQuery::parse("q :- R(x, y), S(y)").unwrap();
+    let causes = run_causal_program(&db, &q).unwrap();
+    assert!(causes["R"].is_empty());
+    assert_eq!(causes["S"], vec![tup!["a3"]]);
+
+    // Non-monotonicity: without R(a4,a3), R(a3,a3) becomes a cause.
+    let mut db2 = Database::new();
+    let r2 = db2.add_relation(Schema::new("R", &["x", "y"]));
+    let s2 = db2.add_relation(Schema::new("S", &["y"]));
+    db2.insert_endo(r2, tup!["a3", "a3"]);
+    db2.insert_endo(s2, tup!["a3"]);
+    let causes2 = run_causal_program(&db2, &q).unwrap();
+    assert_eq!(causes2["R"], vec![tup!["a3", "a3"]]);
+}
+
+/// Example 4.2: flow-based responsibility on R(x,y), S(y,z) agrees with
+/// the exact solver across a batch of instances.
+#[test]
+fn example_4_2_flow_equals_exact() {
+    use causality_core::resp::flow::why_so_responsibility_flow;
+    use causality_datagen::workloads::{chain, ChainConfig};
+
+    for seed in 0..5 {
+        let inst = chain(&ChainConfig {
+            atoms: 2,
+            tuples_per_relation: 15,
+            domain_per_layer: 4,
+            seed,
+        });
+        for t in inst.db.endogenous_tuples() {
+            let flow = why_so_responsibility_flow(&inst.db, &inst.query, t).unwrap();
+            let exact = why_so_responsibility_exact(&inst.db, &inst.query, t).unwrap();
+            assert_eq!(flow.rho, exact.rho, "seed {seed}, tuple {t:?}");
+        }
+    }
+}
+
+/// Example 4.8: the 4-cycle query is NP-hard via rewriting to h2*.
+#[test]
+fn example_4_8_rewriting() {
+    let q = ConjunctiveQuery::parse("q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)").unwrap();
+    match classify_why_so(&q).unwrap() {
+        Complexity::NpHard(cert) => assert_eq!(cert.target.name(), "h2*"),
+        other => panic!("expected NP-hard, got {}", other.label()),
+    }
+}
+
+/// Example 4.12: both queries are weakly linear (PTIME).
+#[test]
+fn example_4_12_weakenings() {
+    for text in [
+        "q :- R^n(x, y), S^x(y, z), T^n(z, x)",
+        "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)",
+    ] {
+        let q = ConjunctiveQuery::parse(text).unwrap();
+        assert!(classify_why_so(&q).unwrap().is_ptime(), "{text}");
+    }
+}
+
+/// Theorem 4.1: all three canonical queries classify NP-hard; Fig. 5's
+/// linear query classifies PTIME.
+#[test]
+fn fig_3_complexity_table() {
+    let hard = [
+        "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)",
+        "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)",
+        "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
+    ];
+    for text in hard {
+        let q = ConjunctiveQuery::parse(text).unwrap();
+        assert!(!classify_why_so(&q).unwrap().is_ptime(), "{text}");
+    }
+    let easy = ConjunctiveQuery::parse(
+        "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
+    )
+    .unwrap();
+    assert!(classify_why_so(&easy).unwrap().is_ptime());
+}
+
+/// Fig. 5: dual hypergraph structure of the two displayed queries.
+#[test]
+fn fig_5_dual_hypergraphs() {
+    use causality_core::dichotomy::linearity::{dual_hypergraph, is_linear};
+    let q5a = AQuery::parse(
+        "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
+    )
+    .unwrap();
+    let h = dual_hypergraph(&q5a);
+    assert_eq!(h.vertex_count(), 7);
+    assert_eq!(h.edge_count(), 6);
+    assert!(is_linear(&q5a));
+
+    let h1 = AQuery::parse("h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)").unwrap();
+    assert!(!is_linear(&h1));
+}
+
+/// Proposition 4.16 and the open self-join case are reported as such.
+#[test]
+fn self_join_classification() {
+    let sj = ConjunctiveQuery::parse("q :- R^n(x), S^x(x, y), R^n(y)").unwrap();
+    assert!(matches!(
+        classify_why_so(&sj).unwrap(),
+        Complexity::HardSelfJoin
+    ));
+    let open = ConjunctiveQuery::parse("q :- R^n(x, y), R^n(y, z)").unwrap();
+    assert!(matches!(
+        classify_why_so(&open).unwrap(),
+        Complexity::OpenSelfJoin
+    ));
+}
+
+/// Footnote 4 (Sect. 5): with all tuples endogenous, Why-So causes equal
+/// the union of the minimal witness basis (why-provenance).
+#[test]
+fn why_provenance_correspondence() {
+    use causality_lineage::witness::witness_union;
+    let db = example_2_2();
+    let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+    for answer in ["a2", "a3", "a4"] {
+        let grounded = q.ground(&[Value::from(answer)]);
+        let causes = why_so_causes(&db, &grounded).unwrap();
+        let union = witness_union(&db, &grounded).unwrap();
+        assert_eq!(causes.actual, union, "answer {answer}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! Randomized instances cross-validate the fast algorithms against their
+//! reference oracles:
+//!
+//! * lineage-based causes (Thm. 3.2) ≡ brute-force Def. 2.1 search;
+//! * Algorithm 1 (max-flow) ≡ exact branch-and-bound on linear queries;
+//! * the generated Datalog program (Thm. 3.4) ≡ Theorem 3.2 causes;
+//! * DNF minimization preserves semantics;
+//! * C1P search agrees with exhaustive permutation checking.
+
+use causality::prelude::*;
+use causality_core::causes::{brute_force_why_so, why_so_causes};
+use causality_core::resp::exact::why_so_responsibility_exact;
+use causality_core::resp::flow::why_so_responsibility_flow;
+use causality_lineage::{Conjunct, Dnf};
+use proptest::prelude::*;
+
+/// A small random database for q :- R(x,y), S(y) with mixed natures.
+fn rs_database(
+    r_rows: &[(u8, u8, bool)],
+    s_rows: &[(u8, bool)],
+) -> (Database, ConjunctiveQuery) {
+    let mut db = Database::new();
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y"]));
+    for &(x, y, endo) in r_rows {
+        db.insert(r, vec![Value::from(i64::from(x)), Value::from(i64::from(y))], endo);
+    }
+    for &(y, endo) in s_rows {
+        db.insert(s, vec![Value::from(i64::from(y))], endo);
+    }
+    let q = ConjunctiveQuery::parse("q :- R(x, y), S(y)").unwrap();
+    (db, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.2 agrees with literal Def. 2.1 on random instances.
+    #[test]
+    fn causes_match_brute_force(
+        r_rows in prop::collection::vec((0u8..3, 0u8..3, any::<bool>()), 0..6),
+        s_rows in prop::collection::vec((0u8..3, any::<bool>()), 0..4),
+    ) {
+        let (db, q) = rs_database(&r_rows, &s_rows);
+        let fast = why_so_causes(&db, &q).unwrap();
+        let brute = brute_force_why_so(&db, &q).unwrap();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Algorithm 1 equals the exact solver on random linear instances
+    /// with fully-endogenous relations.
+    #[test]
+    fn flow_matches_exact(
+        r_rows in prop::collection::vec((0u8..3, 0u8..3), 1..8),
+        s_rows in prop::collection::vec((0u8..3, 0u8..4), 1..8),
+    ) {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        for &(x, y) in &r_rows {
+            db.insert_endo(r, vec![Value::from(i64::from(x)), Value::from(i64::from(y))]);
+        }
+        for &(y, z) in &s_rows {
+            db.insert_endo(s, vec![Value::from(i64::from(y)), Value::from(100 + i64::from(z))]);
+        }
+        let q = ConjunctiveQuery::parse("q :- R(x, y), S(y, z)").unwrap();
+        for t in db.endogenous_tuples() {
+            let flow = why_so_responsibility_flow(&db, &q, t).unwrap();
+            let exact = why_so_responsibility_exact(&db, &q, t).unwrap();
+            prop_assert_eq!(flow.rho, exact.rho, "tuple {:?}", t);
+        }
+    }
+
+    /// The Theorem 3.4 Datalog program agrees with Theorem 3.2 causes on
+    /// random self-join-free instances with mixed natures.
+    #[test]
+    fn datalog_program_matches_lineage_causes(
+        r_rows in prop::collection::vec((0u8..2, 0u8..2, any::<bool>()), 0..5),
+        s_rows in prop::collection::vec((0u8..2, any::<bool>()), 0..4),
+    ) {
+        use causality_core::fo::run_causal_program;
+        let (db, q) = rs_database(&r_rows, &s_rows);
+        let program_causes = run_causal_program(&db, &q).unwrap();
+        let lineage_causes = why_so_causes(&db, &q).unwrap();
+        let mut expected: std::collections::BTreeMap<String, Vec<Tuple>> = Default::default();
+        for t in &lineage_causes.actual {
+            expected
+                .entry(db.relation(t.rel).name().to_string())
+                .or_default()
+                .push(db.tuple(*t).clone());
+        }
+        for v in expected.values_mut() {
+            v.sort();
+        }
+        for (rel, tuples) in &program_causes {
+            let want = expected.get(rel).cloned().unwrap_or_default();
+            prop_assert_eq!(tuples, &want, "relation {}", rel);
+        }
+    }
+
+    /// DNF minimization preserves the Boolean function.
+    #[test]
+    fn dnf_minimization_preserves_semantics(
+        conjuncts in prop::collection::vec(
+            prop::collection::btree_set(0u32..6, 0..4),
+            0..8,
+        ),
+    ) {
+        let dnf = Dnf::new(
+            conjuncts
+                .iter()
+                .map(|c| Conjunct::new(c.iter().map(|&v| TupleRef::new(0, v))))
+                .collect(),
+        );
+        let min = dnf.minimized();
+        for mask in 0u32..64 {
+            let truth = |t: TupleRef| mask & (1 << t.row.0) != 0;
+            prop_assert_eq!(dnf.evaluate(truth), min.evaluate(truth), "mask {}", mask);
+        }
+        // Minimality: no conjunct is a strict superset of another.
+        for (i, a) in min.conjuncts().iter().enumerate() {
+            for (j, b) in min.conjuncts().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!b.is_strict_subset(a));
+                }
+            }
+        }
+    }
+
+    /// The C1P backtracking search agrees with exhaustive permutation
+    /// checking on random hypergraphs with 5 vertices.
+    #[test]
+    fn c1p_matches_exhaustive(edges in prop::collection::vec(0u64..32, 0..5)) {
+        use causality_graph::c1p::{c1p_order, is_consecutive_under};
+        let n = 5;
+        let fast = c1p_order(n, &edges);
+        // Exhaustive check over all 120 permutations.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut found = false;
+        permutohedron_heap(&mut perm, &mut |p: &[usize]| {
+            if is_consecutive_under(&edges, p) {
+                found = true;
+            }
+        });
+        prop_assert_eq!(fast.is_some(), found, "edges {:?}", edges);
+        if let Some(order) = fast {
+            prop_assert!(is_consecutive_under(&edges, &order));
+        }
+    }
+
+    /// Responsibility is monotone under witness protection: a
+    /// counterfactual cause always has ρ = 1 and non-causes ρ = 0; all
+    /// values lie in {0} ∪ {1/(k+1)}.
+    #[test]
+    fn rho_is_a_valid_responsibility(
+        r_rows in prop::collection::vec((0u8..3, 0u8..3, any::<bool>()), 0..6),
+        s_rows in prop::collection::vec((0u8..3, any::<bool>()), 0..4),
+    ) {
+        let (db, q) = rs_database(&r_rows, &s_rows);
+        for t in db.endogenous_tuples() {
+            let resp = why_so_responsibility_exact(&db, &q, t).unwrap();
+            prop_assert!((0.0..=1.0).contains(&resp.rho));
+            match resp.min_contingency {
+                Some(gamma) => {
+                    let k = gamma.len() as f64;
+                    prop_assert!((resp.rho - 1.0 / (1.0 + k)).abs() < 1e-12);
+                }
+                None => prop_assert_eq!(resp.rho, 0.0),
+            }
+        }
+    }
+}
+
+/// Heap's algorithm (no external crates): call `f` on every permutation.
+fn permutohedron_heap(items: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn heaps(k: usize, items: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        if k == 1 {
+            f(items);
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, items, f);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let n = items.len();
+    heaps(n, items, f);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4.17's fast Why-No responsibility agrees with the literal
+    /// Def. 2.1 dual (brute-force insertion search) on random instances.
+    #[test]
+    fn whyno_fast_matches_brute_force(
+        r_rows in prop::collection::vec((0u8..3, 0u8..3, any::<bool>()), 0..5),
+        s_rows in prop::collection::vec((0u8..3, any::<bool>()), 0..4),
+    ) {
+        use causality_core::causes::smallest_whyno_contingency;
+        use causality_core::resp::whyno::why_no_responsibility;
+        let (db, q) = rs_database(&r_rows, &s_rows);
+        for t in db.endogenous_tuples() {
+            let fast = why_no_responsibility(&db, &q, t).unwrap();
+            let brute = smallest_whyno_contingency(&db, &q, t).unwrap();
+            match brute {
+                Some(gamma) => {
+                    prop_assert!(fast.is_cause(), "tuple {:?}", t);
+                    prop_assert_eq!(
+                        fast.min_contingency.unwrap().len(),
+                        gamma.len(),
+                        "tuple {:?}", t
+                    );
+                }
+                None => prop_assert!(!fast.is_cause(), "tuple {:?}", t),
+            }
+        }
+    }
+
+    /// Why-So and Why-No are duals: a tuple that is a Why-So cause in the
+    /// full database is a Why-No cause of the same query when the rest of
+    /// the endogenous tuples are treated as candidate insertions over an
+    /// empty real database (both reduce to the same minimized lineage).
+    #[test]
+    fn cause_sets_share_lineage_support(
+        r_rows in prop::collection::vec((0u8..3, 0u8..3), 1..5),
+        s_rows in prop::collection::vec(0u8..3, 1..4),
+    ) {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        for &(x, y) in &r_rows {
+            db.insert_endo(r, vec![Value::from(i64::from(x)), Value::from(i64::from(y))]);
+        }
+        for &y in &s_rows {
+            db.insert_endo(s, vec![Value::from(i64::from(y))]);
+        }
+        let q = ConjunctiveQuery::parse("q :- R(x, y), S(y)").unwrap();
+        let whyso = why_so_causes(&db, &q).unwrap();
+        let whyno = why_no_causes(&db, &q).unwrap();
+        // With everything endogenous, both are supported by the same
+        // minimized lineage variables.
+        prop_assert_eq!(whyso.actual, whyno.actual);
+    }
+}
