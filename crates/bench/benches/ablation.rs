@@ -72,5 +72,10 @@ fn c1p_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, maxflow_ablation, exact_density_ablation, c1p_ablation);
+criterion_group!(
+    benches,
+    maxflow_ablation,
+    exact_density_ablation,
+    c1p_ablation
+);
 criterion_main!(benches);

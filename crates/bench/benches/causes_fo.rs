@@ -30,7 +30,10 @@ fn instance(n: usize, seed: u64) -> (Database, ConjunctiveQuery) {
     for y in 0..20i64 {
         db.insert(s, vec![Value::Int(y)], rng.gen_bool(0.7));
     }
-    (db, ConjunctiveQuery::parse("q :- R(x, y), S(y)").expect("parses"))
+    (
+        db,
+        ConjunctiveQuery::parse("q :- R(x, y), S(y)").expect("parses"),
+    )
 }
 
 fn causes_fo(c: &mut Criterion) {

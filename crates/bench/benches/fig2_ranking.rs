@@ -29,20 +29,16 @@ fn fig2_ranking(c: &mut Criterion) {
             movies,
             ..ImdbConfig::default()
         });
-        group.bench_with_input(
-            BenchmarkId::new("scaled", movies),
-            &movies,
-            |b, _| {
-                b.iter(|| {
-                    Explainer::new(&db, &q)
-                        .with_method(Method::Auto)
-                        .why(&[Value::from("Musical")])
-                        .expect("explains")
-                        .causes
-                        .len()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("scaled", movies), &movies, |b, _| {
+            b.iter(|| {
+                Explainer::new(&db, &q)
+                    .with_method(Method::Auto)
+                    .why(&[Value::from("Musical")])
+                    .expect("explains")
+                    .causes
+                    .len()
+            });
+        });
     }
     group.finish();
 }

@@ -15,9 +15,15 @@ fn fig3_classifier(c: &mut Criterion) {
             "fig5a_linear7",
             "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
         ),
-        ("weakly_linear_ex412", "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)"),
+        (
+            "weakly_linear_ex412",
+            "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)",
+        ),
         ("hard_h2", "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)"),
-        ("hard_4cycle", "q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)"),
+        (
+            "hard_4cycle",
+            "q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)",
+        ),
         (
             "hard_h3",
             "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",

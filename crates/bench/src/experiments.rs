@@ -21,12 +21,12 @@ use causality_graph::cover::{min_hypergraph_cover_3p, min_vertex_cover};
 use causality_graph::maxflow::FlowAlgorithm;
 use causality_graph::UGraph;
 use causality_reductions::cnf::{Clause, Cnf, Literal};
+use causality_reductions::dpll;
 use causality_reductions::h1_vc::{flat_triples, reduce_vc_to_h1, TripartiteHypergraph};
 use causality_reductions::h3::h2_to_h3;
 use causality_reductions::logspace::{bgap_to_fpmf, ugap_via_responsibility};
 use causality_reductions::ring::reduce_3sat_to_h2;
 use causality_reductions::selfjoin::reduce_vc_to_selfjoin;
-use causality_reductions::dpll;
 
 /// E1/E2 — Fig. 1 + Fig. 2: the Burton/Musical explanation, end to end.
 pub fn fig2_report() -> String {
@@ -38,7 +38,11 @@ pub fn fig2_report() -> String {
     out.push_str(&format!("query: {q}\n"));
     out.push_str(&format!(
         "answers: {:?}; lineage of Musical: {} derivations\n\n",
-        result.answers.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        result
+            .answers
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>(),
         result.valuations.len()
     ));
     let explanation = Explainer::new(&db, &q)
@@ -72,7 +76,10 @@ pub fn fig2_report() -> String {
             ]
         })
         .collect();
-    out.push_str(&render_table(&["ρ (ours)", "cause", "ρ (paper Fig. 2b)"], &rows));
+    out.push_str(&render_table(
+        &["ρ (ours)", "cause", "ρ (paper Fig. 2b)"],
+        &rows,
+    ));
     out
 }
 
@@ -87,14 +94,20 @@ pub fn fig3_report() -> String {
             "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
         ),
         ("Ex. 4.12 (1)", "q :- R^n(x, y), S^x(y, z), T^n(z, x)"),
-        ("Ex. 4.12 (2)", "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)"),
+        (
+            "Ex. 4.12 (2)",
+            "q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)",
+        ),
         ("h1*", "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)"),
         ("h2*", "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)"),
         (
             "h3*",
             "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^x(y, z), T^x(z, x)",
         ),
-        ("Ex. 4.8 4-cycle", "q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)"),
+        (
+            "Ex. 4.8 4-cycle",
+            "q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)",
+        ),
         ("Prop. 4.16", "q :- R^n(x), S^x(x, y), R^n(y)"),
         ("open self-join", "q :- R^n(x, y), R^n(y, z)"),
     ];
@@ -115,7 +128,13 @@ pub fn fig3_report() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["query", "definition", "Why-So resp.", "Why-No resp.", "causality"],
+        &[
+            "query",
+            "definition",
+            "Why-So resp.",
+            "Why-No resp.",
+            "causality",
+        ],
         &rows,
     ));
     out
@@ -156,7 +175,15 @@ pub fn fig4_report() -> String {
         }
     }
     out.push_str(&render_table(
-        &["query", "tuples/rel", "ρ(probe)", "nodes", "edges", "paths", "time"],
+        &[
+            "query",
+            "tuples/rel",
+            "ρ(probe)",
+            "nodes",
+            "edges",
+            "paths",
+            "time",
+        ],
         &rows,
     ));
     out.push_str("\nShape check: time grows polynomially with n (PTIME, Thm. 4.5).\n");
@@ -172,7 +199,10 @@ pub fn fig5_report() -> String {
             "Fig 5a (linear)",
             "q :- A^n(x), S1^x(x, v), S2^x(v, y), R^n(y, u), S3^x(y, z), T^x(z, w), B^n(z)",
         ),
-        ("Fig 5b h1* (not linear)", "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)"),
+        (
+            "Fig 5b h1* (not linear)",
+            "h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)",
+        ),
     ] {
         let aq = AQuery::parse(text).expect("parses");
         out.push_str(&format!("{name}: {}\n", aq.render()));
@@ -209,8 +239,8 @@ pub fn fig6_report() -> String {
         let inst = reduce_vc_to_h1(&h);
         let (n, triples) = flat_triples(&h);
         let cover = min_hypergraph_cover_3p(n, &triples);
-        let resp = why_so_responsibility_exact(&inst.db, &inst.query, inst.witness)
-            .expect("exact solver");
+        let resp =
+            why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).expect("exact solver");
         rows.push(vec![
             label.to_string(),
             format!("{}", h.edges.len()),
@@ -220,7 +250,13 @@ pub fn fig6_report() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["instance", "|edges|", "min cover", "min contingency", "ρ(witness)"],
+        &[
+            "instance",
+            "|edges|",
+            "min cover",
+            "min contingency",
+            "ρ(witness)",
+        ],
         &rows,
     ));
     out.push_str("\nShape check: min contingency == min vertex cover on every instance.\n");
@@ -233,14 +269,27 @@ pub fn fig7_report() -> String {
     out.push_str("Experiment E7 — Fig. 7/8: 3SAT → h2* ring reduction\n\n");
     let sat = Cnf::new(
         3,
-        vec![Clause(vec![Literal::pos(0), Literal::neg(1), Literal::pos(2)])],
+        vec![Clause(vec![
+            Literal::pos(0),
+            Literal::neg(1),
+            Literal::pos(2),
+        ])],
     );
     let mut unsat_clauses = Vec::new();
     for mask in 0u32..8 {
         unsat_clauses.push(Clause(vec![
-            Literal { var: 0, positive: mask & 1 != 0 },
-            Literal { var: 1, positive: mask & 2 != 0 },
-            Literal { var: 2, positive: mask & 4 != 0 },
+            Literal {
+                var: 0,
+                positive: mask & 1 != 0,
+            },
+            Literal {
+                var: 1,
+                positive: mask & 2 != 0,
+            },
+            Literal {
+                var: 2,
+                positive: mask & 4 != 0,
+            },
         ]));
     }
     let unsat = Cnf::new(3, unsat_clauses);
@@ -262,10 +311,21 @@ pub fn fig7_report() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["formula", "clauses", "tuples", "triangles (ring+clause+wit)", "Σmᵢ", "DPLL sat", "contingency of Σmᵢ found", "time"],
+        &[
+            "formula",
+            "clauses",
+            "tuples",
+            "triangles (ring+clause+wit)",
+            "Σmᵢ",
+            "DPLL sat",
+            "contingency of Σmᵢ found",
+            "time",
+        ],
         &rows,
     ));
-    out.push_str("\nShape check (Lemma C.3): a Σmᵢ-size contingency exists iff φ is satisfiable.\n");
+    out.push_str(
+        "\nShape check (Lemma C.3): a Σmᵢ-size contingency exists iff φ is satisfiable.\n",
+    );
     out
 }
 
@@ -280,13 +340,20 @@ pub fn fig9_report() -> String {
         let before = why_so_responsibility_exact(&inst.db, &inst.query, *src).expect("exact");
         let after = why_so_responsibility_exact(&h3.db, &h3.query, *dst).expect("exact");
         rows.push(vec![
-            format!("{}{}", inst.db.relation(src.rel).name(), inst.db.tuple(*src)),
+            format!(
+                "{}{}",
+                inst.db.relation(src.rel).name(),
+                inst.db.tuple(*src)
+            ),
             format!("{}{}", h3.db.relation(dst.rel).name(), h3.db.tuple(*dst)),
             format!("{:.3}", before.rho),
             format!("{:.3}", after.rho),
         ]);
     }
-    out.push_str(&render_table(&["h2* tuple", "h3* image", "ρ before", "ρ after"], &rows));
+    out.push_str(&render_table(
+        &["h2* tuple", "h3* image", "ρ before", "ρ after"],
+        &rows,
+    ));
     out.push_str("\nShape check: ρ identical through the transformation.\n");
     out
 }
@@ -306,7 +373,9 @@ pub fn datalog_report() -> String {
     out.push_str(&format!("{}", generated.program));
     out.push_str(&format!(
         "(refinements: {}, images: {}, embeddings: {})\n\nSQL rendering:\n{}\n\n",
-        generated.refinement_count, generated.image_count, generated.embedding_count,
+        generated.refinement_count,
+        generated.image_count,
+        generated.embedding_count,
         program_to_sql(&generated.program)
     ));
 
@@ -316,7 +385,9 @@ pub fn datalog_report() -> String {
     natures.insert("R".to_string(), causality_core::fo::RelationNature::Exo);
     natures.insert("S".to_string(), causality_core::fo::RelationNature::Endo);
     let generated = causal_program(&q, &natures).expect("generates");
-    out.push_str(&format!("Example 3.6 — {q} with R exogenous, S endogenous:\n"));
+    out.push_str(&format!(
+        "Example 3.6 — {q} with R exogenous, S endogenous:\n"
+    ));
     out.push_str(&format!("{}", generated.program));
 
     // Run 3.5's program on its instance.
@@ -330,8 +401,14 @@ pub fn datalog_report() -> String {
         .expect("runs");
     out.push_str(&format!(
         "\nExample 3.5 instance results: C_R = {:?}, C_S = {:?}\n",
-        causes["R"].iter().map(|t| t.to_string()).collect::<Vec<_>>(),
-        causes["S"].iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        causes["R"]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>(),
+        causes["S"]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
     ));
     // Natures derived from a database partition.
     let derived = natures_from_db(&db, &ConjunctiveQuery::parse("q :- R(x, y), S(y)").unwrap())
@@ -346,9 +423,21 @@ pub fn logspace_report() -> String {
     out.push_str("Experiment E14 — Theorem 4.15: UGAP → BGAP → FPMF → responsibility\n\n");
     let mut rows = Vec::new();
     for (label, edges, n, a, b) in [
-        ("path 0–4", vec![(0, 1), (1, 2), (2, 3), (3, 4)], 5usize, 0usize, 4usize),
+        (
+            "path 0–4",
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            5usize,
+            0usize,
+            4usize,
+        ),
         ("disconnected", vec![(0, 1), (2, 3)], 4, 0, 3),
-        ("cycle + tail", vec![(0, 1), (1, 2), (2, 0), (2, 3)], 4, 0, 3),
+        (
+            "cycle + tail",
+            vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+            4,
+            0,
+            3,
+        ),
     ] {
         let mut g = UGraph::new(n);
         for (u, v) in &edges {
@@ -369,7 +458,14 @@ pub fn logspace_report() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["graph", "reachable (BFS)", "FPMF max-flow", "k=|E|+1", "min contingency", "chain says reachable"],
+        &[
+            "graph",
+            "reachable (BFS)",
+            "FPMF max-flow",
+            "k=|E|+1",
+            "min contingency",
+            "chain says reachable",
+        ],
         &rows,
     ));
     out.push_str("\nShape check: the responsibility chain decides UGAP exactly.\n");

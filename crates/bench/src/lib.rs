@@ -4,7 +4,7 @@
 //! per-experiment index lives in DESIGN.md §3):
 //!
 //! * the `experiments` binary prints paper-style tables
-//!   (`cargo run -p causality-bench --bin experiments -- all`);
+//!   (`cargo run -p causality_bench --bin experiments -- all`);
 //! * the Criterion benches under `benches/` measure the *shapes* the
 //!   paper claims: polynomial scaling of Algorithm 1, exponential
 //!   exact-solver growth on h1*/h2* instances, flat data-complexity for
@@ -81,7 +81,10 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "long header"],
-            &[vec!["x".into(), "y".into()], vec!["wider cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wider cell".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -317,7 +317,10 @@ mod tests {
         db.insert_exo(r, tup![1]);
         db.insert_endo(r, tup![2]);
         let causes = why_so_causes(&db, &q("q :- R(x)")).unwrap();
-        assert!(causes.is_empty(), "R(1) keeps q true under every contingency");
+        assert!(
+            causes.is_empty(),
+            "R(1) keeps q true under every contingency"
+        );
         assert_eq!(causes, brute_force_why_so(&db, &q("q :- R(x)")).unwrap());
     }
 

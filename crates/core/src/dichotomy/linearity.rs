@@ -88,8 +88,8 @@ mod tests {
     fn star_with_three_rays_is_not_linear() {
         // R(x,w), S(y,w), T(z,w), A(x), B(y), C(z): the "corner point" shape
         // of Lemma D.2 Case 1A.
-        let q = AQuery::parse("q :- R^n(x, w), S^n(y, w), T^n(z, w), A^n(x), B^n(y), C^n(z)")
-            .unwrap();
+        let q =
+            AQuery::parse("q :- R^n(x, w), S^n(y, w), T^n(z, w), A^n(x), B^n(y), C^n(z)").unwrap();
         assert!(!is_linear(&q));
     }
 

@@ -135,8 +135,7 @@ fn candidate_rewrites(q: &AQuery) -> Vec<(String, AQuery)> {
     // is contained in it.
     for i in 0..q.atoms.len() {
         let deletable = !q.atoms[i].endo
-            || (0..q.atoms.len())
-                .any(|j| j != i && q.atoms[j].vars & !q.atoms[i].vars == 0);
+            || (0..q.atoms.len()).any(|j| j != i && q.atoms[j].vars & !q.atoms[i].vars == 0);
         if deletable && q.atoms.len() > 1 {
             let mut next = q.clone();
             next.atoms.remove(i);
@@ -181,7 +180,10 @@ fn candidate_rewrites(q: &AQuery) -> Vec<(String, AQuery)> {
                     }
                 }
                 out.push((
-                    format!("add {} to atoms containing {}", q.var_names[y], q.var_names[x]),
+                    format!(
+                        "add {} to atoms containing {}",
+                        q.var_names[y], q.var_names[x]
+                    ),
                     next,
                 ));
             }
@@ -246,10 +248,8 @@ mod tests {
         assert_eq!(match_hard(&h1n), Some(HardTarget::H1));
         let h2 = AQuery::parse("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)").unwrap();
         assert_eq!(match_hard(&h2), Some(HardTarget::H2));
-        let h3 = AQuery::parse(
-            "h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^n(y, z), T^x(z, x)",
-        )
-        .unwrap();
+        let h3 =
+            AQuery::parse("h3 :- A^n(x), B^n(y), C^n(z), R^x(x, y), S^n(y, z), T^x(z, x)").unwrap();
         assert_eq!(match_hard(&h3), Some(HardTarget::H3));
     }
 
@@ -296,10 +296,8 @@ mod tests {
     /// Longer cycles are hard too (they rewrite down to h2*).
     #[test]
     fn five_cycle_is_hard() {
-        let q = AQuery::parse(
-            "q :- R1^n(a, b), R2^n(b, c), R3^n(c, d), R4^n(d, e), R5^n(e, a)",
-        )
-        .unwrap();
+        let q = AQuery::parse("q :- R1^n(a, b), R2^n(b, c), R3^n(c, d), R4^n(d, e), R5^n(e, a)")
+            .unwrap();
         let cert = hardness_certificate(&q, &mut cache()).unwrap().unwrap();
         assert_eq!(cert.target, HardTarget::H2);
     }
@@ -316,10 +314,8 @@ mod tests {
     /// The "corner point" query of Lemma D.2 Case 1A reduces to h1*.
     #[test]
     fn corner_point_star_is_hard() {
-        let q = AQuery::parse(
-            "q :- A^n(x), B^n(y), C^n(z), R^n(x, w), S^n(y, w), T^n(z, w)",
-        )
-        .unwrap();
+        let q =
+            AQuery::parse("q :- A^n(x), B^n(y), C^n(z), R^n(x, w), S^n(y, w), T^n(z, w)").unwrap();
         let cert = hardness_certificate(&q, &mut cache()).unwrap().unwrap();
         // Reachable target may be h1* (via corner analysis); any canonical
         // target is a valid hardness proof.

@@ -64,9 +64,7 @@ const STATE_BUDGET: usize = 200_000;
 /// Breadth-first search for a weakening sequence reaching a linear query.
 /// Returns `Ok(None)` when the query is *not* weakly linear (the search
 /// space is finite, so this is a definite answer).
-pub fn weakly_linear_certificate(
-    q: &AQuery,
-) -> Result<Option<WeaklyLinearCertificate>, CoreError> {
+pub fn weakly_linear_certificate(q: &AQuery) -> Result<Option<WeaklyLinearCertificate>, CoreError> {
     let mut visited: HashSet<Vec<AAtom>> = HashSet::new();
     let mut queue: VecDeque<(Vec<AAtom>, Vec<WeakenStep>)> = VecDeque::new();
     visited.insert(q.key());
@@ -190,7 +188,9 @@ mod tests {
     #[test]
     fn example_4_12_dissociation() {
         let q = AQuery::parse("q :- R^n(x, y), S^x(y, z), T^n(z, x)").unwrap();
-        let cert = weakly_linear_certificate(&q).unwrap().expect("weakly linear");
+        let cert = weakly_linear_certificate(&q)
+            .unwrap()
+            .expect("weakly linear");
         assert!(!cert.steps.is_empty());
         assert!(cert
             .steps
@@ -208,7 +208,9 @@ mod tests {
     #[test]
     fn example_4_12_domination_then_dissociation() {
         let q = AQuery::parse("q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)").unwrap();
-        let cert = weakly_linear_certificate(&q).unwrap().expect("weakly linear");
+        let cert = weakly_linear_certificate(&q)
+            .unwrap()
+            .expect("weakly linear");
         let dominations = cert
             .steps
             .iter()

@@ -55,13 +55,19 @@ impl fmt::Display for CoreError {
             CoreError::NotWeaklyLinear { query } => {
                 write!(f, "query `{query}` is not weakly linear; Algorithm 1 does not apply (responsibility is NP-hard, use the exact solver)")
             }
-            CoreError::NotEndogenous => write!(f, "tuple is exogenous; only endogenous tuples can be causes"),
+            CoreError::NotEndogenous => write!(
+                f,
+                "tuple is exogenous; only endogenous tuples can be causes"
+            ),
             CoreError::TooLarge { what } => write!(f, "too many {what} (limit 64)"),
             CoreError::BudgetExceeded { search } => {
                 write!(f, "search budget exceeded in {search}")
             }
             CoreError::UnmarkedAtom { relation } => {
-                write!(f, "atom `{relation}` must be marked ^n or ^x for the dichotomy analysis")
+                write!(
+                    f,
+                    "atom `{relation}` must be marked ^n or ^x for the dichotomy analysis"
+                )
             }
         }
     }
@@ -95,9 +101,11 @@ mod tests {
         assert!(CoreError::TooLarge { what: "variables" }
             .to_string()
             .contains("variables"));
-        assert!(CoreError::BudgetExceeded { search: "weakening BFS" }
-            .to_string()
-            .contains("weakening"));
+        assert!(CoreError::BudgetExceeded {
+            search: "weakening BFS"
+        }
+        .to_string()
+        .contains("weakening"));
         let e: CoreError = EngineError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains("unknown relation"));
     }

@@ -160,7 +160,9 @@ mod tests {
     fn why_explains_example_2_2() {
         let db = example_2_2();
         let query = q("q(x) :- R(x, y), S(y)");
-        let explanation = Explainer::new(&db, &query).why(&[Value::str("a2")]).unwrap();
+        let explanation = Explainer::new(&db, &query)
+            .why(&[Value::str("a2")])
+            .unwrap();
         assert_eq!(explanation.kind, ExplanationKind::WhySo);
         assert_eq!(explanation.causes.len(), 2);
         assert!(explanation.causes.iter().all(|c| c.counterfactual));
@@ -174,7 +176,9 @@ mod tests {
     fn contingencies_are_rendered() {
         let db = example_2_2();
         let query = q("q(x) :- R(x, y), S(y)");
-        let explanation = Explainer::new(&db, &query).why(&[Value::str("a4")]).unwrap();
+        let explanation = Explainer::new(&db, &query)
+            .why(&[Value::str("a4")])
+            .unwrap();
         let s_a3 = explanation
             .causes
             .iter()
@@ -192,7 +196,9 @@ mod tests {
         db.insert_exo(r, tup![1, 2]);
         db.insert_endo(s, tup![2]); // candidate insertion
         let query = q("q(x) :- R(x, y), S(y)");
-        let explanation = Explainer::new(&db, &query).why_not(&[Value::int(1)]).unwrap();
+        let explanation = Explainer::new(&db, &query)
+            .why_not(&[Value::int(1)])
+            .unwrap();
         assert_eq!(explanation.kind, ExplanationKind::WhyNo);
         assert_eq!(explanation.causes.len(), 1);
         assert_eq!(explanation.causes[0].rho, 1.0);
@@ -219,7 +225,9 @@ mod tests {
     fn non_answer_of_why_gives_empty_causes() {
         let db = example_2_2();
         let query = q("q(x) :- R(x, y), S(y)");
-        let explanation = Explainer::new(&db, &query).why(&[Value::str("zzz")]).unwrap();
+        let explanation = Explainer::new(&db, &query)
+            .why(&[Value::str("zzz")])
+            .unwrap();
         assert!(explanation.causes.is_empty());
     }
 }

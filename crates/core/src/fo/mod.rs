@@ -36,9 +36,7 @@ use crate::error::CoreError;
 use causality_datalog::ast::{DTerm, Literal, Program, Rule};
 use causality_datalog::eval::evaluate_program;
 use causality_engine::query::homomorphism::{is_isomorphic, query_core};
-use causality_engine::{
-    Atom, ConjunctiveQuery, Database, Nature, Term, Tuple, VarId,
-};
+use causality_engine::{Atom, ConjunctiveQuery, Database, Nature, Term, Tuple, VarId};
 use std::collections::BTreeMap;
 
 /// How a relation participates in the endogenous/exogenous partition.
@@ -126,9 +124,9 @@ pub fn causal_program(
     natures: &BTreeMap<String, RelationNature>,
 ) -> Result<CausalProgram, CoreError> {
     if !q.is_boolean() {
-        return Err(CoreError::Engine(causality_engine::EngineError::NotBoolean(
-            q.to_string(),
-        )));
+        return Err(CoreError::Engine(
+            causality_engine::EngineError::NotBoolean(q.to_string()),
+        ));
     }
     // 1. Refinements.
     let refinements = enumerate_refinements(q, natures);
@@ -235,10 +233,16 @@ fn enumerate_refinements(
     let choices: Vec<Vec<Nature>> = q
         .atoms()
         .iter()
-        .map(|a| match natures.get(&a.relation).copied().unwrap_or(RelationNature::Mixed) {
-            RelationNature::Endo => vec![Nature::Endo],
-            RelationNature::Exo => vec![Nature::Exo],
-            RelationNature::Mixed => vec![Nature::Endo, Nature::Exo],
+        .map(|a| {
+            match natures
+                .get(&a.relation)
+                .copied()
+                .unwrap_or(RelationNature::Mixed)
+            {
+                RelationNature::Endo => vec![Nature::Endo],
+                RelationNature::Exo => vec![Nature::Exo],
+                RelationNature::Mixed => vec![Nature::Endo, Nature::Exo],
+            }
         })
         .collect();
     let mut out = Vec::new();
@@ -500,7 +504,10 @@ mod tests {
         assert_eq!(gen.refinement_count, 2);
         assert!(gen.cause_predicates.contains_key("R"));
         assert!(gen.cause_predicates.contains_key("S"));
-        assert!(gen.embedding_count >= 1, "Rn,Sn embeds onto the Rx,Sn image");
+        assert!(
+            gen.embedding_count >= 1,
+            "Rn,Sn embeds onto the Rx,Sn image"
+        );
         let text = gen.program.to_string();
         assert!(text.contains("¬I"), "negation is necessary (Example 3.5)");
     }
@@ -697,6 +704,9 @@ mod tests {
         let expect_r: Vec<Tuple> = vec![tup![1, 2]];
         assert_eq!(causes["R"], expect_r);
         let lineage = why_so_causes(&db, &query).unwrap();
-        assert!(lineage.actual.contains(&TupleRef { rel: r, row: causality_engine::RowId(0) }));
+        assert!(lineage.actual.contains(&TupleRef {
+            rel: r,
+            row: causality_engine::RowId(0)
+        }));
     }
 }

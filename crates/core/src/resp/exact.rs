@@ -46,16 +46,10 @@ pub fn min_contingency_from_lineage(phin: &Dnf, t: TupleRef) -> Option<Vec<Tuple
     if !phin.mentions(t) || phin.is_tautology() {
         return None;
     }
-    let witnesses: Vec<&causality_lineage::Conjunct> = phin
-        .conjuncts()
-        .iter()
-        .filter(|c| c.contains(t))
-        .collect();
-    let others: Vec<&causality_lineage::Conjunct> = phin
-        .conjuncts()
-        .iter()
-        .filter(|c| !c.contains(t))
-        .collect();
+    let witnesses: Vec<&causality_lineage::Conjunct> =
+        phin.conjuncts().iter().filter(|c| c.contains(t)).collect();
+    let others: Vec<&causality_lineage::Conjunct> =
+        phin.conjuncts().iter().filter(|c| !c.contains(t)).collect();
 
     let mut best: Option<Vec<TupleRef>> = None;
     for witness in witnesses {
@@ -83,10 +77,7 @@ pub fn min_contingency_from_lineage(phin: &Dnf, t: TupleRef) -> Option<Vec<Tuple
 /// every input set. `upper` is an exclusive bound — solutions of size
 /// `≥ upper` are not returned. Returns `None` when no solution beats the
 /// bound (or an empty input set makes hitting impossible).
-pub fn min_hitting_set(
-    sets: &[BTreeSet<TupleRef>],
-    upper: Option<usize>,
-) -> Option<Vec<TupleRef>> {
+pub fn min_hitting_set(sets: &[BTreeSet<TupleRef>], upper: Option<usize>) -> Option<Vec<TupleRef>> {
     if sets.iter().any(BTreeSet::is_empty) {
         return None;
     }
@@ -311,7 +302,10 @@ mod tests {
 
         let s23 = tref(&db, "S", tup![2, 3]);
         let resp = why_so_responsibility_exact(&db, &query, s23).unwrap();
-        assert!((resp.rho - 0.5).abs() < 1e-12, "must break the other triangle");
+        assert!(
+            (resp.rho - 0.5).abs() < 1e-12,
+            "must break the other triangle"
+        );
     }
 
     #[test]
@@ -337,6 +331,9 @@ mod tests {
         let query = q("q :- R(x), S(x, y), R(y)");
         // r0 joins with itself via S(0,0); the other derivation is R(1),R(2).
         let resp = why_so_responsibility_exact(&db, &query, r0).unwrap();
-        assert!((resp.rho - 0.5).abs() < 1e-12, "cut R(1) or R(2), then r0 counterfactual");
+        assert!(
+            (resp.rho - 0.5).abs() < 1e-12,
+            "cut R(1) or R(2), then r0 counterfactual"
+        );
     }
 }

@@ -23,9 +23,7 @@ use crate::dichotomy::aquery::AQuery;
 use crate::dichotomy::weaken::weakly_linear_certificate;
 use crate::error::CoreError;
 use crate::resp::Responsibility;
-use causality_engine::{
-    evaluate, ConjunctiveQuery, Database, Nature, Value, TupleRef, VarId,
-};
+use causality_engine::{evaluate, ConjunctiveQuery, Database, Nature, TupleRef, Value, VarId};
 use causality_graph::maxflow::{EdgeHandle, FlowAlgorithm, FlowNetwork, INF};
 use std::collections::{BTreeSet, HashMap};
 
@@ -201,7 +199,11 @@ pub fn why_so_responsibility_flow_with(
                 .iter()
                 .filter_map(|h| handle_tuple.get(h).copied())
                 .collect();
-            debug_assert_eq!(gamma.len() as u64, flow.value, "cut is unit-capacity tuples");
+            debug_assert_eq!(
+                gamma.len() as u64,
+                flow.value,
+                "cut is unit-capacity tuples"
+            );
             best = Some((flow.value, gamma));
         }
     }
@@ -276,8 +278,7 @@ mod tests {
         use causality_engine::database::example_2_2;
         let db = example_2_2();
         for answer in ["a2", "a3", "a4"] {
-            let query = q("q(x) :- R(x, y), S(y)")
-                .ground(&[causality_engine::Value::str(answer)]);
+            let query = q("q(x) :- R(x, y), S(y)").ground(&[causality_engine::Value::str(answer)]);
             for t in db.endogenous_tuples() {
                 let flow = why_so_responsibility_flow(&db, &query, t).unwrap();
                 let exact = why_so_responsibility_exact(&db, &query, t).unwrap();
@@ -344,10 +345,18 @@ mod tests {
         let s2 = db.insert_endo(s, tup![2]);
         let dangling = db.insert_endo(s, tup![9]); // joins nothing
         let query = q("q :- R(x, y), S(y)");
-        assert_eq!(why_so_responsibility_flow(&db, &query, r1).unwrap().rho, 1.0);
-        assert_eq!(why_so_responsibility_flow(&db, &query, s2).unwrap().rho, 1.0);
         assert_eq!(
-            why_so_responsibility_flow(&db, &query, dangling).unwrap().rho,
+            why_so_responsibility_flow(&db, &query, r1).unwrap().rho,
+            1.0
+        );
+        assert_eq!(
+            why_so_responsibility_flow(&db, &query, s2).unwrap().rho,
+            1.0
+        );
+        assert_eq!(
+            why_so_responsibility_flow(&db, &query, dangling)
+                .unwrap()
+                .rho,
             0.0
         );
     }
@@ -375,12 +384,11 @@ mod tests {
         let t0 = db.insert_endo(r, tup![1, 2]);
         db.insert_endo(s, tup![2, 3]);
         db.insert_endo(tt, tup![3, 1]);
-        let err = why_so_responsibility_flow(&db, &q("h2 :- R(x, y), S(y, z), T(z, x)"), t0)
-            .unwrap_err();
+        let err =
+            why_so_responsibility_flow(&db, &q("h2 :- R(x, y), S(y, z), T(z, x)"), t0).unwrap_err();
         assert!(matches!(err, CoreError::NotWeaklyLinear { .. }));
 
-        let err =
-            why_so_responsibility_flow(&db, &q("q :- R(x, y), R(y, z)"), t0).unwrap_err();
+        let err = why_so_responsibility_flow(&db, &q("q :- R(x, y), R(y, z)"), t0).unwrap_err();
         assert!(matches!(err, CoreError::SelfJoin { .. }));
     }
 

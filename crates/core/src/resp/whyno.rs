@@ -100,7 +100,10 @@ mod tests {
         db.insert_endo(s, tup![6, 3]);
         let query = q("q :- R(x, y), S(y, z), T(z)");
         let resp = why_no_responsibility(&db, &query, t3).unwrap();
-        assert!((resp.rho - 0.5).abs() < 1e-12, "cheapest conjunct has 2 tuples");
+        assert!(
+            (resp.rho - 0.5).abs() < 1e-12,
+            "cheapest conjunct has 2 tuples"
+        );
     }
 
     #[test]

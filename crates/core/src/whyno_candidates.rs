@@ -80,16 +80,7 @@ pub fn suggest_candidates(
 
     let mut found: BTreeSet<(String, Tuple)> = BTreeSet::new();
     let mut assignment: Vec<Option<Value>> = vec![None; q.var_count()];
-    enumerate(
-        db,
-        q,
-        config,
-        &adom,
-        &vars,
-        0,
-        &mut assignment,
-        &mut found,
-    );
+    enumerate(db, q, config, &adom, &vars, 0, &mut assignment, &mut found);
     Ok(found.into_iter().collect())
 }
 
@@ -282,8 +273,7 @@ mod tests {
             max_new_per_derivation: 1,
             ..Default::default()
         };
-        let candidates =
-            suggest_candidates(&db, &q("q :- R('k', y), S(y)"), &config).unwrap();
+        let candidates = suggest_candidates(&db, &q("q :- R('k', y), S(y)"), &config).unwrap();
         assert_eq!(candidates, vec![("R".to_string(), tup!["k", "a"])]);
     }
 
@@ -300,8 +290,8 @@ mod tests {
     fn non_boolean_rejected() {
         let mut db = Database::new();
         db.add_relation(Schema::new("R", &["x"]));
-        let err = suggest_candidates(&db, &q("q(x) :- R(x)"), &CandidateConfig::default())
-            .unwrap_err();
+        let err =
+            suggest_candidates(&db, &q("q(x) :- R(x)"), &CandidateConfig::default()).unwrap_err();
         assert!(matches!(err, CoreError::Engine(EngineError::NotBoolean(_))));
     }
 
@@ -317,6 +307,9 @@ mod tests {
             ..Default::default()
         };
         let candidates = suggest_candidates(&db, &q("q :- R(x)"), &config).unwrap();
-        assert!(candidates.is_empty(), "single atom over adom {{5}} already present");
+        assert!(
+            candidates.is_empty(),
+            "single atom over adom {{5}} already present"
+        );
     }
 }

@@ -94,7 +94,12 @@ pub fn fig2a_instance() -> (Database, Fig2aRefs) {
     let manon = movie(&mut db, 389987, "Manon Lescaut", 1997);
     let flight = movie(&mut db, 173629, "Flight", 1999);
     let candide = movie(&mut db, 6539, "Candide", 1989);
-    let sweeney = movie(&mut db, 526338, "Sweeney Todd: The Demon Barber of Fleet Street", 2007);
+    let sweeney = movie(
+        &mut db,
+        526338,
+        "Sweeney Todd: The Demon Barber of Fleet Street",
+        2007,
+    );
 
     // Fig. 2a's links: David → {Melody, Let's Fall in Love};
     // Humphrey → {Manon, Flight, Candide}; Tim → {Sweeney Todd}.
@@ -168,9 +173,26 @@ impl Default for ImdbConfig {
 
 /// Names used for synthetic genres (cycled with numeric suffixes beyond).
 const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Documentary", "Horror", "Romance", "Action", "Thriller", "Fantasy",
-    "Sci-Fi", "Music", "Musical", "Mystery", "Family", "History", "Crime", "Adventure",
-    "Animation", "War", "Western", "Biography",
+    "Drama",
+    "Comedy",
+    "Documentary",
+    "Horror",
+    "Romance",
+    "Action",
+    "Thriller",
+    "Fantasy",
+    "Sci-Fi",
+    "Music",
+    "Musical",
+    "Mystery",
+    "Family",
+    "History",
+    "Crime",
+    "Adventure",
+    "Animation",
+    "War",
+    "Western",
+    "Biography",
 ];
 
 /// Generate a seeded IMDB instance embedding the Fig. 2a micro-pattern.
@@ -181,8 +203,12 @@ pub fn generate(cfg: &ImdbConfig) -> (Database, Fig2aRefs) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let zipf = Zipf::new(cfg.genres.max(1), cfg.genre_skew);
 
-    let first_names = ["Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi"];
-    let last_names = ["Smith", "Jones", "Kurosawa", "Varda", "Lang", "Wilder", "Leone", "Burton"];
+    let first_names = [
+        "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi",
+    ];
+    let last_names = [
+        "Smith", "Jones", "Kurosawa", "Varda", "Lang", "Wilder", "Leone", "Burton",
+    ];
     for i in 0..cfg.directors {
         let did = 100_000 + i as i64;
         let first = first_names[rng.gen_range(0..first_names.len())];
@@ -303,8 +329,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&ImdbConfig { seed: 1, ..ImdbConfig::default() }).0;
-        let b = generate(&ImdbConfig { seed: 2, ..ImdbConfig::default() }).0;
+        let a = generate(&ImdbConfig {
+            seed: 1,
+            ..ImdbConfig::default()
+        })
+        .0;
+        let b = generate(&ImdbConfig {
+            seed: 2,
+            ..ImdbConfig::default()
+        })
+        .0;
         // Extremely unlikely to coincide.
         let ga = a.relation(a.relation_id("Genre").unwrap());
         let gb = b.relation(b.relation_id("Genre").unwrap());

@@ -41,10 +41,16 @@ impl fmt::Display for DatalogError {
             DatalogError::Stratify(e) => write!(f, "{e}"),
             DatalogError::Engine(e) => write!(f, "{e}"),
             DatalogError::NatureOnIdb { predicate } => {
-                write!(f, "IDB predicate `{predicate}` cannot carry an endo/exo view")
+                write!(
+                    f,
+                    "IDB predicate `{predicate}` cannot carry an endo/exo view"
+                )
             }
             DatalogError::ArityConflict { predicate } => {
-                write!(f, "IDB predicate `{predicate}` used with conflicting arities")
+                write!(
+                    f,
+                    "IDB predicate `{predicate}` used with conflicting arities"
+                )
             }
         }
     }
@@ -197,29 +203,22 @@ fn derive(
     let negatives: Vec<&Literal> = rule.body.iter().filter(|l| l.negated).collect();
     let mut out = Vec::new();
     let mut bindings: Bindings = HashMap::new();
-    join(
-        db,
-        idb,
-        &positives,
-        0,
-        &mut bindings,
-        &mut |bindings| {
-            for lit in &negatives {
-                if literal_holds(db, idb, lit, bindings) {
-                    return; // negated literal satisfied positively → rule blocked
-                }
+    join(db, idb, &positives, 0, &mut bindings, &mut |bindings| {
+        for lit in &negatives {
+            if literal_holds(db, idb, lit, bindings) {
+                return; // negated literal satisfied positively → rule blocked
             }
-            let tuple: Tuple = rule
-                .head_terms
-                .iter()
-                .map(|t| match t {
-                    DTerm::Var(v) => bindings[v].clone(),
-                    DTerm::Const(c) => c.clone(),
-                })
-                .collect();
-            out.push(tuple);
-        },
-    );
+        }
+        let tuple: Tuple = rule
+            .head_terms
+            .iter()
+            .map(|t| match t {
+                DTerm::Var(v) => bindings[v].clone(),
+                DTerm::Const(c) => c.clone(),
+            })
+            .collect();
+        out.push(tuple);
+    });
     Ok(out)
 }
 
@@ -395,7 +394,10 @@ mod tests {
 
         let result = evaluate_program(&db, &program).unwrap();
         assert_eq!(result.tuples("I"), &[tup!["a3"]]);
-        assert!(result.tuples("CR").is_empty(), "R(a3,a3) is redundant, not a cause");
+        assert!(
+            result.tuples("CR").is_empty(),
+            "R(a3,a3) is redundant, not a cause"
+        );
         assert_eq!(result.tuples("CS"), &[tup!["a3"]]);
     }
 
@@ -475,7 +477,10 @@ mod tests {
             Rule::new(
                 "Bad",
                 vec![v("x")],
-                vec![lit("R", Nature::Any, vec![DTerm::cst(1)]), lit("R", Nature::Any, vec![v("x")])],
+                vec![
+                    lit("R", Nature::Any, vec![DTerm::cst(1)]),
+                    lit("R", Nature::Any, vec![v("x")]),
+                ],
             ),
             Rule::new(
                 "Good",
@@ -533,7 +538,11 @@ mod tests {
         // Nature on IDB.
         let p = Program::new(vec![
             Rule::new("A", vec![v("x")], vec![lit("R", Nature::Any, vec![v("x")])]),
-            Rule::new("B", vec![v("x")], vec![lit("A", Nature::Endo, vec![v("x")])]),
+            Rule::new(
+                "B",
+                vec![v("x")],
+                vec![lit("A", Nature::Endo, vec![v("x")])],
+            ),
         ]);
         let mut db2 = Database::new();
         db2.add_relation(Schema::new("R", &["x"]));

@@ -185,7 +185,10 @@ mod tests {
         let p = example_program();
         let sql = rule_to_select(&p.rules[0]);
         // y first binds at R's second column (alias t0, position 1).
-        assert!(sql.contains("SELECT DISTINCT t0.c1 AS c0"), "sql was: {sql}");
+        assert!(
+            sql.contains("SELECT DISTINCT t0.c1 AS c0"),
+            "sql was: {sql}"
+        );
         assert!(sql.contains("FROM R t0, S t1"));
         assert!(sql.contains("t0.endo = FALSE"));
         assert!(sql.contains("t1.endo = TRUE"));
@@ -196,7 +199,10 @@ mod tests {
     fn negation_becomes_not_exists() {
         let p = example_program();
         let sql = rule_to_select(&p.rules[1]);
-        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM I n WHERE n.c0 = t0.c1)"), "sql: {sql}");
+        assert!(
+            sql.contains("NOT EXISTS (SELECT 1 FROM I n WHERE n.c0 = t0.c1)"),
+            "sql: {sql}"
+        );
     }
 
     #[test]
@@ -227,8 +233,16 @@ mod tests {
     #[test]
     fn union_across_rules_of_same_predicate() {
         let p = Program::new(vec![
-            Rule::new("A", vec![v("x")], vec![Literal::pos("R", Nature::Any, vec![v("x")])]),
-            Rule::new("A", vec![v("x")], vec![Literal::pos("S", Nature::Any, vec![v("x")])]),
+            Rule::new(
+                "A",
+                vec![v("x")],
+                vec![Literal::pos("R", Nature::Any, vec![v("x")])],
+            ),
+            Rule::new(
+                "A",
+                vec![v("x")],
+                vec![Literal::pos("S", Nature::Any, vec![v("x")])],
+            ),
         ]);
         let sql = program_to_sql(&p);
         assert!(sql.contains("UNION"));

@@ -93,11 +93,19 @@ mod tests {
     use causality_engine::Nature;
 
     fn lit(pred: &str, vars: &[&str]) -> Literal {
-        Literal::pos(pred, Nature::Any, vars.iter().map(|v| DTerm::var(*v)).collect())
+        Literal::pos(
+            pred,
+            Nature::Any,
+            vars.iter().map(|v| DTerm::var(*v)).collect(),
+        )
     }
 
     fn nlit(pred: &str, vars: &[&str]) -> Literal {
-        Literal::neg(pred, Nature::Any, vars.iter().map(|v| DTerm::var(*v)).collect())
+        Literal::neg(
+            pred,
+            Nature::Any,
+            vars.iter().map(|v| DTerm::var(*v)).collect(),
+        )
     }
 
     #[test]

@@ -209,7 +209,13 @@ pub fn example_2_2() -> Database {
     let mut db = Database::new();
     let r = db.add_relation(Schema::new("R", &["x", "y"]));
     let s = db.add_relation(Schema::new("S", &["y"]));
-    for (x, y) in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"), ("a4", "a2")] {
+    for (x, y) in [
+        ("a1", "a5"),
+        ("a2", "a1"),
+        ("a3", "a3"),
+        ("a4", "a3"),
+        ("a4", "a2"),
+    ] {
         db.insert_endo(r, vec![Value::str(x), Value::str(y)]);
     }
     for y in ["a1", "a2", "a3", "a4", "a6"] {

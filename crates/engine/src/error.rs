@@ -50,10 +50,16 @@ impl fmt::Display for EngineError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             EngineError::NotBoolean(q) => {
-                write!(f, "query `{q}` has head variables; a Boolean query is required")
+                write!(
+                    f,
+                    "query `{q}` has head variables; a Boolean query is required"
+                )
             }
             EngineError::UnsafeQuery { query, var } => {
-                write!(f, "unsafe query `{query}`: head variable `{var}` not in body")
+                write!(
+                    f,
+                    "unsafe query `{query}`: head variable `{var}` not in body"
+                )
             }
         }
     }

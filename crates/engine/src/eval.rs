@@ -237,7 +237,8 @@ impl<'a> Evaluator<'a> {
         let rows: Vec<RowId> = self
             .indexes
             .get(&(rel, positions.clone()))
-            .and_then(|idx| idx.get(&key)).cloned()
+            .and_then(|idx| idx.get(&key))
+            .cloned()
             .unwrap_or_default();
 
         for row in rows {
@@ -502,7 +503,9 @@ mod tests {
         let query = q("q :- R(x, y), S(y)");
         assert!(holds_masked(&db, &query, EndoMask::All).unwrap());
         let all: HashSet<TupleRef> = db.endogenous_tuples().into_iter().collect();
-        assert!(!holds_masked(&db, &query, EndoMask::Only(&HashSet::new())).unwrap() || all.is_empty());
+        assert!(
+            !holds_masked(&db, &query, EndoMask::Only(&HashSet::new())).unwrap() || all.is_empty()
+        );
     }
 
     #[test]

@@ -126,7 +126,14 @@ pub fn is_isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     let mut forward: HashMap<VarId, VarId> = HashMap::new();
     let mut backward: HashMap<VarId, VarId> = HashMap::new();
     let mut used = vec![false; b.atoms().len()];
-    iso_search(a.atoms(), 0, b.atoms(), &mut used, &mut forward, &mut backward)
+    iso_search(
+        a.atoms(),
+        0,
+        b.atoms(),
+        &mut used,
+        &mut forward,
+        &mut backward,
+    )
 }
 
 fn iso_search(
@@ -162,20 +169,18 @@ fn iso_search(
                         break;
                     }
                 }
-                (Term::Var(v), Term::Var(w)) => {
-                    match (forward.get(v), backward.get(w)) {
-                        (Some(fw), Some(bw)) if fw == w && bw == v => {}
-                        (None, None) => {
-                            forward.insert(*v, *w);
-                            backward.insert(*w, *v);
-                            added.push(*v);
-                        }
-                        _ => {
-                            ok = false;
-                            break;
-                        }
+                (Term::Var(v), Term::Var(w)) => match (forward.get(v), backward.get(w)) {
+                    (Some(fw), Some(bw)) if fw == w && bw == v => {}
+                    (None, None) => {
+                        forward.insert(*v, *w);
+                        backward.insert(*w, *v);
+                        added.push(*v);
                     }
-                }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
                 _ => {
                     ok = false;
                     break;
@@ -216,7 +221,10 @@ mod tests {
         let from = q("q :- R(x, y), R(y, z)");
         let to = q("p :- R(u, u)");
         assert!(has_homomorphism(&from, &to));
-        assert!(!has_homomorphism(&to, &from), "R(u,u) needs a loop in the target");
+        assert!(
+            !has_homomorphism(&to, &from),
+            "R(u,u) needs a loop in the target"
+        );
     }
 
     #[test]

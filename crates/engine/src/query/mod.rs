@@ -201,7 +201,10 @@ impl ConjunctiveQuery {
 
     /// Find an existing variable by name.
     pub fn find_var(&self, name: &str) -> Option<VarId> {
-        self.var_names.iter().position(|n| n == name).map(|i| VarId(i as u32))
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
     }
 
     /// Append an atom; terms must use variables interned via [`Self::var`].
@@ -366,7 +369,10 @@ impl ConjunctiveQuery {
 }
 
 fn format_values(vals: &[Value]) -> String {
-    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+    vals.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 impl fmt::Display for ConjunctiveQuery {
@@ -426,7 +432,11 @@ mod tests {
         let x = cq.var("x");
         let y = cq.var("y");
         assert_eq!(cq.var("x"), x, "interning is idempotent");
-        cq.push_atom(Atom::new("R", Nature::Endo, vec![Term::Var(x), Term::Var(y)]));
+        cq.push_atom(Atom::new(
+            "R",
+            Nature::Endo,
+            vec![Term::Var(x), Term::Var(y)],
+        ));
         cq.push_atom(Atom::new("S", Nature::Exo, vec![Term::Var(y)]));
         assert!(cq.is_boolean());
         assert_eq!(cq.to_string(), "q :- R^n(x, y), S^x(y)");

@@ -29,10 +29,9 @@ pub fn is_consecutive_under(edges: &[u64], order: &[usize]) -> bool {
             }
         }
         match (first, last) {
-            (Some(f), Some(l))
-                if l - f + 1 != count => {
-                    return false;
-                }
+            (Some(f), Some(l)) if l - f + 1 != count => {
+                return false;
+            }
             _ => {} // empty edge: trivially consecutive
         }
     }

@@ -136,13 +136,7 @@ fn triple_matching_bound(triples: &[(usize, usize, usize)], chosen: &[bool]) -> 
     let mut blocked = vec![false; chosen.len()];
     let mut bound = 0;
     for &(a, b, c) in triples {
-        if !chosen[a]
-            && !chosen[b]
-            && !chosen[c]
-            && !blocked[a]
-            && !blocked[b]
-            && !blocked[c]
-        {
+        if !chosen[a] && !chosen[b] && !chosen[c] && !blocked[a] && !blocked[b] && !blocked[c] {
             blocked[a] = true;
             blocked[b] = true;
             blocked[c] = true;

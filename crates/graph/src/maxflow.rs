@@ -89,7 +89,10 @@ impl FlowNetwork {
 
     /// Add a directed edge `from → to` with the given capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> EdgeHandle {
-        assert!(from < self.node_count && to < self.node_count, "node out of range");
+        assert!(
+            from < self.node_count && to < self.node_count,
+            "node out of range"
+        );
         let idx = self.caps.len();
         self.halves.push(HalfEdge { to, cap });
         self.halves.push(HalfEdge { to: from, cap: 0 });

@@ -156,7 +156,10 @@ mod tests {
         let (bg, left, _, _) = g.to_bgap(0, 2);
         // Every edge of the bipartite graph crosses the partition.
         for &(u, v) in bg.edges() {
-            assert!((u < left) != (v < left), "edge ({u},{v}) stays inside a side");
+            assert!(
+                (u < left) != (v < left),
+                "edge ({u},{v}) stays inside a side"
+            );
         }
     }
 
@@ -164,7 +167,9 @@ mod tests {
     fn bgap_agrees_with_ugap_on_random_graphs() {
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..30 {

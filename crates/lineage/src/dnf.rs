@@ -71,7 +71,13 @@ impl Conjunct {
 
     /// Remove all variables in `set` (restriction with `true`).
     pub fn without(&self, set: &BTreeSet<TupleRef>) -> Conjunct {
-        Conjunct(self.0.iter().filter(|t| !set.contains(t)).copied().collect())
+        Conjunct(
+            self.0
+                .iter()
+                .filter(|t| !set.contains(t))
+                .copied()
+                .collect(),
+        )
     }
 
     /// The underlying set.
@@ -255,7 +261,10 @@ mod tests {
         assert_eq!(min.len(), 2);
         assert!(min.conjuncts().contains(&c(&[(0, 1), (0, 3)])));
         assert!(min.conjuncts().contains(&c(&[(0, 1), (0, 4)])));
-        assert!(!min.mentions(t(0, 2)), "X2 only occurred in the redundant conjunct");
+        assert!(
+            !min.mentions(t(0, 2)),
+            "X2 only occurred in the redundant conjunct"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! the Boolean lineage, multiplicity counting, minimum-weight derivations
 //! (tropical), and the full *how-provenance* polynomial.
 
-use causality_engine::{evaluate_masked, ConjunctiveQuery, Database, EndoMask, EngineError, TupleRef};
+use causality_engine::{
+    evaluate_masked, ConjunctiveQuery, Database, EndoMask, EngineError, TupleRef,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -262,10 +264,18 @@ mod tests {
     fn tropical_annotation_finds_cheapest_derivation() {
         let db = example_2_2();
         // Cost = 1 per tuple: every derivation uses 2 tuples.
-        let cost = annotate(&db, &q("q :- R(x, y), S(y)"), &TropicalSemiring, |_| Some(1)).unwrap();
+        let cost = annotate(&db, &q("q :- R(x, y), S(y)"), &TropicalSemiring, |_| {
+            Some(1)
+        })
+        .unwrap();
         assert_eq!(cost, Some(2));
-        let no = annotate(&db, &q("q :- R(x, 'a6'), S('a6')"), &TropicalSemiring, |_| Some(1))
-            .unwrap();
+        let no = annotate(
+            &db,
+            &q("q :- R(x, 'a6'), S('a6')"),
+            &TropicalSemiring,
+            |_| Some(1),
+        )
+        .unwrap();
         assert_eq!(no, None);
     }
 
@@ -287,8 +297,13 @@ mod tests {
         let mut db = Database::new();
         let r = db.add_relation(Schema::new("R", &["x", "y"]));
         db.insert_endo(r, tup![1, 1]);
-        let p = annotate(&db, &q("q :- R(x, y), R(y, x)"), &PolynomialSemiring, Polynomial::var)
-            .unwrap();
+        let p = annotate(
+            &db,
+            &q("q :- R(x, y), R(y, x)"),
+            &PolynomialSemiring,
+            Polynomial::var,
+        )
+        .unwrap();
         let shown = p.display_with(|_| "r".to_string());
         assert_eq!(shown, "r^2");
     }

@@ -14,8 +14,8 @@
 
 use crate::dnf::Dnf;
 use crate::whyso::{n_lineage, require_boolean};
-use causality_engine::{holds_masked, Database, EndoMask, EngineError};
 use causality_engine::ConjunctiveQuery;
+use causality_engine::{holds_masked, Database, EndoMask, EngineError};
 use std::collections::HashSet;
 
 /// Compute the Why-No lineage of a Boolean non-answer: the n-lineage over

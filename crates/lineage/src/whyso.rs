@@ -76,10 +76,7 @@ mod tests {
         let r33 = tref(&db, "R", tup!["a3", "a3"]);
         let r43 = tref(&db, "R", tup!["a4", "a3"]);
         let s3 = tref(&db, "S", tup!["a3"]);
-        let expected: Vec<Conjunct> = vec![
-            Conjunct::new([r33, s3]),
-            Conjunct::new([r43, s3]),
-        ];
+        let expected: Vec<Conjunct> = vec![Conjunct::new([r33, s3]), Conjunct::new([r43, s3])];
         for c in expected {
             assert!(phi.conjuncts().contains(&c), "missing conjunct {c:?}");
         }

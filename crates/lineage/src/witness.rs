@@ -22,11 +22,7 @@ pub fn why_provenance(
     q: &ConjunctiveQuery,
 ) -> Result<Vec<BTreeSet<TupleRef>>, EngineError> {
     let phi = lineage(db, q)?.minimized();
-    Ok(phi
-        .conjuncts()
-        .iter()
-        .map(|c| c.as_set().clone())
-        .collect())
+    Ok(phi.conjuncts().iter().map(|c| c.as_set().clone()).collect())
 }
 
 /// The union of the minimal witness basis — the tuple set footnote 4
@@ -35,10 +31,7 @@ pub fn witness_union(
     db: &Database,
     q: &ConjunctiveQuery,
 ) -> Result<BTreeSet<TupleRef>, EngineError> {
-    Ok(why_provenance(db, q)?
-        .into_iter()
-        .flatten()
-        .collect())
+    Ok(why_provenance(db, q)?.into_iter().flatten().collect())
 }
 
 /// Whether a tuple set is a witness (makes the query true by itself).

@@ -16,7 +16,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
@@ -91,7 +94,10 @@ impl Cnf {
     /// `var_count ≥ 3` variables; each clause uses three *distinct*
     /// variables (as the ring construction's clause gadget assumes).
     pub fn random_3sat(var_count: usize, clause_count: usize, rng: &mut impl Rng) -> Cnf {
-        assert!(var_count >= 3, "3-CNF clauses need three distinct variables");
+        assert!(
+            var_count >= 3,
+            "3-CNF clauses need three distinct variables"
+        );
         let mut clauses = Vec::with_capacity(clause_count);
         let vars: Vec<usize> = (0..var_count).collect();
         for _ in 0..clause_count {
@@ -115,17 +121,16 @@ impl fmt::Display for Cnf {
             .clauses
             .iter()
             .map(|c| {
-                let lits: Vec<String> = c
-                    .0
-                    .iter()
-                    .map(|l| {
-                        if l.positive {
-                            format!("x{}", l.var)
-                        } else {
-                            format!("¬x{}", l.var)
-                        }
-                    })
-                    .collect();
+                let lits: Vec<String> =
+                    c.0.iter()
+                        .map(|l| {
+                            if l.positive {
+                                format!("x{}", l.var)
+                            } else {
+                                format!("¬x{}", l.var)
+                            }
+                        })
+                        .collect();
                 format!("({})", lits.join(" ∨ "))
             })
             .collect();
@@ -158,7 +163,10 @@ mod tests {
     fn occurrences_counts_clauses_not_literals() {
         let cnf = Cnf::new(
             2,
-            vec![Clause(vec![Literal::pos(0), Literal::neg(0)]), Clause(vec![Literal::pos(1)])],
+            vec![
+                Clause(vec![Literal::pos(0), Literal::neg(0)]),
+                Clause(vec![Literal::pos(1)]),
+            ],
         );
         assert_eq!(cnf.occurrences(0), 1);
         assert_eq!(cnf.occurrences(1), 1);

@@ -144,7 +144,10 @@ mod tests {
     fn clause(lits: &[(usize, bool)]) -> Clause {
         Clause(
             lits.iter()
-                .map(|&(v, p)| Literal { var: v, positive: p })
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
                 .collect(),
         )
     }

@@ -49,7 +49,10 @@ pub fn reduce_vc_to_h1(h: &TripartiteHypergraph) -> H1Instance {
         db.insert_endo(c, vec![Value::str(format!("z{k}"))]);
     }
     for &(i, j, k) in &h.edges {
-        assert!(i < h.sizes.0 && j < h.sizes.1 && k < h.sizes.2, "edge out of range");
+        assert!(
+            i < h.sizes.0 && j < h.sizes.1 && k < h.sizes.2,
+            "edge out of range"
+        );
         db.insert_endo(
             w,
             vec![
@@ -69,8 +72,7 @@ pub fn reduce_vc_to_h1(h: &TripartiteHypergraph) -> H1Instance {
     );
     H1Instance {
         db,
-        query: ConjunctiveQuery::parse("h1 :- A(x), B(y), C(z), W(x, y, z)")
-            .expect("static query"),
+        query: ConjunctiveQuery::parse("h1 :- A(x), B(y), C(z), W(x, y, z)").expect("static query"),
         witness,
     }
 }
@@ -134,7 +136,10 @@ mod tests {
         };
         let inst = reduce_vc_to_h1(&h);
         let resp = why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).unwrap();
-        assert_eq!(resp.rho, 1.0, "no other triangles: witness is counterfactual");
+        assert_eq!(
+            resp.rho, 1.0,
+            "no other triangles: witness is counterfactual"
+        );
     }
 
     #[test]
@@ -162,8 +167,7 @@ mod tests {
             let inst = reduce_vc_to_h1(&h);
             let (n, triples) = flat_triples(&h);
             let cover = min_hypergraph_cover_3p(n, &triples);
-            let resp =
-                why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).unwrap();
+            let resp = why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).unwrap();
             assert_eq!(
                 resp.min_contingency.unwrap().len(),
                 cover.len(),

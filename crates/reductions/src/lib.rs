@@ -30,5 +30,5 @@ pub mod logspace;
 pub mod ring;
 pub mod selfjoin;
 
-pub use cnf::{Cnf, Clause, Literal};
+pub use cnf::{Clause, Cnf, Literal};
 pub use dpll::solve as dpll_solve;

@@ -44,13 +44,27 @@ pub fn bgap_to_fpmf(bg: &UGraph, left: usize, a: usize, c: usize) -> Fpmf {
     let edges: Vec<(usize, usize)> = bg
         .edges()
         .iter()
-        .map(|&(u, v)| if u < left { (u, v - left) } else { (v, u - left) })
+        .map(|&(u, v)| {
+            if u < left {
+                (u, v - left)
+            } else {
+                (v, u - left)
+            }
+        })
         .collect();
     let e = edges.len();
     let right = bg.vertex_count() - left;
     // U and V both have one node per bipartite edge, plus the probes a', b'.
-    let mut ux: Vec<(usize, usize)> = edges.iter().enumerate().map(|(i, &(x, _))| (i, x)).collect();
-    let mut yv: Vec<(usize, usize)> = edges.iter().enumerate().map(|(i, &(_, y))| (y, i)).collect();
+    let mut ux: Vec<(usize, usize)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, _))| (i, x))
+        .collect();
+    let mut yv: Vec<(usize, usize)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, y))| (y, i))
+        .collect();
     let xy: Vec<(usize, usize, u64)> = edges.iter().map(|&(x, y)| (x, y, 2)).collect();
     // Probe a' = U node index e; probe b' = V node index e.
     ux.push((e, a));
@@ -124,9 +138,18 @@ impl Fpmf {
         for &(yi, vi) in &self.yv {
             db.insert_endo(t, vec![yval(yi), Value::int(1), vval(vi)]);
         }
-        let witness = db.insert_endo(r, vec![Value::str("w_x0"), Value::int(1), Value::str("w_y0")]);
-        db.insert_endo(s, vec![Value::str("w_y0"), Value::int(1), Value::str("w_z0")]);
-        db.insert_endo(t, vec![Value::str("w_z0"), Value::int(1), Value::str("w_w0")]);
+        let witness = db.insert_endo(
+            r,
+            vec![Value::str("w_x0"), Value::int(1), Value::str("w_y0")],
+        );
+        db.insert_endo(
+            s,
+            vec![Value::str("w_y0"), Value::int(1), Value::str("w_z0")],
+        );
+        db.insert_endo(
+            t,
+            vec![Value::str("w_z0"), Value::int(1), Value::str("w_w0")],
+        );
         let q = ConjunctiveQuery::parse("q :- R(x, u1, y), S(y, u2, z), T(z, u3, w)")
             .expect("static query");
         (db, q, witness)
@@ -240,9 +263,9 @@ mod tests {
         let fpmf = bgap_to_fpmf(&bg, left, a, c);
         let (db, _, _) = fpmf.to_database();
         // R: |ux| + witness; S: Σ caps + witness; T: |yv| + witness.
-        let expected =
-            (fpmf.ux.len() + 1) + (fpmf.xy.iter().map(|&(_, _, c)| c as usize).sum::<usize>() + 1)
-                + (fpmf.yv.len() + 1);
+        let expected = (fpmf.ux.len() + 1)
+            + (fpmf.xy.iter().map(|&(_, _, c)| c as usize).sum::<usize>() + 1)
+            + (fpmf.yv.len() + 1);
         assert_eq!(db.tuple_count(), expected);
     }
 }

@@ -102,10 +102,11 @@ pub fn reduce_3sat_to_h2(cnf: &Cnf) -> RingReduction {
         offsets.push(total_nodes);
         total_nodes += 2 * m;
     }
-    let node_id = |offsets: &[usize], ring_lengths: &[usize], var: usize, sign: usize, pos: usize| {
-        debug_assert!(pos >= 1 && pos <= ring_lengths[var]);
-        offsets[var] + sign * ring_lengths[var] + (pos - 1)
-    };
+    let node_id =
+        |offsets: &[usize], ring_lengths: &[usize], var: usize, sign: usize, pos: usize| {
+            debug_assert!(pos >= 1 && pos <= ring_lengths[var]);
+            offsets[var] + sign * ring_lengths[var] + (pos - 1)
+        };
 
     let mut uf = UnionFind::new(total_nodes);
 
@@ -391,7 +392,10 @@ mod tests {
         let sat = tiny_mixed();
         let red = reduce_3sat_to_h2(&sat);
         let found = red.assignment_search().expect("satisfiable formula");
-        assert!(sat.satisfied(&found), "search returns a satisfying assignment");
+        assert!(
+            sat.satisfied(&found),
+            "search returns a satisfying assignment"
+        );
 
         // Unsatisfiable: x0..x2 with all eight sign patterns (every
         // assignment falsifies one clause).

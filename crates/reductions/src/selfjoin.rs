@@ -63,9 +63,9 @@ mod tests {
         let edges = [(0, 1), (1, 2), (2, 0)];
         for s_endo in [false, true] {
             let inst = reduce_vc_to_selfjoin(3, &edges, s_endo);
-            let resp =
-                why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).unwrap();
-            let cover = min_vertex_cover(3, &edges.iter().map(|&(a, b)| (a, b)).collect::<Vec<_>>());
+            let resp = why_so_responsibility_exact(&inst.db, &inst.query, inst.witness).unwrap();
+            let cover =
+                min_vertex_cover(3, &edges.iter().map(|&(a, b)| (a, b)).collect::<Vec<_>>());
             assert_eq!(resp.min_contingency.unwrap().len(), cover.len());
             assert_eq!(cover.len(), 2);
         }

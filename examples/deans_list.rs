@@ -25,7 +25,10 @@ fn main() {
     db.insert_exo(grade, vec![Value::from("bob"), Value::from(2010)]);
 
     // Candidate missing tuples (endogenous): plausible corrections.
-    db.insert_endo(enrolled, vec![Value::from("alice"), Value::from("cs-honors")]);
+    db.insert_endo(
+        enrolled,
+        vec![Value::from("alice"), Value::from("cs-honors")],
+    );
     db.insert_endo(honors, vec![Value::from("cs")]);
     db.insert_endo(grade, vec![Value::from("alice"), Value::from(2010)]);
 
@@ -38,7 +41,11 @@ fn main() {
     let result = evaluate(&db, &q).expect("evaluation succeeds");
     println!(
         "Current answers (over the real database plus nothing): {}",
-        if result.answers.is_empty() { "—".to_string() } else { format!("{:?}", result.answers) }
+        if result.answers.is_empty() {
+            "—".to_string()
+        } else {
+            format!("{:?}", result.answers)
+        }
     );
 
     let explanation = Explainer::new(&db, &q)

@@ -41,9 +41,7 @@ fn main() {
     for cause in &explanation.causes {
         println!(
             "{:>6.2}  {:<12} {}",
-            cause.rho,
-            cause.relation,
-            cause.values
+            cause.rho, cause.relation, cause.values
         );
     }
 

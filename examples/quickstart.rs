@@ -51,10 +51,6 @@ fn main() {
     let phi = causality::lineage::lineage(&db, &grounded).expect("lineage");
     println!(
         "\nLineage of a4: {}",
-        phi.display_with(|t| format!(
-            "X[{}{}]",
-            db.relation(t.rel).name(),
-            db.tuple(t)
-        ))
+        phi.display_with(|t| format!("X[{}{}]", db.relation(t.rel).name(), db.tuple(t)))
     );
 }

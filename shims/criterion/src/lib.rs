@@ -1,0 +1,377 @@
+//! Offline stand-in for the parts of the [`criterion`] benchmark
+//! harness this workspace uses: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup` configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and
+//! `BenchmarkId`.
+//!
+//! The build environment has no crates.io access, so this in-tree shim
+//! keeps the eight paper benches source-compatible. It is a *real*
+//! (if minimal) harness: it warms up, measures wall-clock time over the
+//! configured window, and prints a `bench-id  mean time/iter  iters`
+//! line per benchmark. It does not do statistical outlier analysis,
+//! HTML reports, or baseline comparison.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measurement strategies, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the only one the shim offers).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark manager handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// When true (`--test`), run each benchmark body once and skip timing.
+    test_mode: bool,
+    /// When true (`--list`), only print benchmark names.
+    list_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut list_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--list" => list_mode = true,
+                // Harness flags cargo forwards that we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "--exact" | "--ignored"
+                | "--include-ignored" => {}
+                // Known value-taking criterion flags: consume the value.
+                "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--sample-size"
+                | "--warm-up-time"
+                | "--measurement-time"
+                | "--profile-time"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--color"
+                | "--format"
+                | "--output-format" => {
+                    let _ = args.next_if(|v| !v.starts_with("--"));
+                }
+                // Any other flag: ignore it, but never swallow a
+                // following positional (it may be the filter).
+                s if s.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            list_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target wall-clock window for measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full_id = self.full_id(&id.into_benchmark_id());
+        self.run(&full_id, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = self.full_id(&id);
+        self.run(&full_id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (drop-equivalent; kept for API parity).
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &BenchmarkId) -> String {
+        if id.0.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.0)
+        }
+    }
+
+    fn run(&mut self, full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.criterion.matches(full_id) {
+            return;
+        }
+        if self.criterion.list_mode {
+            println!("{full_id}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            budget: if self.criterion.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            warm_up: if self.criterion.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+            // --test means "run each body once", regardless of the
+            // group's configured sample size.
+            samples: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{full_id}: test ok");
+        } else if bencher.iters > 0 {
+            let per_iter = bencher.total.as_nanos() / u128::from(bencher.iters.max(1));
+            println!(
+                "{full_id:<48} {:>12} ns/iter  ({} iters)",
+                per_iter, bencher.iters
+            );
+        }
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly within the measurement budget, recording
+    /// wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up phase: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Measurement: at least `samples` iterations, stop once the
+        // budget is exhausted.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= self.samples as u64 && start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Identifies one benchmark inside a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for ergonomic `bench_function` calls.
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_criterion() -> Criterion {
+        // Bypass Default to avoid reading the test harness's CLI args.
+        Criterion {
+            filter: None,
+            test_mode: true,
+            list_mode: false,
+        }
+    }
+
+    #[test]
+    fn bench_with_input_runs_body() {
+        let mut c = quiet_criterion();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter(|| n * 2);
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            budget: Duration::ZERO,
+            warm_up: Duration::ZERO,
+            samples: 5,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.iters >= 5);
+        assert_eq!(b.iters, calls);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("flow".into()),
+            test_mode: true,
+            list_mode: false,
+        };
+        assert!(c.matches("fig4_alg1_flow/n100_k/2"));
+        assert!(!c.matches("fig1_query_eval/200"));
+    }
+}

@@ -27,7 +27,9 @@ fn example_2_2_causality() {
     let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
 
     let causes_a2 = why_so_causes(&db, &q.ground(&[Value::from("a2")])).unwrap();
-    assert!(causes_a2.counterfactual.contains(&tref(&db, "S", tup!["a1"])));
+    assert!(causes_a2
+        .counterfactual
+        .contains(&tref(&db, "S", tup!["a1"])));
 
     let causes_a4 = why_so_causes(&db, &q.ground(&[Value::from("a4")])).unwrap();
     let s_a3 = tref(&db, "S", tup!["a3"]);

@@ -17,15 +17,16 @@ use causality_lineage::{Conjunct, Dnf};
 use proptest::prelude::*;
 
 /// A small random database for q :- R(x,y), S(y) with mixed natures.
-fn rs_database(
-    r_rows: &[(u8, u8, bool)],
-    s_rows: &[(u8, bool)],
-) -> (Database, ConjunctiveQuery) {
+fn rs_database(r_rows: &[(u8, u8, bool)], s_rows: &[(u8, bool)]) -> (Database, ConjunctiveQuery) {
     let mut db = Database::new();
     let r = db.add_relation(Schema::new("R", &["x", "y"]));
     let s = db.add_relation(Schema::new("S", &["y"]));
     for &(x, y, endo) in r_rows {
-        db.insert(r, vec![Value::from(i64::from(x)), Value::from(i64::from(y))], endo);
+        db.insert(
+            r,
+            vec![Value::from(i64::from(x)), Value::from(i64::from(y))],
+            endo,
+        );
     }
     for &(y, endo) in s_rows {
         db.insert(s, vec![Value::from(i64::from(y))], endo);

@@ -1,0 +1,68 @@
+//! Smoke test mirroring `examples/quickstart.rs` through the
+//! `causality::prelude` facade: the paper's Example 2.2 instance must
+//! evaluate, explain every answer, and expose its lineage, with the
+//! responsibilities the paper derives.
+
+use causality::prelude::*;
+
+#[test]
+fn quickstart_flow_through_prelude_facade() {
+    // The database of Example 2.2: R(x, y) and S(y), all endogenous.
+    let db = causality::engine::database::example_2_2();
+
+    let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").expect("query parses");
+    let result = evaluate(&db, &q).expect("evaluation succeeds");
+    assert_eq!(
+        result.answers.len(),
+        3,
+        "Example 2.2 has exactly three answers"
+    );
+
+    // Every answer gets an explanation with at least one cause, all
+    // responsibilities in (0, 1].
+    let explainer = Explainer::new(&db, &q);
+    for answer in &result.answers {
+        let explanation = explainer
+            .why(answer.values())
+            .expect("explanation succeeds");
+        assert!(
+            !explanation.causes.is_empty(),
+            "answer {answer} must have causes"
+        );
+        for cause in &explanation.causes {
+            assert!(
+                cause.rho > 0.0 && cause.rho <= 1.0,
+                "responsibility out of range for {answer}: {}",
+                cause.rho
+            );
+            // A counterfactual cause is exactly one with an empty
+            // contingency (ρ = 1).
+            assert_eq!(cause.counterfactual, cause.contingency.is_empty());
+            assert_eq!(cause.counterfactual, cause.rho == 1.0);
+        }
+    }
+
+    // The lineage view of the same facts (Sect. 3): a4 has derivations.
+    let grounded = q.ground(&[Value::from("a4")]);
+    let phi = lineage(&db, &grounded).expect("lineage computes");
+    assert!(
+        !phi.conjuncts().is_empty(),
+        "a4's lineage must have at least one derivation"
+    );
+}
+
+#[test]
+fn quickstart_doc_example_from_scratch() {
+    // The crate-root doctest scenario, kept as a plain test so it is
+    // exercised by `cargo test` even when doctests are filtered out.
+    let mut db = Database::new();
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y"]));
+    db.insert_endo(r, vec![Value::from("a2"), Value::from("a1")]);
+    db.insert_endo(s, vec![Value::from("a1")]);
+
+    let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+    let explanation = Explainer::new(&db, &q).why(&[Value::from("a2")]).unwrap();
+    assert_eq!(explanation.causes.len(), 2);
+    assert!(explanation.causes.iter().all(|c| c.rho == 1.0));
+}
