@@ -1,0 +1,154 @@
+//! Service throughput on the Fig. 2 IMDB workload: cold explains (fresh
+//! `Explainer` per call, indexes rebuilt every time — the pre-service
+//! behaviour) vs warm index-cache explains vs fully warm service calls
+//! answered from the responsibility LRU.
+//!
+//! Besides the Criterion timings, the bench prints a self-measured
+//! before/after note quantifying both cache layers, so the index-sharing
+//! win is visible in plain bench output.
+
+use causality_bench::bench_group;
+use causality_core::explain::Explainer;
+use causality_datagen::imdb::{burton_genre_query, generate, ImdbConfig};
+use causality_engine::Value;
+use causality_service::{CausalityService, ExplainRequest, ServiceConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn workload() -> (
+    causality_engine::Database,
+    causality_engine::ConjunctiveQuery,
+) {
+    let (db, _) = generate(&ImdbConfig {
+        directors: 40,
+        movies: 200,
+        ..ImdbConfig::default()
+    });
+    (db, burton_genre_query())
+}
+
+/// Mean wall-clock of `iters` runs of `f`.
+fn mean_micros(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// The before/after note for the index-cache and responsibility-cache
+/// layers, printed once before the Criterion timings.
+fn print_before_after_note() {
+    let (db, q) = workload();
+    let answer = [Value::from("Musical")];
+    let iters = 10;
+
+    // Before: every call builds a fresh Explainer, so the evaluator's
+    // hash indexes are rebuilt per call (the pre-service behaviour).
+    let cold = mean_micros(iters, || {
+        let n = Explainer::new(&db, &q)
+            .why(&answer)
+            .expect("explains")
+            .causes
+            .len();
+        black_box(n);
+    });
+
+    // After (layer 1): one Explainer reused — the SharedIndexCache built
+    // on the first call serves every subsequent one.
+    let explainer = Explainer::new(&db, &q);
+    explainer.why(&answer).expect("prime");
+    let warm_index = mean_micros(iters, || {
+        let n = explainer.why(&answer).expect("explains").causes.len();
+        black_box(n);
+    });
+
+    // After (layer 2): the full service with the responsibility LRU —
+    // repeated identical requests are cache hits.
+    let svc = CausalityService::with_config(
+        db.clone(),
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let req = ExplainRequest::why_so(q.clone(), answer.to_vec());
+    svc.explain(req.clone()).expect("prime");
+    let warm_service = mean_micros(iters, || {
+        let resp = svc.explain(req.clone()).expect("explains");
+        black_box(resp.cache_hit);
+    });
+
+    println!("--- service_throughput before/after (Fig. 2 IMDB, 200 movies) ---");
+    println!("cold explain (indexes rebuilt per call): {cold:>10.1} µs/call");
+    println!(
+        "warm shared index cache:                 {warm_index:>10.1} µs/call ({:.1}x)",
+        cold / warm_index
+    );
+    println!(
+        "warm service (responsibility LRU hit):   {warm_service:>10.1} µs/call ({:.1}x)",
+        cold / warm_service
+    );
+    println!("------------------------------------------------------------------");
+}
+
+fn service_throughput(c: &mut Criterion) {
+    print_before_after_note();
+    let (db, q) = workload();
+    let answer = [Value::from("Musical")];
+
+    let mut group = bench_group(c, "service_throughput");
+
+    group.bench_function("cold_explainer_per_call", |b| {
+        b.iter(|| {
+            Explainer::new(&db, &q)
+                .why(&answer)
+                .expect("explains")
+                .causes
+                .len()
+        });
+    });
+
+    let explainer = Explainer::new(&db, &q);
+    explainer.why(&answer).expect("prime");
+    group.bench_function("warm_shared_index_cache", |b| {
+        b.iter(|| explainer.why(&answer).expect("explains").causes.len());
+    });
+
+    let svc = CausalityService::with_config(
+        db.clone(),
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let req = ExplainRequest::why_so(q.clone(), answer.to_vec());
+    svc.explain(req.clone()).expect("prime");
+    group.bench_function("warm_service_lru_hit", |b| {
+        b.iter(|| svc.explain(req.clone()).expect("explains").cache_hit);
+    });
+
+    // End-to-end batch throughput: 32 mixed requests fanned through the
+    // pool (duplicates coalesce, distinct answers share the index cache).
+    let genres = ["Musical", "Drama", "Comedy", "Horror"];
+    group.bench_function("pool_32_mixed_requests", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = (0..32)
+                .map(|i| {
+                    let genre = genres[i % genres.len()];
+                    svc.submit(ExplainRequest::why_so(q.clone(), vec![Value::from(genre)]))
+                        .expect("submit")
+                })
+                .collect();
+            pending
+                .into_iter()
+                .map(|p| p.wait().expect("response").result.is_ok() as usize)
+                .sum::<usize>()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

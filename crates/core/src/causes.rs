@@ -16,8 +16,10 @@
 //! the cross-validation oracle in the test suite.
 
 use crate::error::CoreError;
-use causality_engine::{holds_masked, ConjunctiveQuery, Database, EndoMask, TupleRef};
-use causality_lineage::{n_lineage, non_answer_lineage, Dnf};
+use causality_engine::{
+    holds_masked, ConjunctiveQuery, Database, EndoMask, SharedIndexCache, TupleRef,
+};
+use causality_lineage::{n_lineage_cached, non_answer_lineage_cached, Dnf};
 use std::collections::{BTreeSet, HashSet};
 
 /// The causes of one (non-)answer.
@@ -50,7 +52,17 @@ impl CauseSet {
 /// actual causes are exactly the variables of the minimized n-lineage; the
 /// counterfactual causes are those appearing in *every* conjunct.
 pub fn why_so_causes(db: &Database, q: &ConjunctiveQuery) -> Result<CauseSet, CoreError> {
-    let phin = n_lineage(db, q)?.minimized();
+    why_so_causes_cached(db, q, None)
+}
+
+/// [`why_so_causes`] with an optional [`SharedIndexCache`] reused across
+/// computations over unchanged data.
+pub fn why_so_causes_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<CauseSet, CoreError> {
+    let phin = n_lineage_cached(db, q, cache)?.minimized();
     Ok(causes_from_minimized_whyso(&phin))
 }
 
@@ -62,7 +74,7 @@ pub fn why_so_causes_of_answer(
     q: &ConjunctiveQuery,
     answer: &[causality_engine::Value],
 ) -> Result<CauseSet, CoreError> {
-    why_so_causes(db, &q.ground(answer))
+    why_so_causes(db, &q.try_ground(answer)?)
 }
 
 pub(crate) fn causes_from_minimized_whyso(phin: &Dnf) -> CauseSet {
@@ -83,7 +95,16 @@ pub(crate) fn causes_from_minimized_whyso(phin: &Dnf) -> CauseSet {
 /// non-answer lineage; counterfactual causes are tuples whose insertion
 /// alone makes the query true — the singleton conjuncts.
 pub fn why_no_causes(db: &Database, q: &ConjunctiveQuery) -> Result<CauseSet, CoreError> {
-    let phin = non_answer_lineage(db, q)?.minimized();
+    why_no_causes_cached(db, q, None)
+}
+
+/// [`why_no_causes`] with an optional [`SharedIndexCache`].
+pub fn why_no_causes_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<CauseSet, CoreError> {
+    let phin = non_answer_lineage_cached(db, q, cache)?.minimized();
     if phin.is_tautology() {
         // q is already true on Dx: not a non-answer, no causes.
         return Ok(CauseSet::default());

@@ -7,12 +7,13 @@
 //! returns a ranked, renderable [`Explanation`] — the Fig. 2b table.
 
 use crate::error::CoreError;
-use crate::ranking::{rank_why_no, rank_why_so, Method, RankedCause};
-use causality_engine::{ConjunctiveQuery, Database, Tuple, TupleRef, Value};
+use crate::ranking::{rank_why_no_cached, rank_why_so_cached, Method, RankedCause};
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, Tuple, TupleRef, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why-So or Why-No.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ExplanationKind {
     /// Why is this tuple an answer?
     WhySo,
@@ -21,7 +22,7 @@ pub enum ExplanationKind {
 }
 
 /// One ranked cause, resolved to displayable tuple values.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExplainedCause {
     /// The causing tuple's identity.
     pub tuple: TupleRef,
@@ -38,7 +39,7 @@ pub struct ExplainedCause {
 }
 
 /// A ranked explanation of one (non-)answer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Explanation {
     /// Which question was asked.
     pub kind: ExplanationKind,
@@ -49,10 +50,17 @@ pub struct Explanation {
 }
 
 /// Explains answers and non-answers of one query over one database.
+///
+/// The explainer owns a [`SharedIndexCache`]: the join indexes built for
+/// the first `why`/`why_not` call are reused by every later call on the
+/// same explainer (sound because the borrowed database cannot change
+/// while the explainer lives). A serving layer that already maintains a
+/// per-snapshot cache injects it via [`Explainer::with_index_cache`].
 pub struct Explainer<'a> {
     db: &'a Database,
     query: &'a ConjunctiveQuery,
     method: Method,
+    cache: Arc<SharedIndexCache>,
 }
 
 impl<'a> Explainer<'a> {
@@ -62,6 +70,7 @@ impl<'a> Explainer<'a> {
             db,
             query,
             method: Method::Auto,
+            cache: Arc::new(SharedIndexCache::new()),
         }
     }
 
@@ -71,10 +80,26 @@ impl<'a> Explainer<'a> {
         self
     }
 
+    /// Share an externally owned index cache (e.g. keyed on a snapshot
+    /// version by a serving layer). The caller must ensure the cache has
+    /// only ever seen this database's contents.
+    pub fn with_index_cache(mut self, cache: Arc<SharedIndexCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The index cache populated by this explainer's calls.
+    pub fn index_cache(&self) -> &Arc<SharedIndexCache> {
+        &self.cache
+    }
+
     /// Why is `answer` in the result? Ranked causes per Fig. 2b.
+    ///
+    /// An answer that does not match the query head (arity, constants) is
+    /// an error, not a panic.
     pub fn why(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
-        let grounded = self.query.ground(answer);
-        let ranked = rank_why_so(self.db, &grounded, self.method)?;
+        let grounded = self.query.try_ground(answer)?;
+        let ranked = rank_why_so_cached(self.db, &grounded, self.method, Some(&self.cache))?;
         Ok(self.build(ExplanationKind::WhySo, answer, ranked))
     }
 
@@ -82,8 +107,8 @@ impl<'a> Explainer<'a> {
     /// tuples are interpreted as candidate insertions (Sect. 2's Why-No
     /// setting).
     pub fn why_not(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
-        let grounded = self.query.ground(answer);
-        let ranked = rank_why_no(self.db, &grounded)?;
+        let grounded = self.query.try_ground(answer)?;
+        let ranked = rank_why_no_cached(self.db, &grounded, Some(&self.cache))?;
         Ok(self.build(ExplanationKind::WhyNo, answer, ranked))
     }
 
@@ -219,6 +244,29 @@ mod tests {
             .unwrap();
         let rhos = |e: &Explanation| e.causes.iter().map(|c| c.rho).collect::<Vec<_>>();
         assert_eq!(rhos(&exact), rhos(&flow));
+    }
+
+    #[test]
+    fn index_cache_is_reused_across_calls() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let explainer = Explainer::new(&db, &query);
+        let cold = explainer.why(&[Value::str("a4")]).unwrap();
+        let built = explainer.index_cache().len();
+        assert!(built > 0, "first call populates the cache");
+        let warm = explainer.why(&[Value::str("a4")]).unwrap();
+        assert_eq!(
+            explainer.index_cache().len(),
+            built,
+            "same grounded shape builds no new indexes"
+        );
+        assert_eq!(cold, warm, "cached indexes do not change the answer");
+
+        // An injected cache is shared between explainer instances.
+        let shared = std::sync::Arc::clone(explainer.index_cache());
+        let other = Explainer::new(&db, &query).with_index_cache(shared);
+        let again = other.why(&[Value::str("a4")]).unwrap();
+        assert_eq!(cold, again);
     }
 
     #[test]

@@ -6,13 +6,13 @@
 //! responsibility (Algorithm 1 or the exact solver) and sorts descending —
 //! counterfactual causes (ρ = 1) first.
 
-use crate::causes::{why_no_causes, why_so_causes};
+use crate::causes::{why_no_causes_cached, why_so_causes_cached};
 use crate::error::CoreError;
 use crate::resp::{self, Responsibility};
-use causality_engine::{ConjunctiveQuery, Database, TupleRef};
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
 
 /// Which responsibility algorithm to use while ranking.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Method {
     /// Algorithm 1 when the query qualifies, exact otherwise.
     #[default]
@@ -39,13 +39,25 @@ pub fn rank_why_so(
     q: &ConjunctiveQuery,
     method: Method,
 ) -> Result<Vec<RankedCause>, CoreError> {
-    let causes = why_so_causes(db, q)?;
+    rank_why_so_cached(db, q, method, None)
+}
+
+/// [`rank_why_so`] with an optional [`SharedIndexCache`]: the join indexes
+/// built for the cause computation are reused by every per-cause
+/// responsibility run, and by later rankings over unchanged data.
+pub fn rank_why_so_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    method: Method,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Vec<RankedCause>, CoreError> {
+    let causes = why_so_causes_cached(db, q, cache)?;
     let mut ranked = Vec::with_capacity(causes.actual.len());
     for &t in &causes.actual {
         let responsibility = match method {
-            Method::Auto => resp::why_so_responsibility(db, q, t)?,
-            Method::Exact => resp::exact::why_so_responsibility_exact(db, q, t)?,
-            Method::Flow => resp::flow::why_so_responsibility_flow(db, q, t)?,
+            Method::Auto => resp::why_so_responsibility_cached(db, q, t, cache)?,
+            Method::Exact => resp::exact::why_so_responsibility_exact_cached(db, q, t, cache)?,
+            Method::Flow => resp::flow::why_so_responsibility_flow_cached(db, q, t, cache)?,
         };
         ranked.push(RankedCause {
             tuple: t,
@@ -59,10 +71,19 @@ pub fn rank_why_so(
 /// Rank the Why-No causes of a Boolean non-answer (always PTIME,
 /// Theorem 4.17).
 pub fn rank_why_no(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<RankedCause>, CoreError> {
-    let causes = why_no_causes(db, q)?;
+    rank_why_no_cached(db, q, None)
+}
+
+/// [`rank_why_no`] with an optional [`SharedIndexCache`].
+pub fn rank_why_no_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Vec<RankedCause>, CoreError> {
+    let causes = why_no_causes_cached(db, q, cache)?;
     let mut ranked = Vec::with_capacity(causes.actual.len());
     for &t in &causes.actual {
-        let responsibility = resp::whyno::why_no_responsibility(db, q, t)?;
+        let responsibility = resp::whyno::why_no_responsibility_cached(db, q, t, cache)?;
         ranked.push(RankedCause {
             tuple: t,
             responsibility,

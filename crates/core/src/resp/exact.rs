@@ -20,8 +20,8 @@
 
 use crate::error::CoreError;
 use crate::resp::Responsibility;
-use causality_engine::{ConjunctiveQuery, Database, TupleRef};
-use causality_lineage::{n_lineage, Dnf};
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
+use causality_lineage::{n_lineage_cached, Dnf};
 use std::collections::BTreeSet;
 
 /// Exact Why-So responsibility of `t` (any conjunctive query).
@@ -30,10 +30,20 @@ pub fn why_so_responsibility_exact(
     q: &ConjunctiveQuery,
     t: TupleRef,
 ) -> Result<Responsibility, CoreError> {
+    why_so_responsibility_exact_cached(db, q, t, None)
+}
+
+/// [`why_so_responsibility_exact`] with an optional [`SharedIndexCache`].
+pub fn why_so_responsibility_exact_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    t: TupleRef,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Responsibility, CoreError> {
     if !db.is_endogenous(t) {
         return Err(CoreError::NotEndogenous);
     }
-    let phin = n_lineage(db, q)?.minimized();
+    let phin = n_lineage_cached(db, q, cache)?.minimized();
     Ok(match min_contingency_from_lineage(&phin, t) {
         Some(gamma) => Responsibility::from_contingency(gamma),
         None => Responsibility::not_a_cause(),

@@ -23,7 +23,10 @@ use crate::dichotomy::aquery::AQuery;
 use crate::dichotomy::weaken::weakly_linear_certificate;
 use crate::error::CoreError;
 use crate::resp::Responsibility;
-use causality_engine::{evaluate, ConjunctiveQuery, Database, Nature, TupleRef, Value, VarId};
+use causality_engine::{
+    evaluate, evaluate_with_cache, ConjunctiveQuery, Database, Nature, SharedIndexCache, TupleRef,
+    Value, VarId,
+};
 use causality_graph::maxflow::{EdgeHandle, FlowAlgorithm, FlowNetwork, INF};
 use std::collections::{BTreeSet, HashMap};
 
@@ -51,6 +54,16 @@ pub fn why_so_responsibility_flow(
     why_so_responsibility_flow_with(db, q, t, FlowAlgorithm::Dinic).map(|(r, _)| r)
 }
 
+/// [`why_so_responsibility_flow`] with an optional [`SharedIndexCache`].
+pub fn why_so_responsibility_flow_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    t: TupleRef,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Responsibility, CoreError> {
+    flow_impl(db, q, t, FlowAlgorithm::Dinic, cache).map(|(r, _)| r)
+}
+
 /// As [`why_so_responsibility_flow`], with algorithm choice and stats
 /// (used by the ablation benches).
 pub fn why_so_responsibility_flow_with(
@@ -58,6 +71,16 @@ pub fn why_so_responsibility_flow_with(
     q: &ConjunctiveQuery,
     t: TupleRef,
     algo: FlowAlgorithm,
+) -> Result<(Responsibility, FlowStats), CoreError> {
+    flow_impl(db, q, t, algo, None)
+}
+
+fn flow_impl(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    t: TupleRef,
+    algo: FlowAlgorithm,
+    cache: Option<&SharedIndexCache>,
 ) -> Result<(Responsibility, FlowStats), CoreError> {
     if q.has_self_join() {
         return Err(CoreError::SelfJoin {
@@ -75,7 +98,10 @@ pub fn why_so_responsibility_flow_with(
     let order = cert.linear_order;
     let weakened = cert.weakened;
 
-    let result = evaluate(db, q)?;
+    let result = match cache {
+        Some(c) => evaluate_with_cache(db, q, c)?,
+        None => evaluate(db, q)?,
+    };
     if result.valuations.is_empty() {
         return Ok((Responsibility::not_a_cause(), FlowStats::default()));
     }

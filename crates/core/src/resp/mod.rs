@@ -18,7 +18,7 @@ pub mod flow;
 pub mod whyno;
 
 use crate::error::CoreError;
-use causality_engine::{ConjunctiveQuery, Database, TupleRef};
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
 
 /// The responsibility of one tuple for a (non-)answer.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,13 +66,24 @@ pub fn why_so_responsibility(
     q: &ConjunctiveQuery,
     t: TupleRef,
 ) -> Result<Responsibility, CoreError> {
-    match flow::why_so_responsibility_flow(db, q, t) {
+    why_so_responsibility_cached(db, q, t, None)
+}
+
+/// [`why_so_responsibility`] with an optional [`SharedIndexCache`] so
+/// repeated computations over unchanged data reuse their join indexes.
+pub fn why_so_responsibility_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    t: TupleRef,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Responsibility, CoreError> {
+    match flow::why_so_responsibility_flow_cached(db, q, t, cache) {
         Ok(r) => Ok(r),
         Err(
             CoreError::NotWeaklyLinear { .. }
             | CoreError::SelfJoin { .. }
             | CoreError::UnmarkedAtom { .. },
-        ) => exact::why_so_responsibility_exact(db, q, t),
+        ) => exact::why_so_responsibility_exact_cached(db, q, t, cache),
         Err(e) => Err(e),
     }
 }

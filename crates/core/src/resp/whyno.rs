@@ -14,8 +14,8 @@
 
 use crate::error::CoreError;
 use crate::resp::Responsibility;
-use causality_engine::{ConjunctiveQuery, Database, TupleRef};
-use causality_lineage::non_answer_lineage;
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
+use causality_lineage::non_answer_lineage_cached;
 
 /// Why-No responsibility of the candidate insertion `t` for a Boolean
 /// non-answer. PTIME in the size of the database (Theorem 4.17).
@@ -24,10 +24,20 @@ pub fn why_no_responsibility(
     q: &ConjunctiveQuery,
     t: TupleRef,
 ) -> Result<Responsibility, CoreError> {
+    why_no_responsibility_cached(db, q, t, None)
+}
+
+/// [`why_no_responsibility`] with an optional [`SharedIndexCache`].
+pub fn why_no_responsibility_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    t: TupleRef,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Responsibility, CoreError> {
     if !db.is_endogenous(t) {
         return Err(CoreError::NotEndogenous);
     }
-    let phin = non_answer_lineage(db, q)?.minimized();
+    let phin = non_answer_lineage_cached(db, q, cache)?.minimized();
     if phin.is_tautology() {
         // Already an answer on Dx: no Why-No causes.
         return Ok(Responsibility::not_a_cause());

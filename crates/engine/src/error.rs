@@ -32,6 +32,13 @@ pub enum EngineError {
         /// Offending variable name.
         var: String,
     },
+    /// An answer tuple does not match the query head (arity or constants).
+    InvalidAnswer {
+        /// Query text.
+        query: String,
+        /// What disagreed.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +67,9 @@ impl fmt::Display for EngineError {
                     f,
                     "unsafe query `{query}`: head variable `{var}` not in body"
                 )
+            }
+            EngineError::InvalidAnswer { query, message } => {
+                write!(f, "answer does not match head of `{query}`: {message}")
             }
         }
     }

@@ -17,9 +17,84 @@ use crate::query::{Atom, ConjunctiveQuery, Nature, Term, VarId};
 use crate::tuple::{RelId, RowId, Tuple, TupleRef};
 use crate::value::Value;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
 
-/// Lazily built hash index: (relation, bound positions) → key → rows.
-type IndexCache = HashMap<(RelId, Vec<usize>), HashMap<Vec<Value>, Vec<RowId>>>;
+/// One hash index over a relation: key (values at the bound positions) →
+/// rows holding those values.
+pub type PositionIndex = HashMap<Vec<Value>, Vec<RowId>>;
+
+/// The binding pattern an index serves: (relation, sorted bound positions).
+type IndexKey = (RelId, Vec<usize>);
+
+/// Build the hash index for one binding pattern by scanning the relation.
+fn build_index(db: &Database, rel: RelId, positions: &[usize]) -> PositionIndex {
+    let relation = db.relation(rel);
+    let mut index: PositionIndex = HashMap::new();
+    for (row, tuple, _) in relation.iter() {
+        let key: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
+        index.entry(key).or_default().push(row);
+    }
+    index
+}
+
+/// A thread-safe, build-once cache of per-binding-pattern hash indexes.
+///
+/// Indexes depend only on the stored tuples — not on the [`EndoMask`] —
+/// so one cache serves every counterfactual evaluation over the same
+/// database contents: plain evaluation, `D − Γ` removals and `Dx ∪ Γ`
+/// insertions all share it. Callers are responsible for not reusing a
+/// cache across *different* database contents (keying it on a
+/// [`Snapshot`](crate::snapshot::Snapshot) version, for example).
+///
+/// Entries are `Arc`-shared so concurrent readers clone a pointer, not
+/// the index. Building races are benign: the first insert wins and the
+/// duplicate is dropped.
+#[derive(Debug, Default)]
+pub struct SharedIndexCache {
+    inner: RwLock<HashMap<IndexKey, Arc<PositionIndex>>>,
+}
+
+impl SharedIndexCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        SharedIndexCache::default()
+    }
+
+    /// Number of distinct (relation, binding-pattern) indexes held.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("index cache lock").len()
+    }
+
+    /// Whether no index has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached index (e.g. after the database changed).
+    pub fn clear(&self) {
+        self.inner.write().expect("index cache lock").clear();
+    }
+
+    /// Fetch the index for a binding pattern, building it on first use.
+    pub fn get_or_build(
+        &self,
+        db: &Database,
+        rel: RelId,
+        positions: &[usize],
+    ) -> Arc<PositionIndex> {
+        if let Some(idx) = self
+            .inner
+            .read()
+            .expect("index cache lock")
+            .get(&(rel, positions.to_vec()))
+        {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(build_index(db, rel, positions));
+        let mut w = self.inner.write().expect("index cache lock");
+        Arc::clone(w.entry((rel, positions.to_vec())).or_insert(built))
+    }
+}
 
 /// One valuation `θ` of the query body: a value for every bound variable
 /// and the tuple grounding each atom.
@@ -90,13 +165,34 @@ pub fn evaluate(db: &Database, q: &ConjunctiveQuery) -> Result<EvalResult, Engin
     evaluate_masked(db, q, EndoMask::All)
 }
 
+/// Like [`evaluate`], reusing indexes from a [`SharedIndexCache`].
+pub fn evaluate_with_cache(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: &SharedIndexCache,
+) -> Result<EvalResult, EngineError> {
+    evaluate_masked_with_cache(db, q, EndoMask::All, cache)
+}
+
 /// Evaluate `q` under a counterfactual [`EndoMask`].
 pub fn evaluate_masked(
     db: &Database,
     q: &ConjunctiveQuery,
     mask: EndoMask<'_>,
 ) -> Result<EvalResult, EngineError> {
-    Evaluator::new(db, q, mask)?.run(false)
+    Evaluator::new(db, q, mask, None)?.run(false)
+}
+
+/// Like [`evaluate_masked`], reusing indexes from a [`SharedIndexCache`]:
+/// binding-pattern indexes missing from the cache are built once and
+/// published for subsequent evaluations over the same database contents.
+pub fn evaluate_masked_with_cache(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: EndoMask<'_>,
+    cache: &SharedIndexCache,
+) -> Result<EvalResult, EngineError> {
+    Evaluator::new(db, q, mask, Some(cache))?.run(false)
 }
 
 /// Boolean check with early exit: is `q` (treated as Boolean) true under
@@ -106,7 +202,17 @@ pub fn holds_masked(
     q: &ConjunctiveQuery,
     mask: EndoMask<'_>,
 ) -> Result<bool, EngineError> {
-    Ok(Evaluator::new(db, q, mask)?.run(true)?.holds())
+    Ok(Evaluator::new(db, q, mask, None)?.run(true)?.holds())
+}
+
+/// Like [`holds_masked`], reusing indexes from a [`SharedIndexCache`].
+pub fn holds_masked_with_cache(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: EndoMask<'_>,
+    cache: &SharedIndexCache,
+) -> Result<bool, EngineError> {
+    Ok(Evaluator::new(db, q, mask, Some(cache))?.run(true)?.holds())
 }
 
 struct ResolvedAtom {
@@ -123,8 +229,10 @@ struct Evaluator<'a> {
     atoms: Vec<ResolvedAtom>,
     /// Evaluation order (indexes into `atoms`).
     plan: Vec<usize>,
-    /// Lazily built indexes: (rel, sorted bound positions) → key → rows.
-    indexes: IndexCache,
+    /// Indexes pinned for this evaluation: (rel, bound positions) → index.
+    local: HashMap<IndexKey, Arc<PositionIndex>>,
+    /// Cross-evaluation cache consulted (and fed) before building locally.
+    shared: Option<&'a SharedIndexCache>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -132,6 +240,7 @@ impl<'a> Evaluator<'a> {
         db: &'a Database,
         q: &'a ConjunctiveQuery,
         mask: EndoMask<'a>,
+        shared: Option<&'a SharedIndexCache>,
     ) -> Result<Self, EngineError> {
         // Safety check: head variables must occur in the body.
         let body_vars = q.body_vars();
@@ -167,7 +276,8 @@ impl<'a> Evaluator<'a> {
             mask,
             atoms,
             plan,
-            indexes: HashMap::new(),
+            local: HashMap::new(),
+            shared,
         })
     }
 
@@ -233,11 +343,9 @@ impl<'a> Evaluator<'a> {
 
         let rel = self.atoms[atom_idx].rel;
         let nature = self.atoms[atom_idx].nature;
-        self.ensure_index(rel, &positions);
         let rows: Vec<RowId> = self
-            .indexes
-            .get(&(rel, positions.clone()))
-            .and_then(|idx| idx.get(&key))
+            .index_for(rel, positions)
+            .get(&key)
             .cloned()
             .unwrap_or_default();
 
@@ -290,18 +398,19 @@ impl<'a> Evaluator<'a> {
         false
     }
 
-    fn ensure_index(&mut self, rel: RelId, positions: &[usize]) {
-        let cache_key = (rel, positions.to_vec());
-        if self.indexes.contains_key(&cache_key) {
-            return;
+    /// The index serving a binding pattern: pinned locally, fetched from
+    /// the shared cache, or built on the spot (and published if shared).
+    fn index_for(&mut self, rel: RelId, positions: Vec<usize>) -> Arc<PositionIndex> {
+        let cache_key = (rel, positions);
+        if let Some(idx) = self.local.get(&cache_key) {
+            return Arc::clone(idx);
         }
-        let relation = self.db.relation(rel);
-        let mut index: HashMap<Vec<Value>, Vec<RowId>> = HashMap::new();
-        for (row, tuple, _) in relation.iter() {
-            let key: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
-            index.entry(key).or_default().push(row);
-        }
-        self.indexes.insert(cache_key, index);
+        let idx = match self.shared {
+            Some(cache) => cache.get_or_build(self.db, cache_key.0, &cache_key.1),
+            None => Arc::new(build_index(self.db, cache_key.0, &cache_key.1)),
+        };
+        self.local.insert(cache_key, Arc::clone(&idx));
+        idx
     }
 }
 
@@ -491,9 +600,16 @@ mod tests {
 
     #[test]
     fn unsafe_query_is_an_error() {
+        // The parser rejects unbound head vars up front; build through the
+        // API to prove the evaluator still guards against them.
         let mut db = Database::new();
         db.add_relation(Schema::new("R", &["x"]));
-        let err = evaluate(&db, &q("q(y) :- R(x)")).unwrap_err();
+        let mut query = ConjunctiveQuery::boolean("q");
+        let x = query.var("x");
+        let y = query.var("y");
+        query.push_atom(Atom::new("R", Nature::Any, vec![Term::Var(x)]));
+        query.set_head(vec![Term::Var(y)]);
+        let err = evaluate(&db, &query).unwrap_err();
         assert!(matches!(err, EngineError::UnsafeQuery { .. }));
     }
 
@@ -506,6 +622,45 @@ mod tests {
         assert!(
             !holds_masked(&db, &query, EndoMask::Only(&HashSet::new())).unwrap() || all.is_empty()
         );
+    }
+
+    #[test]
+    fn shared_cache_reuses_indexes_across_evaluations() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let cache = SharedIndexCache::new();
+        assert!(cache.is_empty());
+        let cold = evaluate_with_cache(&db, &query, &cache).unwrap();
+        let built = cache.len();
+        assert!(built > 0, "evaluation populates the cache");
+        let warm = evaluate_with_cache(&db, &query, &cache).unwrap();
+        assert_eq!(cache.len(), built, "second run builds nothing new");
+        assert_eq!(cold.answers, warm.answers);
+        assert_eq!(cold.valuations, warm.valuations);
+    }
+
+    #[test]
+    fn shared_cache_agrees_under_masks() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let cache = SharedIndexCache::new();
+        let s = db.relation_id("S").unwrap();
+        let s_a1 = TupleRef {
+            rel: s,
+            row: db.relation(s).find(&tup!["a1"]).unwrap(),
+        };
+        let mut gone = HashSet::new();
+        gone.insert(s_a1);
+        let masked = evaluate_masked_with_cache(&db, &query, EndoMask::Except(&gone), &cache)
+            .unwrap()
+            .answers;
+        let plain = evaluate_masked(&db, &query, EndoMask::Except(&gone))
+            .unwrap()
+            .answers;
+        assert_eq!(masked, plain, "indexes are mask-independent");
+        assert!(holds_masked_with_cache(&db, &query, EndoMask::All, &cache).unwrap());
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   to recognise the canonical hard queries h1*, h2*, h3*).
 //! * [`eval`] — a backtracking join evaluator that enumerates answers *and*
 //!   valuations, under counterfactual [`EndoMask`]s (tuple removals for
-//!   Why-So, tuple insertions for Why-No).
+//!   Why-So, tuple insertions for Why-No), with a thread-safe
+//!   [`SharedIndexCache`] so repeated evaluations over unchanged data
+//!   build their hash indexes once.
+//! * [`snapshot`] — immutable `Arc`-backed [`Snapshot`]s and a versioned
+//!   [`SnapshotStore`] so concurrent readers explain against a stable view
+//!   while writers publish new versions without blocking them.
 //!
 //! # Example
 //!
@@ -51,14 +56,19 @@ pub mod eval;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
 pub use database::{Database, EndoMask};
 pub use error::EngineError;
-pub use eval::{evaluate, evaluate_masked, holds_masked, EvalResult, Valuation};
+pub use eval::{
+    evaluate, evaluate_masked, evaluate_masked_with_cache, evaluate_with_cache, holds_masked,
+    holds_masked_with_cache, EvalResult, SharedIndexCache, Valuation,
+};
 pub use query::{Atom, ConjunctiveQuery, Nature, Term, VarId};
 pub use relation::Relation;
 pub use schema::Schema;
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use tuple::{RelId, RowId, Tuple, TupleRef};
 pub use value::Value;

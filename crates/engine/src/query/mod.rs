@@ -260,19 +260,47 @@ impl ConjunctiveQuery {
     ///
     /// # Panics
     /// Panics if `answer` does not match the head arity, or if a head
-    /// constant disagrees with the answer.
+    /// constant disagrees with the answer. Serving layers should prefer
+    /// the fallible [`ConjunctiveQuery::try_ground`].
     pub fn ground(&self, answer: &[Value]) -> ConjunctiveQuery {
-        assert_eq!(answer.len(), self.head.len(), "answer arity mismatch");
+        self.try_ground(answer).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConjunctiveQuery::ground`]: rejects answers whose arity
+    /// or constants disagree with the head instead of panicking.
+    pub fn try_ground(&self, answer: &[Value]) -> Result<ConjunctiveQuery, EngineError> {
+        let invalid = |message: String| EngineError::InvalidAnswer {
+            query: self.to_string(),
+            message,
+        };
+        if answer.len() != self.head.len() {
+            return Err(invalid(format!(
+                "answer arity mismatch: head has {} terms, answer has {}",
+                self.head.len(),
+                answer.len()
+            )));
+        }
         let mut subst: Vec<Option<Value>> = vec![None; self.var_names.len()];
         for (term, val) in self.head.iter().zip(answer.iter()) {
             match term {
                 Term::Var(v) => {
                     if let Some(prev) = &subst[v.0 as usize] {
-                        assert_eq!(prev, val, "inconsistent repeated head variable");
+                        if prev != val {
+                            return Err(invalid(format!(
+                                "inconsistent repeated head variable `{}`: {prev} vs {val}",
+                                self.var_name(*v)
+                            )));
+                        }
                     }
                     subst[v.0 as usize] = Some(val.clone());
                 }
-                Term::Const(c) => assert_eq!(c, val, "head constant disagrees with answer"),
+                Term::Const(c) => {
+                    if c != val {
+                        return Err(invalid(format!(
+                            "head constant disagrees with answer: {c} vs {val}"
+                        )));
+                    }
+                }
             }
         }
         let mut q = self.clone();
@@ -287,7 +315,7 @@ impl ConjunctiveQuery {
                 }
             }
         }
-        q
+        Ok(q)
     }
 
     /// Substitute variable `v` by the given term everywhere in the body.
@@ -453,18 +481,31 @@ mod tests {
         assert_eq!(g.constants().len(), 1);
     }
 
+    /// `q(x, x) :- R(x, y)` — rejected by the parser nowadays, but still
+    /// constructible through the builder API, and `ground` must handle it.
+    fn repeated_head_query() -> ConjunctiveQuery {
+        let mut cq = ConjunctiveQuery::boolean("q");
+        let x = cq.var("x");
+        let y = cq.var("y");
+        cq.push_atom(Atom::new(
+            "R",
+            Nature::Any,
+            vec![Term::Var(x), Term::Var(y)],
+        ));
+        cq.set_head(vec![Term::Var(x), Term::Var(x)]);
+        cq
+    }
+
     #[test]
     fn grounding_repeated_head_var() {
-        let cq = q("q(x, x) :- R(x, y)");
-        let g = cq.ground(&[Value::int(1), Value::int(1)]);
+        let g = repeated_head_query().ground(&[Value::int(1), Value::int(1)]);
         assert_eq!(g.to_string(), "q[1,1] :- R(1, y)");
     }
 
     #[test]
     #[should_panic(expected = "inconsistent repeated head variable")]
     fn grounding_rejects_inconsistent_answer() {
-        let cq = q("q(x, x) :- R(x, y)");
-        cq.ground(&[Value::int(1), Value::int(2)]);
+        repeated_head_query().ground(&[Value::int(1), Value::int(2)]);
     }
 
     #[test]

@@ -134,7 +134,37 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, EngineError> {
     if q.atoms().is_empty() {
         return Err(c.error("query has no body atoms".into()));
     }
+    validate_head(&q, &c)?;
     Ok(q)
+}
+
+/// Reject malformed heads at parse time rather than letting them panic or
+/// misbehave downstream (`ground` asserts on repeated head variables, the
+/// evaluator rejects unbound ones only when run):
+///
+/// * a head variable repeated (`q(x, x) :- …`) — grounding such a head is
+///   ambiguous for any answer that does not repeat the value;
+/// * a head variable that never occurs in the body (unsafe query).
+fn validate_head(q: &ConjunctiveQuery, c: &Cursor) -> Result<(), EngineError> {
+    let mut seen = Vec::new();
+    for term in q.head() {
+        if let Term::Var(v) = term {
+            if seen.contains(v) {
+                return Err(c.error(format!("duplicate head variable `{}`", q.var_name(*v))));
+            }
+            seen.push(*v);
+        }
+    }
+    let body_vars = q.body_vars();
+    for v in seen {
+        if !body_vars.contains(&v) {
+            return Err(EngineError::UnsafeQuery {
+                query: q.to_string(),
+                var: q.var_name(v).to_string(),
+            });
+        }
+    }
+    Ok(())
 }
 
 fn parse_atom(c: &mut Cursor, q: &mut ConjunctiveQuery) -> Result<Atom, EngineError> {
@@ -270,6 +300,20 @@ mod tests {
         assert!(parse_query("q :- R('abc)").is_err(), "unterminated string");
         assert!(parse_query("q :- R(x) extra").is_err(), "trailing input");
         assert!(parse_query("1q :- R(x)").is_err(), "bad identifier");
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        // Duplicate head variable: grounding would be ambiguous.
+        let err = parse_query("q(x, x) :- R(x, y)").unwrap_err();
+        assert!(err.to_string().contains("duplicate head variable `x`"));
+        // Head variable not bound by the body: unsafe query.
+        let err = parse_query("q(y) :- R(x)").unwrap_err();
+        assert!(matches!(err, EngineError::UnsafeQuery { ref var, .. } if var == "y"));
+        // A head constant repeated with a variable is fine.
+        assert!(parse_query("q(x, 'lit') :- R(x)").is_ok());
+        // Same variable in head and body, used once in the head: fine.
+        assert!(parse_query("q(x, y) :- R(x, y)").is_ok());
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod whyso;
 pub mod witness;
 
 pub use dnf::{Conjunct, Dnf};
-pub use whyno::non_answer_lineage;
-pub use whyso::{lineage, n_lineage};
+pub use whyno::{non_answer_lineage, non_answer_lineage_cached};
+pub use whyso::{lineage, lineage_cached, n_lineage, n_lineage_cached};
 pub use witness::why_provenance;

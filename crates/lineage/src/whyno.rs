@@ -13,9 +13,9 @@
 //! \[15\]); callers provide it.
 
 use crate::dnf::Dnf;
-use crate::whyso::{n_lineage, require_boolean};
+use crate::whyso::{n_lineage_cached, require_boolean};
 use causality_engine::ConjunctiveQuery;
-use causality_engine::{holds_masked, Database, EndoMask, EngineError};
+use causality_engine::{holds_masked, Database, EndoMask, EngineError, SharedIndexCache};
 use std::collections::HashSet;
 
 /// Compute the Why-No lineage of a Boolean non-answer: the n-lineage over
@@ -30,8 +30,17 @@ use std::collections::HashSet;
 /// the returned DNF is a tautology, which minimizes to zero causes.
 /// [`is_non_answer`] lets callers check the precondition explicitly.
 pub fn non_answer_lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> {
+    non_answer_lineage_cached(db, q, None)
+}
+
+/// [`non_answer_lineage`] with an optional [`SharedIndexCache`].
+pub fn non_answer_lineage_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Dnf, EngineError> {
     require_boolean(q)?;
-    n_lineage(db, q)
+    n_lineage_cached(db, q, cache)
 }
 
 /// Whether the Boolean query is indeed false on the real (exogenous-only)

@@ -7,7 +7,9 @@
 //! causes straight off its non-redundant conjuncts.
 
 use crate::dnf::{Conjunct, Dnf};
-use causality_engine::{evaluate_masked, Database, EndoMask, EngineError};
+use causality_engine::{
+    evaluate_masked, evaluate_masked_with_cache, Database, EndoMask, EngineError, SharedIndexCache,
+};
 use causality_engine::{ConjunctiveQuery, TupleRef};
 use std::collections::BTreeSet;
 
@@ -17,8 +19,21 @@ use std::collections::BTreeSet;
 /// # Errors
 /// Propagates evaluation errors; rejects non-Boolean queries.
 pub fn lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> {
+    lineage_cached(db, q, None)
+}
+
+/// [`lineage`] with an optional [`SharedIndexCache`], so successive
+/// lineage computations over unchanged data reuse their join indexes.
+pub fn lineage_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Dnf, EngineError> {
     require_boolean(q)?;
-    let result = evaluate_masked(db, q, EndoMask::All)?;
+    let result = match cache {
+        Some(c) => evaluate_masked_with_cache(db, q, EndoMask::All, c)?,
+        None => evaluate_masked(db, q, EndoMask::All)?,
+    };
     let mut dnf = Dnf::unsatisfiable();
     for v in &result.valuations {
         dnf.push(Conjunct::new(v.atom_tuples.iter().copied()));
@@ -30,7 +45,16 @@ pub fn lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> 
 /// variable set to `true`. **Not** minimized; apply [`Dnf::minimized`] to
 /// obtain the cause-revealing form of Theorem 3.2.
 pub fn n_lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> {
-    let phi = lineage(db, q)?;
+    n_lineage_cached(db, q, None)
+}
+
+/// [`n_lineage`] with an optional [`SharedIndexCache`].
+pub fn n_lineage_cached(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<Dnf, EngineError> {
+    let phi = lineage_cached(db, q, cache)?;
     let exo: BTreeSet<TupleRef> = phi
         .variables()
         .into_iter()

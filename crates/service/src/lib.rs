@@ -1,0 +1,77 @@
+//! # causality-service — a concurrent explanation service
+//!
+//! The paper's central message is that the explanation workloads which
+//! matter in practice are *cheap*: Why-So causes are PTIME for all
+//! conjunctive queries (Theorem 3.2), Why-No responsibility is PTIME
+//! outright (Theorem 4.17), and the dichotomy of Corollary 4.14 tells us
+//! exactly when Why-So responsibility is too. Cheap enough, that is, to
+//! serve interactively — the "explain this answer" workload sketched in
+//! the companion paper *Why so? or Why no?* (arXiv:0912.5340).
+//!
+//! This crate turns the `causality` workspace from a single-threaded
+//! library into that serving layer (std-only — no async runtime):
+//!
+//! * [`CausalityService`] — a worker pool pulling typed
+//!   [`ExplainRequest`]s (Why-So, Why-No, rank-top-k) off one bounded
+//!   queue, with backpressure on `submit` and batch draining per pull;
+//! * snapshots — writers [`CausalityService::publish`]/[`CausalityService::update`]
+//!   new immutable database versions while readers keep evaluating
+//!   against the snapshot they pinned (see
+//!   [`causality_engine::snapshot`]);
+//! * index reuse — every request on one snapshot version shares one
+//!   [`SharedIndexCache`](causality_engine::SharedIndexCache), so the
+//!   evaluator's per-binding-pattern hash indexes are built once per
+//!   version instead of once per call;
+//! * a responsibility cache — finished explanations are memoized in an
+//!   LRU keyed on (snapshot version, request), duplicate in-batch
+//!   requests are coalesced into one computation, and hit/miss/coalesce
+//!   counters are exposed via [`ServiceStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use causality_service::{CausalityService, ExplainRequest, ServiceConfig};
+//! use causality_engine::{database::example_2_2, ConjunctiveQuery, Value};
+//!
+//! let svc = CausalityService::with_config(
+//!     example_2_2(),
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//! );
+//! let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+//!
+//! // Cold: computed by a worker. Warm: served from the LRU cache.
+//! let req = ExplainRequest::why_so(q, vec![Value::str("a2")]);
+//! let cold = svc.explain(req.clone()).unwrap();
+//! let warm = svc.explain(req).unwrap();
+//! assert!(!cold.cache_hit && warm.cache_hit);
+//! assert_eq!(cold.expect_explanation(), warm.expect_explanation());
+//! assert_eq!(svc.stats().cache_hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use lru::LruCache;
+pub use request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+pub use service::{CausalityService, ServiceConfig};
+pub use stats::ServiceStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_types_are_send_sync() {
+        assert_send_sync::<CausalityService>();
+        assert_send_sync::<ExplainRequest>();
+        assert_send_sync::<ExplainResponse>();
+        assert_send_sync::<ServiceStats>();
+    }
+}

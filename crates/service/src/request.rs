@@ -1,0 +1,192 @@
+//! Typed requests and responses of the explanation service.
+
+use causality_core::explain::Explanation;
+use causality_core::ranking::Method;
+use causality_core::CoreError;
+use causality_engine::{ConjunctiveQuery, Value};
+use std::fmt;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+/// What kind of explanation a request asks for.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExplainKind {
+    /// Why is the answer in the result? (Def. 2.1 causes, Fig. 2b ranking.)
+    WhySo,
+    /// Why is the answer *not* in the result? (Sect. 2's Why-No setting.)
+    WhyNo,
+    /// Like [`ExplainKind::WhySo`], truncated to the `k` causes with the
+    /// highest responsibility — the "rank the candidate causes" workload
+    /// of Sect. 1 when only the top of the Fig. 2b table is displayed.
+    RankTopK(usize),
+}
+
+/// One explanation request: a (non-Boolean) query and an answer tuple.
+///
+/// The request is evaluated against the snapshot that is current when a
+/// worker picks it up; the response reports that snapshot's version.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ExplainRequest {
+    /// Which question is asked.
+    pub kind: ExplainKind,
+    /// The query (head variables bound by `answer`).
+    pub query: ConjunctiveQuery,
+    /// The (non-)answer to explain.
+    pub answer: Vec<Value>,
+    /// Responsibility algorithm selection.
+    pub method: Method,
+}
+
+impl ExplainRequest {
+    /// A Why-So request with automatic algorithm choice.
+    pub fn why_so(query: ConjunctiveQuery, answer: impl Into<Vec<Value>>) -> Self {
+        ExplainRequest {
+            kind: ExplainKind::WhySo,
+            query,
+            answer: answer.into(),
+            method: Method::Auto,
+        }
+    }
+
+    /// A Why-No request.
+    pub fn why_no(query: ConjunctiveQuery, answer: impl Into<Vec<Value>>) -> Self {
+        ExplainRequest {
+            kind: ExplainKind::WhyNo,
+            query,
+            answer: answer.into(),
+            method: Method::Auto,
+        }
+    }
+
+    /// A rank-by-responsibility request keeping the top `k` causes.
+    pub fn rank_top_k(query: ConjunctiveQuery, answer: impl Into<Vec<Value>>, k: usize) -> Self {
+        ExplainRequest {
+            kind: ExplainKind::RankTopK(k),
+            query,
+            answer: answer.into(),
+            method: Method::Auto,
+        }
+    }
+
+    /// Select the responsibility algorithm.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+/// A served explanation with its provenance metadata.
+#[derive(Clone, Debug)]
+pub struct ExplainResponse {
+    /// The explanation, or the error the computation hit.
+    pub result: Result<Explanation, ServiceError>,
+    /// Version of the snapshot the request was evaluated against.
+    pub snapshot_version: u64,
+    /// Whether the explanation came from the responsibility cache.
+    pub cache_hit: bool,
+}
+
+impl ExplainResponse {
+    /// The explanation, panicking on a failed request (test convenience).
+    pub fn expect_explanation(self) -> Explanation {
+        match self.result {
+            Ok(e) => e,
+            Err(e) => panic!("explain request failed: {e}"),
+        }
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The service has shut down (or its worker died) before responding.
+    Disconnected,
+    /// The bounded request queue is full (`try_submit` only).
+    QueueFull,
+    /// Waiting for a response timed out; the computation may still finish.
+    Timeout,
+    /// The request is malformed (answer arity or constants disagree with
+    /// the query head).
+    InvalidRequest(String),
+    /// The underlying cause/responsibility computation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Disconnected => write!(f, "explanation service is shut down"),
+            ServiceError::QueueFull => write!(f, "request queue is full"),
+            ServiceError::Timeout => write!(f, "timed out waiting for a response"),
+            ServiceError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Handle to one in-flight request; resolves to an [`ExplainResponse`].
+#[derive(Debug)]
+pub struct PendingExplain {
+    pub(crate) rx: Receiver<ExplainResponse>,
+}
+
+impl PendingExplain {
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<ExplainResponse, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Block up to `timeout` for the response.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ExplainResponse, ServiceError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServiceError::Timeout,
+            RecvTimeoutError::Disconnected => ServiceError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_method() {
+        let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+        let r = ExplainRequest::why_so(q.clone(), vec![Value::str("a2")]);
+        assert_eq!(r.kind, ExplainKind::WhySo);
+        assert_eq!(r.method, Method::Auto);
+        let r =
+            ExplainRequest::why_no(q.clone(), vec![Value::str("a2")]).with_method(Method::Exact);
+        assert_eq!(r.kind, ExplainKind::WhyNo);
+        assert_eq!(r.method, Method::Exact);
+        let r = ExplainRequest::rank_top_k(q, vec![Value::str("a2")], 3);
+        assert_eq!(r.kind, ExplainKind::RankTopK(3));
+    }
+
+    #[test]
+    fn requests_are_hashable_cache_keys() {
+        use std::collections::HashSet;
+        let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+        let mut set = HashSet::new();
+        set.insert(ExplainRequest::why_so(q.clone(), vec![Value::str("a2")]));
+        set.insert(ExplainRequest::why_so(q.clone(), vec![Value::str("a2")]));
+        set.insert(ExplainRequest::why_no(q, vec![Value::str("a2")]));
+        assert_eq!(set.len(), 2, "identical requests collapse");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ServiceError::Disconnected.to_string().contains("shut down"));
+        assert!(ServiceError::QueueFull.to_string().contains("full"));
+        assert!(ServiceError::Timeout.to_string().contains("timed out"));
+    }
+}

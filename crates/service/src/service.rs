@@ -1,0 +1,537 @@
+//! The concurrent explanation service.
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! * **Snapshots** — a [`SnapshotStore`] holds the current immutable
+//!   [`Snapshot`]; writers publish new versions without blocking readers.
+//! * **Worker pool** — N threads pull [`ExplainRequest`]s off one bounded
+//!   channel. Each pull drains up to `batch_max` queued requests into a
+//!   **batch** evaluated against a single pinned snapshot.
+//! * **Index reuse** — all requests on one snapshot version share one
+//!   [`SharedIndexCache`], so the per-binding-pattern join indexes the
+//!   evaluator needs are built once per (version, pattern) — not once per
+//!   call as the bare library does.
+//! * **Responsibility cache** — finished explanations are memoized in an
+//!   LRU keyed on (snapshot version, request); duplicate requests within
+//!   a batch are **coalesced** into one computation.
+
+use crate::lru::LruCache;
+use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+use crate::stats::{ServiceStats, StatsCounters};
+use causality_core::explain::{Explainer, Explanation};
+use causality_engine::{Database, SharedIndexCache, Snapshot, SnapshotStore};
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of the service.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads evaluating requests.
+    pub workers: usize,
+    /// Bound of the request queue; `submit` applies backpressure beyond it.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains into one batch.
+    pub batch_max: usize,
+    /// Entries held by the responsibility LRU cache.
+    pub cache_capacity: usize,
+    /// How many snapshot versions keep their index caches alive.
+    pub cached_versions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 128,
+            batch_max: 16,
+            cache_capacity: 1024,
+            cached_versions: 4,
+        }
+    }
+}
+
+/// State shared between the handle and the workers.
+struct Shared {
+    cfg: ServiceConfig,
+    store: SnapshotStore,
+    stats: StatsCounters,
+    /// Memoized explanations: (snapshot version, request) → explanation.
+    resp_cache: Mutex<LruCache<(u64, ExplainRequest), Explanation>>,
+    /// Join-index caches for recent snapshot versions.
+    index_caches: Mutex<Vec<(u64, Arc<SharedIndexCache>)>>,
+}
+
+impl Shared {
+    /// The index cache for one snapshot version, creating it on first use
+    /// and evicting caches of the oldest versions beyond the configured
+    /// retention.
+    fn index_cache_for(&self, version: u64) -> Arc<SharedIndexCache> {
+        let mut caches = self.index_caches.lock().expect("index cache registry");
+        if let Some((_, c)) = caches.iter().find(|(v, _)| *v == version) {
+            return Arc::clone(c);
+        }
+        let cache = Arc::new(SharedIndexCache::new());
+        caches.push((version, Arc::clone(&cache)));
+        StatsCounters::bump(&self.stats.index_caches_built);
+        if caches.len() > self.cfg.cached_versions {
+            caches.sort_by_key(|(v, _)| *v);
+            let excess = caches.len() - self.cfg.cached_versions;
+            caches.drain(0..excess);
+        }
+        cache
+    }
+}
+
+enum Job {
+    Request(Box<ExplainRequest>, Sender<ExplainResponse>),
+    Shutdown,
+}
+
+/// A concurrent explanation service over one logical database.
+///
+/// ```
+/// use causality_service::{CausalityService, ExplainRequest};
+/// use causality_engine::{database::example_2_2, ConjunctiveQuery, Value};
+///
+/// let svc = CausalityService::new(example_2_2());
+/// let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+/// let resp = svc
+///     .explain(ExplainRequest::why_so(q, vec![Value::str("a2")]))
+///     .unwrap();
+/// assert_eq!(resp.expect_explanation().causes.len(), 2);
+/// ```
+pub struct CausalityService {
+    shared: Arc<Shared>,
+    tx: SyncSender<Job>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl CausalityService {
+    /// Start a service over `db` with the default configuration.
+    pub fn new(db: Database) -> Self {
+        CausalityService::with_config(db, ServiceConfig::default())
+    }
+
+    /// Start a service with explicit tuning knobs.
+    pub fn with_config(db: Database, cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            batch_max: cfg.batch_max.max(1),
+            cached_versions: cfg.cached_versions.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            store: SnapshotStore::new(db),
+            stats: StatsCounters::default(),
+            resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            index_caches: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("causality-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        CausalityService {
+            shared,
+            tx,
+            handles,
+        }
+    }
+
+    /// Enqueue a request, blocking while the queue is full (backpressure).
+    pub fn submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
+        validate(&request)?;
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(Job::Request(Box::new(request), tx))
+            .map_err(|_| ServiceError::Disconnected)?;
+        StatsCounters::bump(&self.shared.stats.requests);
+        Ok(PendingExplain { rx })
+    }
+
+    /// Enqueue a request without blocking; [`ServiceError::QueueFull`]
+    /// when the bounded queue has no room.
+    pub fn try_submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
+        validate(&request)?;
+        let (tx, rx) = mpsc::channel();
+        match self.tx.try_send(Job::Request(Box::new(request), tx)) {
+            Ok(()) => {
+                StatsCounters::bump(&self.shared.stats.requests);
+                Ok(PendingExplain { rx })
+            }
+            Err(TrySendError::Full(_)) => Err(ServiceError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Submit and wait: the blocking convenience call.
+    pub fn explain(&self, request: ExplainRequest) -> Result<ExplainResponse, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Pin the current snapshot (for ad-hoc reads outside the pool).
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.store.current()
+    }
+
+    /// Publish a whole new database as the next snapshot version.
+    pub fn publish(&self, db: Database) -> u64 {
+        self.shared.store.publish(db).version()
+    }
+
+    /// Copy-on-write update of the current snapshot; returns the new
+    /// version. In-flight requests keep their pinned older snapshots.
+    pub fn update(&self, f: impl FnOnce(&mut Database)) -> u64 {
+        self.shared.store.update(f).version()
+    }
+
+    /// A point-in-time view of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared
+            .stats
+            .snapshot(self.shared.cfg.workers, self.shared.store.version())
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for _ in 0..self.handles.len() {
+            // Blocks while the queue is full; workers are draining it.
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CausalityService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Reject malformed requests at submit time: grounding must succeed, so a
+/// worker can never hit an answer/head mismatch mid-computation.
+fn validate(request: &ExplainRequest) -> Result<(), ServiceError> {
+    request
+        .query
+        .try_ground(&request.answer)
+        .map(|_| ())
+        .map_err(|e| ServiceError::InvalidRequest(e.to_string()))
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        let mut saw_shutdown = false;
+        let mut batch: Vec<(ExplainRequest, Sender<ExplainResponse>)> = Vec::new();
+        {
+            let rx = rx.lock().expect("request queue lock");
+            match rx.recv() {
+                Ok(Job::Request(req, tx)) => batch.push((*req, tx)),
+                Ok(Job::Shutdown) | Err(_) => return,
+            }
+            while batch.len() < shared.cfg.batch_max {
+                match rx.try_recv() {
+                    Ok(Job::Request(req, tx)) => batch.push((*req, tx)),
+                    Ok(Job::Shutdown) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        process_batch(shared, batch);
+        if saw_shutdown {
+            return;
+        }
+    }
+}
+
+/// Evaluate one batch against a single pinned snapshot: group identical
+/// requests, serve them from the responsibility cache when possible, and
+/// compute each distinct miss exactly once.
+fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResponse>)>) {
+    StatsCounters::bump(&shared.stats.batches);
+    StatsCounters::add(&shared.stats.batched_requests, batch.len() as u64);
+
+    let snapshot = shared.store.current();
+    let version = snapshot.version();
+    let index_cache = shared.index_cache_for(version);
+
+    // Coalesce identical requests, preserving first-seen order.
+    let mut order: Vec<ExplainRequest> = Vec::new();
+    let mut groups: HashMap<ExplainRequest, Vec<Sender<ExplainResponse>>> = HashMap::new();
+    for (request, tx) in batch {
+        let entry = groups.entry(request.clone()).or_default();
+        if entry.is_empty() {
+            order.push(request);
+        }
+        entry.push(tx);
+    }
+
+    for request in order {
+        let senders = groups.remove(&request).expect("grouped senders");
+        let key = (version, request.clone());
+        let cached = {
+            let mut cache = shared.resp_cache.lock().expect("responsibility cache");
+            cache.get(&key).cloned()
+        };
+        // Per-request accounting: a hit group is all hits; a miss group is
+        // one fresh computation plus coalesced riders.
+        let (result, cache_hit) = match cached {
+            Some(explanation) => {
+                StatsCounters::add(&shared.stats.cache_hits, senders.len() as u64);
+                (Ok(explanation), true)
+            }
+            None => {
+                StatsCounters::bump(&shared.stats.cache_misses);
+                StatsCounters::add(&shared.stats.coalesced, senders.len() as u64 - 1);
+                let computed = compute(&snapshot, &index_cache, &request);
+                if let Ok(explanation) = &computed {
+                    shared
+                        .resp_cache
+                        .lock()
+                        .expect("responsibility cache")
+                        .insert(key, explanation.clone());
+                }
+                (computed, false)
+            }
+        };
+        for tx in senders {
+            // A requester that dropped its handle is not an error.
+            let _ = tx.send(ExplainResponse {
+                result: result.clone(),
+                snapshot_version: version,
+                cache_hit,
+            });
+        }
+    }
+}
+
+fn compute(
+    snapshot: &Snapshot,
+    index_cache: &Arc<SharedIndexCache>,
+    request: &ExplainRequest,
+) -> Result<Explanation, ServiceError> {
+    let explainer = Explainer::new(snapshot.database(), &request.query)
+        .with_method(request.method)
+        .with_index_cache(Arc::clone(index_cache));
+    match request.kind {
+        ExplainKind::WhySo => Ok(explainer.why(&request.answer)?),
+        ExplainKind::WhyNo => Ok(explainer.why_not(&request.answer)?),
+        ExplainKind::RankTopK(k) => {
+            let mut explanation = explainer.why(&request.answer)?;
+            explanation.causes.truncate(k);
+            Ok(explanation)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, ConjunctiveQuery, Schema, Value};
+
+    fn query() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap()
+    }
+
+    #[test]
+    fn service_matches_direct_explainer() {
+        let svc = CausalityService::new(example_2_2());
+        let q = query();
+        let resp = svc
+            .explain(ExplainRequest::why_so(q.clone(), vec![Value::str("a4")]))
+            .unwrap();
+        assert_eq!(resp.snapshot_version, 1);
+        assert!(!resp.cache_hit);
+        let served = resp.expect_explanation();
+
+        let db = example_2_2();
+        let direct = Explainer::new(&db, &q).why(&[Value::str("a4")]).unwrap();
+        assert_eq!(served, direct, "service output is bit-identical");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn responsibility_cache_hits_are_identical() {
+        let svc = CausalityService::new(example_2_2());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        let cold = svc.explain(req.clone()).unwrap();
+        let warm = svc.explain(req).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(
+            cold.expect_explanation(),
+            warm.expect_explanation(),
+            "cache hit is bit-identical to the cold answer"
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn why_no_and_top_k_kinds() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2]);
+        let svc = CausalityService::new(db);
+        let q = query();
+
+        let whyno = svc
+            .explain(ExplainRequest::why_no(q.clone(), vec![Value::int(1)]))
+            .unwrap()
+            .expect_explanation();
+        assert_eq!(whyno.causes.len(), 1);
+        assert_eq!(whyno.causes[0].rho, 1.0);
+
+        let svc2 = CausalityService::new(example_2_2());
+        let top1 = svc2
+            .explain(ExplainRequest::rank_top_k(q, vec![Value::str("a4")], 1))
+            .unwrap()
+            .expect_explanation();
+        assert_eq!(top1.causes.len(), 1, "truncated to k");
+    }
+
+    #[test]
+    fn publish_serves_new_version_and_keys_cache_by_version() {
+        let svc = CausalityService::new(example_2_2());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+        let v1 = svc.explain(req.clone()).unwrap();
+        assert_eq!(v1.snapshot_version, 1);
+
+        // Remove S(a1): answer a2 loses its only witness.
+        let version = svc.update(|db| {
+            let s = db.relation_id("S").unwrap();
+            let row = db.relation(s).find(&tup!["a1"]).unwrap();
+            db.relation_mut(s).set_endogenous(row, false);
+        });
+        assert_eq!(version, 2);
+
+        let v2 = svc.explain(req).unwrap();
+        assert_eq!(v2.snapshot_version, 2);
+        assert!(!v2.cache_hit, "version change misses the cache");
+        // S(a1) now exogenous: it can no longer be a cause; only R(a2,a1)
+        // remains, and with S(a1) always present it is counterfactual.
+        let explanation = v2.expect_explanation();
+        assert_eq!(explanation.causes.len(), 1);
+        assert_eq!(explanation.causes[0].relation, "R");
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_without_killing_workers() {
+        let svc = CausalityService::new(example_2_2());
+        let q = query();
+        let bad = ExplainRequest::why_so(q.clone(), Vec::<Value>::new());
+        assert!(matches!(
+            svc.submit(bad),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        // Head constants must agree with the answer.
+        let qc = ConjunctiveQuery::parse("p('fixed') :- S(y)").unwrap();
+        let bad = ExplainRequest::why_so(qc, vec![Value::str("other")]);
+        assert!(matches!(
+            svc.submit(bad),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        // The pool is still alive and serving.
+        let ok = svc
+            .explain(ExplainRequest::why_so(q, vec![Value::str("a2")]))
+            .unwrap();
+        assert_eq!(ok.expect_explanation().causes.len(), 2);
+    }
+
+    #[test]
+    fn many_concurrent_submitters_all_get_answers() {
+        let svc = Arc::new(CausalityService::with_config(
+            example_2_2(),
+            ServiceConfig {
+                workers: 4,
+                queue_capacity: 8,
+                batch_max: 4,
+                ..ServiceConfig::default()
+            },
+        ));
+        let answers = ["a2", "a3", "a4"];
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    for j in 0..10 {
+                        let a = answers[(i + j) % answers.len()];
+                        let resp = svc
+                            .explain(ExplainRequest::why_so(query(), vec![Value::str(a)]))
+                            .unwrap();
+                        let explanation = resp.expect_explanation();
+                        assert!(!explanation.causes.is_empty(), "answer {a}");
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 80);
+        assert_eq!(stats.batched_requests, 80, "every request was served");
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses + stats.coalesced,
+            80,
+            "every request is a hit, a fresh computation, or a rider"
+        );
+        assert!(stats.cache_misses >= 3, "three distinct keys computed");
+        assert!(
+            stats.cache_hits + stats.coalesced >= 80 - stats.cache_misses,
+            "the rest were served without recomputation"
+        );
+    }
+
+    #[test]
+    fn index_cache_retention_evicts_old_versions() {
+        let svc = CausalityService::with_config(
+            example_2_2(),
+            ServiceConfig {
+                cached_versions: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let req = |a: &str| ExplainRequest::why_so(query(), vec![Value::str(a)]);
+        svc.explain(req("a2")).unwrap();
+        for _ in 0..3 {
+            svc.update(|_| {});
+            svc.explain(req("a2")).unwrap();
+        }
+        let caches = svc.shared.index_caches.lock().unwrap();
+        assert!(caches.len() <= 2, "old version caches evicted");
+    }
+
+    #[test]
+    fn try_submit_and_pending_timeout() {
+        let svc = CausalityService::new(example_2_2());
+        let pending = svc
+            .try_submit(ExplainRequest::why_so(query(), vec![Value::str("a3")]))
+            .unwrap();
+        let resp = pending
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .unwrap();
+        assert!(resp.result.is_ok());
+    }
+}

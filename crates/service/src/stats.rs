@@ -1,0 +1,111 @@
+//! Service observability: cheap atomic counters, snapshotted on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counters bumped by workers and the submit path.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    pub requests: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub index_caches_built: AtomicU64,
+}
+
+impl StatsCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, workers: usize, snapshot_version: u64) -> ServiceStats {
+        ServiceStats {
+            workers,
+            snapshot_version,
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            index_caches_built: self.index_caches_built.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the service's counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Version of the currently published snapshot.
+    pub snapshot_version: u64,
+    /// Requests accepted by `submit`/`try_submit`.
+    pub requests: u64,
+    /// Batches pulled off the queue by workers.
+    pub batches: u64,
+    /// Requests processed inside those batches.
+    pub batched_requests: u64,
+    /// Requests answered by riding on a batch-mate's identical fresh
+    /// computation (neither a cache hit nor a separate miss).
+    pub coalesced: u64,
+    /// Responsibility-cache hits.
+    pub cache_hits: u64,
+    /// Responsibility-cache misses (fresh computations).
+    pub cache_misses: u64,
+    /// Per-snapshot-version index caches created.
+    pub index_caches_built: u64,
+}
+
+impl ServiceStats {
+    /// Responsibility-cache hit rate in `[0, 1]` (0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean batch size (requests per queue pull).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = StatsCounters::default();
+        StatsCounters::bump(&c.requests);
+        StatsCounters::add(&c.cache_hits, 3);
+        StatsCounters::bump(&c.cache_misses);
+        let s = c.snapshot(4, 7);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.snapshot_version, 7);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.cache_hits, 3);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = StatsCounters::default().snapshot(1, 1);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+    }
+}

@@ -6,7 +6,7 @@
 //! `BenchmarkId`.
 //!
 //! The build environment has no crates.io access, so this in-tree shim
-//! keeps the eight paper benches source-compatible. It is a *real*
+//! keeps the workspace benches source-compatible. It is a *real*
 //! (if minimal) harness: it warms up, measures wall-clock time over the
 //! configured window, and prints a `bench-id  mean time/iter  iters`
 //! line per benchmark. It does not do statistical outlier analysis,

@@ -24,6 +24,7 @@
 //! | [`core`] | causes (Thm. 3.2), FO cause programs (Thm. 3.4), responsibility (Algorithm 1, exact, Why-No), the dichotomy classifier (Cor. 4.14) |
 //! | [`reductions`] | executable hardness proofs: 3SAT rings, vertex cover, the LOGSPACE chain |
 //! | [`datagen`] | IMDB-schema synthesis (Fig. 1/2), chain/triangle workloads, Zipf |
+//! | [`service`] | concurrent explanation serving: snapshots, worker pool with batching, responsibility LRU cache |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use causality_engine as engine;
 pub use causality_graph as graph;
 pub use causality_lineage as lineage;
 pub use causality_reductions as reductions;
+pub use causality_service as service;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -67,9 +69,14 @@ pub mod prelude {
     pub use causality_core::ranking::{rank_why_no, rank_why_so, Method};
     pub use causality_core::resp::{why_no_responsibility, why_so_responsibility, Responsibility};
     pub use causality_engine::{
-        evaluate, ConjunctiveQuery, Database, EndoMask, Schema, Tuple, TupleRef, Value,
+        evaluate, ConjunctiveQuery, Database, EndoMask, Schema, SharedIndexCache, Snapshot,
+        SnapshotStore, Tuple, TupleRef, Value,
     };
     pub use causality_lineage::{lineage, n_lineage};
+    pub use causality_service::{
+        CausalityService, ExplainKind, ExplainRequest, ExplainResponse, ServiceConfig,
+        ServiceError, ServiceStats,
+    };
 }
 
 #[cfg(test)]

@@ -249,4 +249,55 @@ proptest! {
         // minimized lineage variables.
         prop_assert_eq!(whyso.actual, whyno.actual);
     }
+
+    /// Fuzz loop over the query parser: arbitrary byte soup must never
+    /// panic — it parses or it returns `Err`.
+    #[test]
+    fn parser_never_panics_on_random_input(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = ConjunctiveQuery::parse(&text);
+    }
+
+    /// Mutation fuzzing: corrupt one byte of a valid query — still no
+    /// panic, and the common malformations are rejected as errors.
+    #[test]
+    fn parser_never_panics_on_mutated_queries(
+        pick in 0usize..4,
+        pos in 0usize..64,
+        replacement in any::<u8>(),
+    ) {
+        let seeds = [
+            "q(x) :- R(x, y), S(y)",
+            "h2 :- R^n(x, y), S^n(y, z), T^n(z, x)",
+            "g :- R(x, 'lit'), S(3, x)",
+            "p(x, y) :- A(x), B(y), C(x, y, 'z')",
+        ];
+        let mut text = seeds[pick % seeds.len()].as_bytes().to_vec();
+        let idx = pos % text.len();
+        text[idx] = replacement;
+        let text = String::from_utf8_lossy(&text);
+        let _ = ConjunctiveQuery::parse(&text);
+    }
+
+    /// The malformations the parser now rejects up front: empty bodies,
+    /// duplicate head variables, unbound head variables.
+    #[test]
+    fn parser_rejects_malformed_heads(
+        var in 0usize..3,
+    ) {
+        let names = ["x", "y", "z"];
+        let head = names[var];
+        // Empty body.
+        prop_assert!(ConjunctiveQuery::parse(&format!("q({head}) :- ")).is_err());
+        // Duplicate head variable.
+        prop_assert!(
+            ConjunctiveQuery::parse(&format!("q({head}, {head}) :- R({head}, w)")).is_err()
+        );
+        // Unbound head variable (head var never occurs in the body).
+        prop_assert!(ConjunctiveQuery::parse(&format!("q({head}) :- R(w)")).is_err());
+        // The well-formed sibling parses.
+        prop_assert!(ConjunctiveQuery::parse(&format!("q({head}) :- R({head}, w)")).is_ok());
+    }
 }
