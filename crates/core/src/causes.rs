@@ -55,8 +55,10 @@ pub fn why_so_causes(db: &Database, q: &ConjunctiveQuery) -> Result<CauseSet, Co
     why_so_causes_cached(db, q, None)
 }
 
-/// [`why_so_causes`] with an optional [`SharedIndexCache`] reused across
-/// computations over unchanged data.
+/// [`why_so_causes`] with an optional [`SharedIndexCache`]: join indexes
+/// are reused whenever the query's relations are untouched — the cache
+/// keys on per-relation content stamps, so sharing it across snapshot
+/// versions is sound.
 pub fn why_so_causes_cached(
     db: &Database,
     q: &ConjunctiveQuery,

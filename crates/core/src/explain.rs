@@ -53,9 +53,10 @@ pub struct Explanation {
 ///
 /// The explainer owns a [`SharedIndexCache`]: the join indexes built for
 /// the first `why`/`why_not` call are reused by every later call on the
-/// same explainer (sound because the borrowed database cannot change
-/// while the explainer lives). A serving layer that already maintains a
-/// per-snapshot cache injects it via [`Explainer::with_index_cache`].
+/// same explainer. A serving layer that maintains a long-lived cache
+/// injects it via [`Explainer::with_index_cache`] — cache entries are
+/// keyed on per-relation content stamps, so one cache is sound across
+/// explainers, databases, and snapshot versions alike.
 pub struct Explainer<'a> {
     db: &'a Database,
     query: &'a ConjunctiveQuery,
@@ -80,9 +81,10 @@ impl<'a> Explainer<'a> {
         self
     }
 
-    /// Share an externally owned index cache (e.g. keyed on a snapshot
-    /// version by a serving layer). The caller must ensure the cache has
-    /// only ever seen this database's contents.
+    /// Share an externally owned index cache (e.g. the one long-lived
+    /// cache of a serving layer). Always sound: entries are keyed on
+    /// per-relation content stamps, so indexes built from other database
+    /// states can never be served against this one.
     pub fn with_index_cache(mut self, cache: Arc<SharedIndexCache>) -> Self {
         self.cache = cache;
         self

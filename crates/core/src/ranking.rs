@@ -44,7 +44,9 @@ pub fn rank_why_so(
 
 /// [`rank_why_so`] with an optional [`SharedIndexCache`]: the join indexes
 /// built for the cause computation are reused by every per-cause
-/// responsibility run, and by later rankings over unchanged data.
+/// responsibility run, and by later rankings for as long as the query's
+/// relations keep their content stamps (writes to other relations do not
+/// invalidate them).
 pub fn rank_why_so_cached(
     db: &Database,
     q: &ConjunctiveQuery,

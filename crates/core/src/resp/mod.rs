@@ -70,7 +70,8 @@ pub fn why_so_responsibility(
 }
 
 /// [`why_so_responsibility`] with an optional [`SharedIndexCache`] so
-/// repeated computations over unchanged data reuse their join indexes.
+/// repeated computations reuse their join indexes while the query's
+/// relations keep their content stamps.
 pub fn why_so_responsibility_cached(
     db: &Database,
     q: &ConjunctiveQuery,

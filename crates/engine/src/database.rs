@@ -1,18 +1,27 @@
 //! Database instances `D = Dx ∪ Dn` and counterfactual masks.
 
 use crate::error::EngineError;
-use crate::relation::Relation;
+use crate::relation::{RelVersion, Relation};
 use crate::schema::Schema;
 use crate::tuple::{RelId, Tuple, TupleRef};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A database instance: a set of named relations whose tuples each carry an
 /// endogenous flag (`Dn` vs `Dx` of Sect. 2).
+///
+/// Relations are held behind per-relation [`Arc`]s, so cloning a database
+/// is O(number of relations) pointer copies — not a data copy. Mutation is
+/// copy-on-write at relation granularity: [`Database::relation_mut`]
+/// deep-clones a relation only when it is shared with another database
+/// (e.g. a pinned [`Snapshot`](crate::Snapshot)), and re-stamps its
+/// [`RelVersion`] so caches keyed on relation content notice the change.
+/// Untouched relations stay pointer-identical across versions.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     by_name: HashMap<String, RelId>,
 }
 
@@ -33,7 +42,7 @@ impl Database {
             "duplicate relation name {name}"
         );
         let id = RelId(self.relations.len() as u32);
-        self.relations.push(Relation::new(schema));
+        self.relations.push(Arc::new(Relation::new(schema)));
         self.by_name.insert(name, id);
         id
     }
@@ -45,7 +54,7 @@ impl Database {
 
     /// Total number of stored tuples.
     pub fn tuple_count(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// Lookup a relation id by name.
@@ -64,9 +73,40 @@ impl Database {
         &self.relations[id.0 as usize]
     }
 
-    /// Mutable access to the relation with the given id.
+    /// The shared handle holding the relation with the given id. Two
+    /// databases returning [`Arc::ptr_eq`] handles share the relation
+    /// structurally (same content, same indexes, no copy between them).
+    pub fn relation_arc(&self, id: RelId) -> &Arc<Relation> {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Mutable, copy-on-write access to the relation with the given id.
+    ///
+    /// If the relation is shared with another database (a clone or a
+    /// pinned [`Snapshot`](crate::Snapshot)), it is deep-cloned first, so
+    /// the sharer is never disturbed. The relation's [`RelVersion`] is
+    /// re-stamped on every call — conservatively, whether or not the
+    /// caller goes on to change anything.
     pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
-        &mut self.relations[id.0 as usize]
+        let slot = &mut self.relations[id.0 as usize];
+        let relation = Arc::make_mut(slot);
+        relation.bump_version();
+        relation
+    }
+
+    /// The content stamp of the relation with the given id.
+    pub fn relation_version(&self, id: RelId) -> RelVersion {
+        self.relations[id.0 as usize].version()
+    }
+
+    /// The content stamps of every relation, in [`RelId`] order — the
+    /// fine-grained fingerprint a serving layer keys its caches on.
+    pub fn relation_versions(&self) -> Vec<(RelId, RelVersion)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r.version()))
+            .collect()
     }
 
     /// Iterate over `(id, relation)` pairs.
@@ -74,7 +114,7 @@ impl Database {
         self.relations
             .iter()
             .enumerate()
-            .map(|(i, r)| (RelId(i as u32), r))
+            .map(|(i, r)| (RelId(i as u32), r.as_ref()))
     }
 
     /// Insert a tuple into `rel` with the given endogenous flag.
@@ -107,8 +147,8 @@ impl Database {
     /// default ("the user may start by declaring all tuples in the database
     /// as endogenous, then narrow down").
     pub fn set_all_endogenous(&mut self) {
-        for r in &mut self.relations {
-            r.set_all_endogenous(true);
+        for i in 0..self.relations.len() {
+            self.relation_mut(RelId(i as u32)).set_all_endogenous(true);
         }
     }
 
@@ -132,7 +172,7 @@ impl Database {
 
     /// Number of endogenous tuples (`|Dn|`).
     pub fn endogenous_count(&self) -> usize {
-        self.relations.iter().map(Relation::endogenous_count).sum()
+        self.relations.iter().map(|r| r.endogenous_count()).sum()
     }
 
     /// The active domain `Adom(D)`: all values appearing anywhere.
@@ -292,6 +332,53 @@ mod tests {
         // Exogenous tuples are always visible regardless of mask.
         assert!(EndoMask::Only(&empty).active(exo_t, false));
         assert!(EndoMask::Except(&set).active(exo_t, false));
+    }
+
+    #[test]
+    fn clone_shares_relations_until_touched() {
+        let mut db = example_2_2();
+        let r = db.relation_id("R").unwrap();
+        let s = db.relation_id("S").unwrap();
+        let clone = db.clone();
+        assert!(Arc::ptr_eq(db.relation_arc(r), clone.relation_arc(r)));
+        assert!(Arc::ptr_eq(db.relation_arc(s), clone.relation_arc(s)));
+
+        let r_before = db.relation_version(r);
+        let s_before = db.relation_version(s);
+        db.insert_endo(s, tup!["a9"]);
+
+        // Touched relation: diverged pointer, fresh version.
+        assert!(!Arc::ptr_eq(db.relation_arc(s), clone.relation_arc(s)));
+        assert!(db.relation_version(s) > s_before);
+        // Untouched relation: still the very same allocation and stamp.
+        assert!(Arc::ptr_eq(db.relation_arc(r), clone.relation_arc(r)));
+        assert_eq!(db.relation_version(r), r_before);
+        // The clone saw neither the new tuple nor any re-stamp.
+        assert_eq!(clone.relation(s).len(), 5);
+        assert_eq!(clone.relation_version(s), s_before);
+    }
+
+    #[test]
+    fn relation_versions_fingerprint_tracks_touches() {
+        let mut db = example_2_2();
+        let before = db.relation_versions();
+        assert_eq!(before.len(), 2);
+        let s = db.relation_id("S").unwrap();
+        db.set_relation_endogenous(s, false);
+        let after = db.relation_versions();
+        assert_eq!(before[0], after[0], "R untouched");
+        assert_ne!(before[1], after[1], "S re-stamped");
+        assert!(after[1].1 > before[1].1, "stamps are monotone");
+    }
+
+    #[test]
+    fn unshared_relation_mut_still_bumps_version() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        let v0 = db.relation_version(r);
+        // No clone exists: make_mut mutates in place, but the stamp moves.
+        db.relation_mut(r);
+        assert!(db.relation_version(r) > v0);
     }
 
     #[test]

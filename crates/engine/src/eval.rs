@@ -14,17 +14,24 @@
 use crate::database::{Database, EndoMask};
 use crate::error::EngineError;
 use crate::query::{Atom, ConjunctiveQuery, Nature, Term, VarId};
+use crate::relation::RelVersion;
 use crate::tuple::{RelId, RowId, Tuple, TupleRef};
 use crate::value::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, RwLock};
 
 /// One hash index over a relation: key (values at the bound positions) →
 /// rows holding those values.
 pub type PositionIndex = HashMap<Vec<Value>, Vec<RowId>>;
 
-/// The binding pattern an index serves: (relation, sorted bound positions).
-type IndexKey = (RelId, Vec<usize>);
+/// The binding pattern an index serves within one evaluation:
+/// (relation, sorted bound positions).
+type LocalKey = (RelId, Vec<usize>);
+
+/// The key a [`SharedIndexCache`] entry lives under: the binding pattern
+/// plus the relation's content stamp, so an index can never be served
+/// against content it was not built from.
+type SharedKey = (RelId, RelVersion, Vec<usize>);
 
 /// Build the hash index for one binding pattern by scanning the relation.
 fn build_index(db: &Database, rel: RelId, positions: &[usize]) -> PositionIndex {
@@ -37,21 +44,27 @@ fn build_index(db: &Database, rel: RelId, positions: &[usize]) -> PositionIndex 
     index
 }
 
-/// A thread-safe, build-once cache of per-binding-pattern hash indexes.
+/// A thread-safe, build-once cache of per-binding-pattern hash indexes,
+/// keyed by **relation content** — `(RelId, RelVersion, positions)`.
 ///
 /// Indexes depend only on the stored tuples — not on the [`EndoMask`] —
 /// so one cache serves every counterfactual evaluation over the same
-/// database contents: plain evaluation, `D − Γ` removals and `Dx ∪ Γ`
-/// insertions all share it. Callers are responsible for not reusing a
-/// cache across *different* database contents (keying it on a
-/// [`Snapshot`](crate::snapshot::Snapshot) version, for example).
+/// relation content: plain evaluation, `D − Γ` removals and `Dx ∪ Γ`
+/// insertions all share it. Because [`RelVersion`] stamps are
+/// process-wide unique and re-issued on every mutable access, **one
+/// cache is sound across arbitrarily many databases and snapshot
+/// versions**: a write to one relation leaves every other relation's
+/// indexes valid (same stamp), and a stale index can never be served
+/// (the stamp moved). Stale entries are garbage, not hazards — reclaim
+/// them with [`SharedIndexCache::retain_versions`] or
+/// [`SharedIndexCache::clear`].
 ///
 /// Entries are `Arc`-shared so concurrent readers clone a pointer, not
 /// the index. Building races are benign: the first insert wins and the
 /// duplicate is dropped.
 #[derive(Debug, Default)]
 pub struct SharedIndexCache {
-    inner: RwLock<HashMap<IndexKey, Arc<PositionIndex>>>,
+    inner: RwLock<HashMap<SharedKey, Arc<PositionIndex>>>,
 }
 
 impl SharedIndexCache {
@@ -60,7 +73,7 @@ impl SharedIndexCache {
         SharedIndexCache::default()
     }
 
-    /// Number of distinct (relation, binding-pattern) indexes held.
+    /// Number of distinct (relation, version, binding-pattern) indexes held.
     pub fn len(&self) -> usize {
         self.inner.read().expect("index cache lock").len()
     }
@@ -70,29 +83,43 @@ impl SharedIndexCache {
         self.len() == 0
     }
 
-    /// Drop every cached index (e.g. after the database changed).
+    /// Drop every cached index.
     pub fn clear(&self) {
         self.inner.write().expect("index cache lock").clear();
     }
 
-    /// Fetch the index for a binding pattern, building it on first use.
+    /// Drop indexes for relation versions outside the `live` set and
+    /// return how many entries were evicted. A serving layer passes the
+    /// union of [`Database::relation_versions`] over the snapshots it
+    /// still serves; everything else is unreachable garbage.
+    pub fn retain_versions(&self, live: &[(RelId, RelVersion)]) -> usize {
+        let live: HashSet<(RelId, RelVersion)> = live.iter().copied().collect();
+        let mut w = self.inner.write().expect("index cache lock");
+        let before = w.len();
+        w.retain(|(rel, version, _), _| live.contains(&(*rel, *version)));
+        before - w.len()
+    }
+
+    /// Fetch the index for a binding pattern over `rel`'s current content
+    /// in `db`, building it on first use.
     pub fn get_or_build(
         &self,
         db: &Database,
         rel: RelId,
         positions: &[usize],
     ) -> Arc<PositionIndex> {
-        if let Some(idx) = self
-            .inner
-            .read()
-            .expect("index cache lock")
-            .get(&(rel, positions.to_vec()))
+        let version = db.relation_version(rel);
+        if let Some(idx) =
+            self.inner
+                .read()
+                .expect("index cache lock")
+                .get(&(rel, version, positions.to_vec()))
         {
             return Arc::clone(idx);
         }
         let built = Arc::new(build_index(db, rel, positions));
         let mut w = self.inner.write().expect("index cache lock");
-        Arc::clone(w.entry((rel, positions.to_vec())).or_insert(built))
+        Arc::clone(w.entry((rel, version, positions.to_vec())).or_insert(built))
     }
 }
 
@@ -230,7 +257,7 @@ struct Evaluator<'a> {
     /// Evaluation order (indexes into `atoms`).
     plan: Vec<usize>,
     /// Indexes pinned for this evaluation: (rel, bound positions) → index.
-    local: HashMap<IndexKey, Arc<PositionIndex>>,
+    local: HashMap<LocalKey, Arc<PositionIndex>>,
     /// Cross-evaluation cache consulted (and fed) before building locally.
     shared: Option<&'a SharedIndexCache>,
 }
@@ -661,6 +688,50 @@ mod tests {
         assert!(holds_masked_with_cache(&db, &query, EndoMask::All, &cache).unwrap());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn index_cache_survives_writes_to_other_relations() {
+        let mut db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let cache = SharedIndexCache::new();
+        evaluate_with_cache(&db, &query, &cache).unwrap();
+        let built = cache.len();
+        assert!(built >= 2, "indexes over both R and S");
+
+        // Touch S only: R's indexes keep their (rel, version) keys.
+        let s = db.relation_id("S").unwrap();
+        db.insert_endo(s, tup!["a9"]);
+        let warm = evaluate_with_cache(&db, &query, &cache).unwrap();
+        let r_answers: Vec<String> = warm.answers.iter().map(|t| t[0].to_string()).collect();
+        assert_eq!(r_answers, vec!["a2", "a3", "a4"], "still correct");
+        // New entries were built only for S's new version, none for R.
+        let rebuilt = cache.len() - built;
+        assert!(rebuilt >= 1, "S's index was rebuilt");
+        let live = db.relation_versions();
+        let evicted = cache.retain_versions(&live);
+        assert_eq!(
+            evicted, 1,
+            "exactly the stale S index dies; R's survives untouched"
+        );
+        // And the surviving entries still serve the current database.
+        let again = evaluate_with_cache(&db, &query, &cache).unwrap();
+        assert_eq!(again.answers, warm.answers);
+    }
+
+    #[test]
+    fn stale_indexes_are_never_served() {
+        // The pre-versioning footgun: reuse one cache across *different*
+        // contents. With (rel, version) keys this is now simply correct.
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_endo(r, tup![1]);
+        let cache = SharedIndexCache::new();
+        let before = evaluate_with_cache(&db, &q("q(x) :- R(x)"), &cache).unwrap();
+        assert_eq!(before.answers.len(), 1);
+        db.insert_endo(r, tup![2]);
+        let after = evaluate_with_cache(&db, &q("q(x) :- R(x)"), &cache).unwrap();
+        assert_eq!(after.answers.len(), 2, "new content, new index");
     }
 
     #[test]

@@ -25,11 +25,14 @@
 //! * [`eval`] — a backtracking join evaluator that enumerates answers *and*
 //!   valuations, under counterfactual [`EndoMask`]s (tuple removals for
 //!   Why-So, tuple insertions for Why-No), with a thread-safe
-//!   [`SharedIndexCache`] so repeated evaluations over unchanged data
-//!   build their hash indexes once.
-//! * [`snapshot`] — immutable `Arc`-backed [`Snapshot`]s and a versioned
-//!   [`SnapshotStore`] so concurrent readers explain against a stable view
-//!   while writers publish new versions without blocking them.
+//!   [`SharedIndexCache`] keyed on per-relation content stamps
+//!   ([`RelVersion`]) so repeated evaluations over unchanged relations
+//!   build their hash indexes once — even across writes to *other*
+//!   relations.
+//! * [`snapshot`] — immutable, structurally shared [`Snapshot`]s and a
+//!   versioned [`SnapshotStore`]: each [`Database`] holds one `Arc` per
+//!   relation, so publishing an update clones only the relations it
+//!   touches while concurrent readers keep their pinned views.
 //!
 //! # Example
 //!
@@ -67,7 +70,7 @@ pub use eval::{
     holds_masked_with_cache, EvalResult, SharedIndexCache, Valuation,
 };
 pub use query::{Atom, ConjunctiveQuery, Nature, Term, VarId};
-pub use relation::Relation;
+pub use relation::{RelVersion, Relation};
 pub use schema::Schema;
 pub use snapshot::{Snapshot, SnapshotStore};
 pub use tuple::{RelId, RowId, Tuple, TupleRef};

@@ -4,11 +4,48 @@
 //! *endogenous* flag. Per the paper (Sect. 1, item (1)), the partition into
 //! endogenous and exogenous tuples "is not restricted to entire relations" —
 //! so the flag lives on the tuple, not on the relation.
+//!
+//! Every relation also carries a [`RelVersion`]: a process-wide unique,
+//! per-relation monotone content stamp. A [`Database`](crate::Database)
+//! re-stamps a relation on every mutable access, which is what lets
+//! snapshots share untouched relations structurally (`Arc` per relation)
+//! and lets the evaluator's [`SharedIndexCache`](crate::SharedIndexCache)
+//! key indexes by relation content instead of by whole-database version.
 
 use crate::schema::Schema;
 use crate::tuple::{RowId, Tuple};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of relation version stamps. Never reset, so two
+/// distinct relation contents can never share a `(RelId, RelVersion)`
+/// pair — which is what makes sharing one index cache across arbitrary
+/// databases sound.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// A content stamp for one relation: process-wide unique and strictly
+/// increasing across successive mutations of the same relation.
+///
+/// Two relations (or two states of one relation) with equal versions are
+/// guaranteed to be the very same immutable content; differing versions
+/// say nothing except "assume different".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelVersion(pub u64);
+
+impl RelVersion {
+    /// Draw a fresh, process-wide unique stamp.
+    pub(crate) fn fresh() -> Self {
+        RelVersion(NEXT_VERSION.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for RelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
 
 /// One relation instance: schema plus stored tuples with endogenous flags.
 #[derive(Clone, Debug)]
@@ -18,6 +55,9 @@ pub struct Relation {
     endo: Vec<bool>,
     /// Exact-tuple lookup, used for duplicate elimination and membership.
     by_tuple: HashMap<Tuple, RowId>,
+    /// Content stamp, refreshed by [`Relation::bump_version`] on every
+    /// mutable access through a [`Database`](crate::Database).
+    version: RelVersion,
 }
 
 impl Relation {
@@ -28,7 +68,21 @@ impl Relation {
             rows: Vec::new(),
             endo: Vec::new(),
             by_tuple: HashMap::new(),
+            version: RelVersion::fresh(),
         }
+    }
+
+    /// The relation's current content stamp.
+    pub fn version(&self) -> RelVersion {
+        self.version
+    }
+
+    /// Re-stamp the relation with a fresh process-wide unique version.
+    /// Called by [`Database::relation_mut`](crate::Database::relation_mut)
+    /// before handing out mutable access, so the stamp is conservative:
+    /// it may change without the content changing, never the reverse.
+    pub(crate) fn bump_version(&mut self) {
+        self.version = RelVersion::fresh();
     }
 
     /// The relation's schema.
@@ -198,6 +252,19 @@ mod tests {
         r.insert(tup![2, 8], true);
         assert_eq!(r.column_values(0), vec![Value::int(1), Value::int(2)]);
         assert_eq!(r.column_values(1), vec![Value::int(8), Value::int(9)]);
+    }
+
+    #[test]
+    fn versions_are_unique_monotone_and_preserved_by_clone() {
+        let mut a = rel();
+        let b = rel();
+        assert_ne!(a.version(), b.version(), "fresh relations never collide");
+        let before = a.version();
+        let cloned = a.clone();
+        assert_eq!(cloned.version(), before, "clone keeps the stamp");
+        a.bump_version();
+        assert!(a.version() > before, "bumps are strictly increasing");
+        assert_eq!(cloned.version(), before, "clone is unaffected");
     }
 
     #[test]

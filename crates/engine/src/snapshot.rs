@@ -1,4 +1,5 @@
-//! Immutable, versioned database snapshots for concurrent serving.
+//! Immutable, versioned, **structurally shared** database snapshots for
+//! concurrent serving.
 //!
 //! The paper's PTIME results (Thm. 3.2/3.4, Cor. 4.14) make explanations
 //! cheap enough to serve interactively — which needs many reader threads
@@ -8,6 +9,15 @@
 //! [`SnapshotStore`] versions successive snapshots so writers publish new
 //! ones without ever blocking readers mid-evaluation: a reader pins the
 //! current snapshot once and keeps using it even after newer versions land.
+//!
+//! Publication is cheap because the [`Database`] itself holds one `Arc`
+//! per relation: [`SnapshotStore::update`] clones only the relations the
+//! write actually touches (copy-on-write at relation granularity), so
+//! publishing a version costs O(touched data), not O(database). Untouched
+//! relations stay pointer-identical across versions — and keep their
+//! [`RelVersion`](crate::relation::RelVersion) stamps, which is what lets
+//! a [`SharedIndexCache`](crate::SharedIndexCache) keyed on relation
+//! content keep serving warm indexes across writes to other relations.
 
 use crate::database::Database;
 use std::ops::Deref;
@@ -43,8 +53,10 @@ impl Snapshot {
         &self.db
     }
 
-    /// Start a writable copy of this snapshot's data (copy-on-write):
-    /// mutate it freely, then [`SnapshotStore::publish`] the result.
+    /// Start a writable copy of this snapshot's data: O(relations)
+    /// pointer clones, not a data copy. Relations deep-clone lazily on
+    /// first mutation (copy-on-write); mutate freely, then
+    /// [`SnapshotStore::publish`] the result.
     pub fn to_database(&self) -> Database {
         (*self.db).clone()
     }
@@ -65,6 +77,32 @@ impl Deref for Snapshot {
 /// serialized against each other (so versions are strictly increasing and
 /// no update is lost) but only hold the read-side lock for the duration of
 /// a pointer swap.
+///
+/// Successive versions share structure: an [`SnapshotStore::update`] that
+/// touches one of R relations clones only that relation, and the other
+/// R − 1 stay pointer-identical ([`std::sync::Arc::ptr_eq`]) between the
+/// old and new snapshots.
+///
+/// ```
+/// use causality_engine::{database::example_2_2, SnapshotStore, Value};
+/// use std::sync::Arc;
+///
+/// let store = SnapshotStore::new(example_2_2());
+/// let pinned = store.current();               // a reader pins version 1
+///
+/// let published = store.update(|db| {          // a writer touches S only
+///     let s = db.relation_id("S").unwrap();
+///     db.insert_endo(s, vec![Value::from("a9")]);
+/// });
+/// assert_eq!(published.version(), 2);
+///
+/// // The pinned reader is undisturbed…
+/// assert_eq!(pinned.version(), 1);
+/// assert_eq!(pinned.tuple_count(), 10);
+/// // …and the untouched relation R is shared, not copied.
+/// let r = pinned.relation_id("R").unwrap();
+/// assert!(Arc::ptr_eq(pinned.relation_arc(r), published.relation_arc(r)));
+/// ```
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: RwLock<Snapshot>,
@@ -98,8 +136,10 @@ impl SnapshotStore {
         self.swap(db)
     }
 
-    /// Copy-on-write update: clone the current data, apply `f`, publish
-    /// the result as the next version. Concurrent `update` calls are
+    /// Copy-on-write update: start from the current data (pointer clones
+    /// only), apply `f`, publish the result as the next version. Only the
+    /// relations `f` mutably touches are deep-cloned — publication cost
+    /// is O(touched data), not O(database). Concurrent `update` calls are
     /// serialized, so no modification is lost.
     pub fn update(&self, f: impl FnOnce(&mut Database)) -> Snapshot {
         let _writing = self.writer.lock().expect("writer lock");
@@ -167,6 +207,55 @@ mod tests {
         // The pinned reader still sees the old contents.
         assert_eq!(pinned.tuple_count(), before);
         assert_eq!(store.current().tuple_count(), before + 1);
+    }
+
+    #[test]
+    fn update_shares_untouched_relations_with_prior_versions() {
+        let store = SnapshotStore::new(example_2_2());
+        let v1 = store.current();
+        let r = v1.relation_id("R").unwrap();
+        let s = v1.relation_id("S").unwrap();
+
+        let v2 = store.update(|db| {
+            let s = db.relation_id("S").unwrap();
+            db.insert_endo(s, tup!["a9"]);
+        });
+        // Touched relation diverges; untouched relation is shared.
+        assert!(!Arc::ptr_eq(v1.relation_arc(s), v2.relation_arc(s)));
+        assert!(Arc::ptr_eq(v1.relation_arc(r), v2.relation_arc(r)));
+        assert_eq!(v1.relation_version(r), v2.relation_version(r));
+        assert!(v2.relation_version(s) > v1.relation_version(s));
+
+        // A second write to R leaves v2's S shared with v3.
+        let v3 = store.update(|db| {
+            let r = db.relation_id("R").unwrap();
+            db.insert_endo(r, tup!["a9", "a9"]);
+        });
+        assert!(Arc::ptr_eq(v2.relation_arc(s), v3.relation_arc(s)));
+        assert!(!Arc::ptr_eq(v2.relation_arc(r), v3.relation_arc(r)));
+    }
+
+    #[test]
+    fn shared_index_cache_stays_warm_across_unrelated_updates() {
+        let store = SnapshotStore::new(example_2_2());
+        let cache = SharedIndexCache::new();
+        let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+        let v1 = store.current();
+        crate::eval::evaluate_with_cache(&v1, &q, &cache).unwrap();
+        let built = cache.len();
+
+        // Add a relation the query never mentions, and touch only it.
+        let v2 = store.update(|db| {
+            let t = db.add_relation(Schema::new("T", &["z"]));
+            db.insert_endo(t, tup![1]);
+        });
+        let warm = crate::eval::evaluate_with_cache(&v2, &q, &cache).unwrap();
+        assert_eq!(
+            cache.len(),
+            built,
+            "no index rebuilt: R and S kept their content stamps"
+        );
+        assert_eq!(warm.answers.len(), 3);
     }
 
     #[test]

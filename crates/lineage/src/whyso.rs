@@ -23,7 +23,10 @@ pub fn lineage(db: &Database, q: &ConjunctiveQuery) -> Result<Dnf, EngineError> 
 }
 
 /// [`lineage`] with an optional [`SharedIndexCache`], so successive
-/// lineage computations over unchanged data reuse their join indexes.
+/// lineage computations reuse their join indexes. Cache entries are keyed
+/// on per-relation content stamps, so sharing one cache across snapshots
+/// (or any databases) is sound: only relations that were actually touched
+/// since the index was built miss.
 pub fn lineage_cached(
     db: &Database,
     q: &ConjunctiveQuery,

@@ -17,15 +17,22 @@
 //! * snapshots — writers [`CausalityService::publish`]/[`CausalityService::update`]
 //!   new immutable database versions while readers keep evaluating
 //!   against the snapshot they pinned (see
-//!   [`causality_engine::snapshot`]);
-//! * index reuse — every request on one snapshot version shares one
-//!   [`SharedIndexCache`](causality_engine::SharedIndexCache), so the
-//!   evaluator's per-binding-pattern hash indexes are built once per
-//!   version instead of once per call;
+//!   [`causality_engine::snapshot`]). Snapshots are structurally shared:
+//!   the database holds one `Arc` per relation, so publishing an update
+//!   clones only the relations it touches — O(touched data), not
+//!   O(database);
+//! * index reuse — one
+//!   [`SharedIndexCache`](causality_engine::SharedIndexCache) serves
+//!   every snapshot version: its entries are keyed on per-relation
+//!   content stamps (`(RelId, RelVersion, pattern)`), so the evaluator's
+//!   hash indexes are built once per relation content — a write to one
+//!   relation leaves every other relation's indexes warm;
 //! * a responsibility cache — finished explanations are memoized in an
-//!   LRU keyed on (snapshot version, request), duplicate in-batch
-//!   requests are coalesced into one computation, and hit/miss/coalesce
-//!   counters are exposed via [`ServiceStats`].
+//!   LRU keyed on (the query's relations' content stamps, request), so a
+//!   cached answer survives writes to relations the query never reads;
+//!   duplicate in-batch requests are coalesced into one computation, and
+//!   hit/miss/coalesce/eviction counters are exposed via
+//!   [`ServiceStats`].
 //!
 //! # Example
 //!

@@ -4,26 +4,38 @@
 //!
 //! * **Snapshots** — a [`SnapshotStore`] holds the current immutable
 //!   [`Snapshot`]; writers publish new versions without blocking readers.
+//!   Snapshots share structure: publishing an update clones only the
+//!   relations it touches (`Arc` per relation, copy-on-write).
 //! * **Worker pool** — N threads pull [`ExplainRequest`]s off one bounded
 //!   channel. Each pull drains up to `batch_max` queued requests into a
 //!   **batch** evaluated against a single pinned snapshot.
-//! * **Index reuse** — all requests on one snapshot version share one
-//!   [`SharedIndexCache`], so the per-binding-pattern join indexes the
-//!   evaluator needs are built once per (version, pattern) — not once per
-//!   call as the bare library does.
+//! * **Index reuse** — one [`SharedIndexCache`] serves *every* snapshot
+//!   version: its entries are keyed on per-relation content stamps
+//!   (`(RelId, RelVersion, pattern)`), so a write to one relation leaves
+//!   the join indexes of every other relation warm. Entries whose
+//!   relation versions fall out of the retained snapshot window are
+//!   evicted (counted in [`ServiceStats::index_evictions`]).
 //! * **Responsibility cache** — finished explanations are memoized in an
-//!   LRU keyed on (snapshot version, request); duplicate requests within
-//!   a batch are **coalesced** into one computation.
+//!   LRU keyed on (the query's relations' content stamps, request), so a
+//!   cached answer survives writes to relations the query never mentions;
+//!   duplicate requests within a batch are **coalesced** into one
+//!   computation.
 
 use crate::lru::LruCache;
 use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
 use crate::stats::{ServiceStats, StatsCounters};
 use causality_core::explain::{Explainer, Explanation};
-use causality_engine::{Database, SharedIndexCache, Snapshot, SnapshotStore};
+use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// The relation-content fingerprint a cached explanation depends on: the
+/// (id, version) stamps of exactly the relations the request's query
+/// mentions, sorted and deduplicated. Writes to other relations leave the
+/// fingerprint — and therefore the cache entry — intact.
+type RelFingerprint = Vec<(RelId, RelVersion)>;
 
 /// Tuning knobs of the service.
 #[derive(Clone, Copy, Debug)]
@@ -36,7 +48,9 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Entries held by the responsibility LRU cache.
     pub cache_capacity: usize,
-    /// How many snapshot versions keep their index caches alive.
+    /// How many recent snapshot versions keep their relations' join
+    /// indexes alive in the shared index cache; relation versions
+    /// reachable from none of them are evicted.
     pub cached_versions: usize,
 }
 
@@ -57,31 +71,75 @@ struct Shared {
     cfg: ServiceConfig,
     store: SnapshotStore,
     stats: StatsCounters,
-    /// Memoized explanations: (snapshot version, request) → explanation.
-    resp_cache: Mutex<LruCache<(u64, ExplainRequest), Explanation>>,
-    /// Join-index caches for recent snapshot versions.
-    index_caches: Mutex<Vec<(u64, Arc<SharedIndexCache>)>>,
+    /// Memoized explanations: (query's relation fingerprint, request) →
+    /// explanation. Keyed on relation content, not snapshot version, so
+    /// entries survive writes to unrelated relations.
+    resp_cache: Mutex<LruCache<(RelFingerprint, ExplainRequest), Explanation>>,
+    /// The one join-index cache serving every snapshot version — sound
+    /// because its entries are keyed on per-relation content stamps.
+    index_cache: Arc<SharedIndexCache>,
+    /// Relation fingerprints of recently served snapshot versions,
+    /// newest last; the union of their stamps is the index cache's live
+    /// set, everything else gets evicted.
+    live_snapshots: Mutex<Vec<(u64, RelFingerprint)>>,
 }
 
 impl Shared {
-    /// The index cache for one snapshot version, creating it on first use
-    /// and evicting caches of the oldest versions beyond the configured
-    /// retention.
-    fn index_cache_for(&self, version: u64) -> Arc<SharedIndexCache> {
-        let mut caches = self.index_caches.lock().expect("index cache registry");
-        if let Some((_, c)) = caches.iter().find(|(v, _)| *v == version) {
-            return Arc::clone(c);
+    /// Register `snapshot` as served and return the shared index cache.
+    ///
+    /// The first time a snapshot version is seen, its relation-version
+    /// fingerprint joins the retained window ([`ServiceConfig::cached_versions`]
+    /// entries); index entries for relation versions no longer reachable
+    /// from the window are evicted and counted.
+    fn index_cache_for(&self, snapshot: &Snapshot) -> Arc<SharedIndexCache> {
+        let version = snapshot.version();
+        let mut live = self.live_snapshots.lock().expect("live snapshot registry");
+        let mut window_changed = false;
+        if !live.iter().any(|(v, _)| *v == version) {
+            live.push((version, snapshot.relation_versions()));
+            live.sort_by_key(|(v, _)| *v);
+            if live.len() > self.cfg.cached_versions {
+                let excess = live.len() - self.cfg.cached_versions;
+                live.drain(0..excess);
+            }
+            window_changed = true;
         }
-        let cache = Arc::new(SharedIndexCache::new());
-        caches.push((version, Arc::clone(&cache)));
-        StatsCounters::bump(&self.stats.index_caches_built);
-        if caches.len() > self.cfg.cached_versions {
-            caches.sort_by_key(|(v, _)| *v);
-            let excess = caches.len() - self.cfg.cached_versions;
-            caches.drain(0..excess);
+        // Sweep when the window moved — plus on a periodic cadence: a
+        // worker still evaluating an already-dropped older snapshot may
+        // re-insert stamps from outside the window *after* the sweep that
+        // dropped them, and without the cadence those would linger until
+        // the next version arrives (forever, if the write stream stops).
+        // The cadence keeps the steady read-only path free of the index
+        // cache's write lock.
+        let periodic = self
+            .stats
+            .batches
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .is_multiple_of(64);
+        if window_changed || periodic {
+            let mut retained: RelFingerprint =
+                live.iter().flat_map(|(_, f)| f.iter().copied()).collect();
+            retained.sort();
+            retained.dedup();
+            let evicted = self.index_cache.retain_versions(&retained);
+            StatsCounters::add(&self.stats.index_evictions, evicted as u64);
         }
-        cache
+        Arc::clone(&self.index_cache)
     }
+}
+
+/// The relation fingerprint a request's answer depends on, or `None` if
+/// the query names a relation the snapshot does not have (the computation
+/// will surface the error; it just cannot be cached).
+fn resp_fingerprint(snapshot: &Snapshot, request: &ExplainRequest) -> Option<RelFingerprint> {
+    let mut rels: RelFingerprint = Vec::with_capacity(request.query.atoms().len());
+    for atom in request.query.atoms() {
+        let id = snapshot.relation_id(&atom.relation)?;
+        rels.push((id, snapshot.relation_version(id)));
+    }
+    rels.sort();
+    rels.dedup();
+    Some(rels)
 }
 
 enum Job {
@@ -128,7 +186,8 @@ impl CausalityService {
             store: SnapshotStore::new(db),
             stats: StatsCounters::default(),
             resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-            index_caches: Mutex::new(Vec::new()),
+            index_cache: Arc::new(SharedIndexCache::new()),
+            live_snapshots: Mutex::new(Vec::new()),
         });
         let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
@@ -198,9 +257,11 @@ impl CausalityService {
 
     /// A point-in-time view of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.shared
-            .stats
-            .snapshot(self.shared.cfg.workers, self.shared.store.version())
+        self.shared.stats.snapshot(
+            self.shared.cfg.workers,
+            self.shared.store.version(),
+            self.shared.index_cache.len() as u64,
+        )
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
@@ -272,7 +333,7 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
 
     let snapshot = shared.store.current();
     let version = snapshot.version();
-    let index_cache = shared.index_cache_for(version);
+    let index_cache = shared.index_cache_for(&snapshot);
 
     // Coalesce identical requests, preserving first-seen order.
     let mut order: Vec<ExplainRequest> = Vec::new();
@@ -287,11 +348,14 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
 
     for request in order {
         let senders = groups.remove(&request).expect("grouped senders");
-        let key = (version, request.clone());
-        let cached = {
+        // Key on the content stamps of exactly the relations the query
+        // reads: a hit may have been computed under an older snapshot
+        // version — sound as long as those relations are untouched.
+        let key = resp_fingerprint(&snapshot, &request).map(|f| (f, request.clone()));
+        let cached = key.as_ref().and_then(|key| {
             let mut cache = shared.resp_cache.lock().expect("responsibility cache");
-            cache.get(&key).cloned()
-        };
+            cache.get(key).cloned()
+        });
         // Per-request accounting: a hit group is all hits; a miss group is
         // one fresh computation plus coalesced riders.
         let (result, cache_hit) = match cached {
@@ -303,7 +367,7 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
                 StatsCounters::bump(&shared.stats.cache_misses);
                 StatsCounters::add(&shared.stats.coalesced, senders.len() as u64 - 1);
                 let computed = compute(&snapshot, &index_cache, &request);
-                if let Ok(explanation) = &computed {
+                if let (Some(key), Ok(explanation)) = (key, &computed) {
                     shared
                         .resp_cache
                         .lock()
@@ -431,7 +495,7 @@ mod tests {
 
         let v2 = svc.explain(req).unwrap();
         assert_eq!(v2.snapshot_version, 2);
-        assert!(!v2.cache_hit, "version change misses the cache");
+        assert!(!v2.cache_hit, "the write touched S, so the key moved");
         // S(a1) now exogenous: it can no longer be a cause; only R(a2,a1)
         // remains, and with S(a1) always present it is counterfactual.
         let explanation = v2.expect_explanation();
@@ -505,7 +569,39 @@ mod tests {
     }
 
     #[test]
-    fn index_cache_retention_evicts_old_versions() {
+    fn cache_hits_survive_writes_to_unrelated_relations() {
+        // The query reads R and S; T is unrelated write traffic.
+        let mut db = example_2_2();
+        let t = db.add_relation(Schema::new("T", &["z"]));
+        db.insert_endo(t, tup![0]);
+        let svc = CausalityService::new(db);
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+
+        let cold = svc.explain(req.clone()).unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.snapshot_version, 1);
+
+        let version = svc.update(|db| {
+            let t = db.relation_id("T").unwrap();
+            db.insert_endo(t, tup![1]);
+        });
+        assert_eq!(version, 2);
+
+        // New snapshot version — but R and S kept their content stamps,
+        // so both cache layers stay warm.
+        let warm = svc.explain(req).unwrap();
+        assert_eq!(warm.snapshot_version, 2);
+        assert!(warm.cache_hit, "unrelated write must not evict the answer");
+        assert_eq!(cold.expect_explanation(), warm.expect_explanation());
+        let stats = svc.stats();
+        assert_eq!(
+            stats.index_evictions, 0,
+            "no touched relation left the window, nothing to evict"
+        );
+    }
+
+    #[test]
+    fn index_retention_evicts_only_stale_relation_versions() {
         let svc = CausalityService::with_config(
             example_2_2(),
             ServiceConfig {
@@ -515,12 +611,26 @@ mod tests {
         );
         let req = |a: &str| ExplainRequest::why_so(query(), vec![Value::str(a)]);
         svc.explain(req("a2")).unwrap();
-        for _ in 0..3 {
-            svc.update(|_| {});
+        let baseline = svc.stats().index_entries;
+        assert!(baseline > 0, "cold call built indexes");
+
+        // Each round rewrites S, pushing its previous content stamp out
+        // of the 2-version retention window; R is never touched.
+        for i in 0..3 {
+            svc.update(|db| {
+                let s = db.relation_id("S").unwrap();
+                db.insert_endo(s, tup![format!("b{i}")]);
+            });
             svc.explain(req("a2")).unwrap();
         }
-        let caches = svc.shared.index_caches.lock().unwrap();
-        assert!(caches.len() <= 2, "old version caches evicted");
+        let stats = svc.stats();
+        assert!(stats.index_evictions > 0, "stale S indexes were evicted");
+        assert!(
+            stats.index_entries <= baseline + 2,
+            "cache holds R's one live index plus at most the retained S versions, \
+             got {} entries",
+            stats.index_entries
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub(crate) struct StatsCounters {
     pub coalesced: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
-    pub index_caches_built: AtomicU64,
+    pub index_evictions: AtomicU64,
 }
 
 impl StatsCounters {
@@ -23,7 +23,12 @@ impl StatsCounters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, workers: usize, snapshot_version: u64) -> ServiceStats {
+    pub(crate) fn snapshot(
+        &self,
+        workers: usize,
+        snapshot_version: u64,
+        index_entries: u64,
+    ) -> ServiceStats {
         ServiceStats {
             workers,
             snapshot_version,
@@ -33,7 +38,8 @@ impl StatsCounters {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            index_caches_built: self.index_caches_built.load(Ordering::Relaxed),
+            index_entries,
+            index_evictions: self.index_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -58,8 +64,14 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Responsibility-cache misses (fresh computations).
     pub cache_misses: u64,
-    /// Per-snapshot-version index caches created.
-    pub index_caches_built: u64,
+    /// Join indexes currently held by the shared index cache — one per
+    /// (relation, content version, binding pattern) served so far.
+    pub index_entries: u64,
+    /// Join indexes evicted because their relation's content version fell
+    /// out of the retained snapshot window. With per-relation keying this
+    /// counts only indexes of *touched* relations; untouched relations
+    /// keep their stamps and are never evicted by a write elsewhere.
+    pub index_evictions: u64,
 }
 
 impl ServiceStats {
@@ -94,17 +106,20 @@ mod tests {
         StatsCounters::bump(&c.requests);
         StatsCounters::add(&c.cache_hits, 3);
         StatsCounters::bump(&c.cache_misses);
-        let s = c.snapshot(4, 7);
+        StatsCounters::add(&c.index_evictions, 2);
+        let s = c.snapshot(4, 7, 5);
         assert_eq!(s.workers, 4);
         assert_eq!(s.snapshot_version, 7);
         assert_eq!(s.requests, 1);
         assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.index_entries, 5);
+        assert_eq!(s.index_evictions, 2);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn rates_handle_zero_denominators() {
-        let s = StatsCounters::default().snapshot(1, 1);
+        let s = StatsCounters::default().snapshot(1, 1, 0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
     }

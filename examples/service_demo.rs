@@ -91,10 +91,13 @@ fn main() {
 
     let stats = svc.stats();
     println!(
-        "final stats: version {}, {} requests, hit rate {:.0}%, {} index caches built",
+        "final stats: version {}, {} requests, hit rate {:.0}%, \
+         {} join indexes held, {} evicted (per-relation keying: only the \
+         touched relation's indexes can ever be invalidated)",
         stats.snapshot_version,
         stats.requests,
         stats.hit_rate() * 100.0,
-        stats.index_caches_built,
+        stats.index_entries,
+        stats.index_evictions,
     );
 }

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use causality_core::ranking::{rank_why_no, rank_why_so, Method};
     pub use causality_core::resp::{why_no_responsibility, why_so_responsibility, Responsibility};
     pub use causality_engine::{
-        evaluate, ConjunctiveQuery, Database, EndoMask, Schema, SharedIndexCache, Snapshot,
-        SnapshotStore, Tuple, TupleRef, Value,
+        evaluate, evaluate_with_cache, ConjunctiveQuery, Database, EndoMask, RelId, RelVersion,
+        Schema, SharedIndexCache, Snapshot, SnapshotStore, Tuple, TupleRef, Value,
     };
     pub use causality_lineage::{lineage, n_lineage};
     pub use causality_service::{
