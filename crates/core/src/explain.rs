@@ -7,7 +7,10 @@
 //! returns a ranked, renderable [`Explanation`] — the Fig. 2b table.
 
 use crate::error::CoreError;
-use crate::ranking::{rank_why_no_cached, rank_why_so_cached, Method, RankedCause};
+use crate::ranking::{
+    rank_why_no_cached, rank_why_so_cached, rank_why_so_parallel, Method, RankConfig, RankStats,
+    RankedCause,
+};
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, Tuple, TupleRef, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -61,6 +64,7 @@ pub struct Explainer<'a> {
     db: &'a Database,
     query: &'a ConjunctiveQuery,
     method: Method,
+    parallelism: usize,
     cache: Arc<SharedIndexCache>,
 }
 
@@ -71,6 +75,7 @@ impl<'a> Explainer<'a> {
             db,
             query,
             method: Method::Auto,
+            parallelism: 1,
             cache: Arc::new(SharedIndexCache::new()),
         }
     }
@@ -78,6 +83,14 @@ impl<'a> Explainer<'a> {
     /// Select the responsibility algorithm.
     pub fn with_method(mut self, method: Method) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Fan per-cause responsibility runs out over `parallelism` threads
+    /// (min 1). The ranked output is bit-identical at every level — see
+    /// [`crate::ranking::parallel`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
         self
     }
 
@@ -101,8 +114,42 @@ impl<'a> Explainer<'a> {
     /// an error, not a panic.
     pub fn why(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
         let grounded = self.query.try_ground(answer)?;
-        let ranked = rank_why_so_cached(self.db, &grounded, self.method, Some(&self.cache))?;
+        let ranked = if self.parallelism > 1 {
+            let cfg = RankConfig {
+                method: self.method,
+                parallelism: self.parallelism,
+                top_k: None,
+            };
+            rank_why_so_parallel(self.db, &grounded, &cfg, Some(&self.cache))?.causes
+        } else {
+            rank_why_so_cached(self.db, &grounded, self.method, Some(&self.cache))?
+        };
         Ok(self.build(ExplanationKind::WhySo, answer, ranked))
+    }
+
+    /// Like [`Explainer::why`], but computes (and returns) only the `k`
+    /// most responsible causes: candidates are screened with a cheap
+    /// upper bound and full responsibility is only solved while it can
+    /// still change the top k (see [`crate::ranking::parallel`]). The
+    /// returned causes are bit-identical to the first `k` of
+    /// [`Explainer::why`]; the [`RankStats`] report how much work the
+    /// screen saved.
+    pub fn why_top_k(
+        &self,
+        answer: &[Value],
+        k: usize,
+    ) -> Result<(Explanation, RankStats), CoreError> {
+        let grounded = self.query.try_ground(answer)?;
+        let cfg = RankConfig {
+            method: self.method,
+            parallelism: self.parallelism,
+            top_k: Some(k),
+        };
+        let out = rank_why_so_parallel(self.db, &grounded, &cfg, Some(&self.cache))?;
+        Ok((
+            self.build(ExplanationKind::WhySo, answer, out.causes),
+            out.stats,
+        ))
     }
 
     /// Why is `answer` *not* in the result? The database's endogenous
@@ -269,6 +316,28 @@ mod tests {
         let other = Explainer::new(&db, &query).with_index_cache(shared);
         let again = other.why(&[Value::str("a4")]).unwrap();
         assert_eq!(cold, again);
+    }
+
+    #[test]
+    fn parallel_why_and_top_k_match_sequential() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let sequential = Explainer::new(&db, &query)
+            .why(&[Value::str("a4")])
+            .unwrap();
+        let parallel = Explainer::new(&db, &query)
+            .with_parallelism(4)
+            .why(&[Value::str("a4")])
+            .unwrap();
+        assert_eq!(sequential, parallel, "fan-out is bit-identical");
+
+        let (top2, stats) = Explainer::new(&db, &query)
+            .with_parallelism(2)
+            .why_top_k(&[Value::str("a4")], 2)
+            .unwrap();
+        assert_eq!(top2.causes.len(), 2);
+        assert_eq!(top2.causes, sequential.causes[..2].to_vec());
+        assert_eq!(stats.candidates, sequential.causes.len());
     }
 
     #[test]

@@ -54,4 +54,5 @@ pub use causes::{why_no_causes, why_so_causes, CauseSet};
 pub use dichotomy::classify::{classify_why_so, Complexity};
 pub use error::CoreError;
 pub use explain::Explainer;
+pub use ranking::{rank_why_so_parallel, RankConfig, RankStats, RankedTopK};
 pub use resp::{why_no_responsibility, why_so_responsibility, Responsibility};

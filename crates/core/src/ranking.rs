@@ -6,10 +6,14 @@
 //! responsibility (Algorithm 1 or the exact solver) and sorts descending —
 //! counterfactual causes (ρ = 1) first.
 
+pub mod parallel;
+
 use crate::causes::{why_no_causes_cached, why_so_causes_cached};
 use crate::error::CoreError;
 use crate::resp::{self, Responsibility};
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
+
+pub use parallel::{rank_why_so_parallel, RankConfig, RankStats, RankedTopK};
 
 /// Which responsibility algorithm to use while ranking.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -24,7 +28,7 @@ pub enum Method {
 }
 
 /// A cause with its responsibility.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RankedCause {
     /// The causing tuple.
     pub tuple: TupleRef,
@@ -95,12 +99,15 @@ pub fn rank_why_no_cached(
     Ok(ranked)
 }
 
+/// Descending by ρ, ties broken by tuple identity. `f64::total_cmp`
+/// makes the comparator total by construction: ranking can never panic,
+/// even if a responsibility algorithm ever produced a NaN (a NaN would
+/// sort first under the IEEE 754 total order rather than abort serving).
 fn sort_ranked(ranked: &mut [RankedCause]) {
     ranked.sort_by(|a, b| {
         b.responsibility
             .rho
-            .partial_cmp(&a.responsibility.rho)
-            .expect("rho is never NaN")
+            .total_cmp(&a.responsibility.rho)
             .then_with(|| a.tuple.cmp(&b.tuple))
     });
 }
@@ -194,5 +201,26 @@ mod tests {
         let db = example_2_2();
         let ranked = rank_why_so(&db, &q("q :- R(x, 'a6'), S('a6')"), Method::Auto).unwrap();
         assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn sort_is_total_even_with_nan() {
+        // rho is never NaN in practice; the comparator must still be
+        // total so a hypothetical NaN ranks (first, per the IEEE 754
+        // total order) instead of panicking mid-serve.
+        let rc = |row: u32, rho: f64| RankedCause {
+            tuple: TupleRef::new(0, row),
+            responsibility: Responsibility {
+                rho,
+                min_contingency: Some(vec![]),
+            },
+        };
+        let mut ranked = vec![rc(0, 0.5), rc(1, f64::NAN), rc(2, 1.0), rc(3, 0.5)];
+        sort_ranked(&mut ranked);
+        assert!(ranked[0].responsibility.rho.is_nan());
+        assert_eq!(ranked[1].responsibility.rho, 1.0);
+        // Equal ρ ties break by tuple identity.
+        assert_eq!(ranked[2].tuple, TupleRef::new(0, 0));
+        assert_eq!(ranked[3].tuple, TupleRef::new(0, 3));
     }
 }

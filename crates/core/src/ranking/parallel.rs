@@ -1,0 +1,553 @@
+//! Parallel top-k responsibility ranking.
+//!
+//! The paper's headline use case is ranking candidate causes by
+//! responsibility over large instances ("it is critical to rank the
+//! candidate causes by their responsibility", Sect. 1), and per-cause
+//! responsibility runs are *independent*: each one reads the database,
+//! the query, and the shared lineage — nothing else. This module
+//! exploits that independence twice:
+//!
+//! * **Fan-out** — the candidate-cause list is sharded across a
+//!   configurable number of scoped std threads (no work-stealing
+//!   runtime; an atomic cursor over a screened candidate list is
+//!   enough). The thread-safe [`SharedIndexCache`] makes every
+//!   per-cause flow/exact run reuse one set of join indexes.
+//! * **Top-k early termination** — when only the `k` most responsible
+//!   causes are wanted (the Fig. 2b table is rarely shown in full),
+//!   candidates are screened with a cheap, sound upper bound on ρ and
+//!   full Algorithm-1 / branch-and-bound responsibility is computed
+//!   only while the candidate could still enter the top k.
+//!
+//! # The upper bound
+//!
+//! For a candidate `t` over the minimized n-lineage `Φⁿ` (computed once
+//! and shared by every screen):
+//!
+//! * if `t` occurs in **every** conjunct it is a counterfactual cause —
+//!   ρ = 1 exactly (Theorem 3.2), so `ub = 1`;
+//! * otherwise any contingency `Γ` must hit every conjunct **not**
+//!   containing `t`, hence `|Γ|` is at least the size of any packing of
+//!   pairwise-disjoint such conjuncts, and
+//!   `ρ_t = 1/(1 + min|Γ|) ≤ 1/(1 + packing)`.
+//!
+//! The bound is sound for *both* responsibility algorithms (they compute
+//! the same Def. 2.3 optimum), so pruning never changes the result: a
+//! candidate is skipped only when `k` already-computed causes are
+//! **strictly** more responsible than its bound allows, which keeps the
+//! returned prefix bit-identical to the sequential full ranking — ties
+//! included, since tie-breaking is by tuple identity and strict pruning
+//! never discards a potential tie.
+
+use crate::causes::causes_from_minimized_whyso;
+use crate::error::CoreError;
+use crate::ranking::{sort_ranked, Method, RankedCause};
+use crate::resp::exact::min_contingency_from_lineage;
+use crate::resp::{self, Responsibility};
+use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
+use causality_lineage::{n_lineage_cached, Dnf};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs of a ranking run.
+#[derive(Clone, Copy, Debug)]
+pub struct RankConfig {
+    /// Which responsibility algorithm ranks the causes.
+    pub method: Method,
+    /// Worker threads sharding the candidate list (min 1; 1 = run on
+    /// the calling thread, no spawn).
+    pub parallelism: usize,
+    /// `Some(k)`: return only the `k` most responsible causes, enabling
+    /// upper-bound pruning. `None`: rank every cause.
+    pub top_k: Option<usize>,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig {
+            method: Method::Auto,
+            parallelism: 1,
+            top_k: None,
+        }
+    }
+}
+
+impl RankConfig {
+    /// A config ranking all causes on `parallelism` threads.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        RankConfig {
+            parallelism,
+            ..RankConfig::default()
+        }
+    }
+
+    /// Restrict the output (and the computation) to the top `k`.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+/// What a ranking run did: candidate counts and pruning effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Actual causes found by the lineage screen (Theorem 3.2).
+    pub candidates: usize,
+    /// Candidates whose full responsibility was computed.
+    pub computed: usize,
+    /// Candidates skipped because their upper bound could no longer
+    /// reach the top k.
+    pub pruned: usize,
+    /// Threads that ran the fan-out (after clamping).
+    pub threads: usize,
+}
+
+/// A ranked (and possibly truncated) explanation with its run stats.
+#[derive(Clone, Debug)]
+pub struct RankedTopK {
+    /// Causes ranked by responsibility descending, ties broken by tuple
+    /// identity; truncated to `k` when [`RankConfig::top_k`] is set.
+    pub causes: Vec<RankedCause>,
+    /// Screening / pruning / fan-out accounting.
+    pub stats: RankStats,
+}
+
+/// One screened candidate: its tuple and a sound upper bound on ρ.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    tuple: TupleRef,
+    upper_bound: f64,
+}
+
+/// Rank the Why-So causes of a Boolean query by responsibility on
+/// `cfg.parallelism` threads, optionally truncated (and pruned) to the
+/// top `k`. The output is bit-identical to the sequential
+/// [`rank_why_so_cached`](crate::ranking::rank_why_so_cached) ranking
+/// (truncated to `k` when `top_k` is set) for every parallelism level.
+pub fn rank_why_so_parallel(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cfg: &RankConfig,
+    cache: Option<&SharedIndexCache>,
+) -> Result<RankedTopK, CoreError> {
+    // One lineage computation feeds the candidate screen, the upper
+    // bounds, and (for the exact method) every per-cause solve.
+    let phin = n_lineage_cached(db, q, cache)?.minimized();
+    let causes = causes_from_minimized_whyso(&phin);
+
+    let mut candidates: Vec<Candidate> = causes
+        .actual
+        .iter()
+        .map(|&tuple| Candidate {
+            tuple,
+            upper_bound: if causes.counterfactual.contains(&tuple) {
+                1.0
+            } else {
+                1.0 / (1.0 + disjoint_packing_bound(&phin, tuple) as f64)
+            },
+        })
+        .collect();
+    // Screen order: most promising first, ties by tuple identity (the
+    // BTreeSet iteration above already yields tuple order, and the sort
+    // is stable, so the order is deterministic).
+    candidates.sort_by(|a, b| b.upper_bound.total_cmp(&a.upper_bound));
+
+    let threads = cfg.parallelism.max(1).min(candidates.len().max(1));
+    let shared = RankShared {
+        db,
+        q,
+        method: cfg.method,
+        cache,
+        candidates: &candidates,
+        cursor: AtomicUsize::new(0),
+        pruned: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+        threshold: cfg.top_k.map(|k| Mutex::new(TopKThreshold::new(k))),
+        phin: &phin,
+    };
+
+    let mut slots: Vec<Option<Result<Responsibility, CoreError>>> = if threads == 1 {
+        // Sequential fast path: no spawn overhead, same pruning logic.
+        let mut slots = vec![None; candidates.len()];
+        rank_worker(&shared, &mut slots);
+        slots
+    } else {
+        let mut merged = vec![None; candidates.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut slots = vec![None; shared.candidates.len()];
+                        rank_worker(shared, &mut slots);
+                        slots
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let slots = handle.join().expect("rank worker never panics");
+                for (slot, filled) in merged.iter_mut().zip(slots) {
+                    if filled.is_some() {
+                        *slot = filled;
+                    }
+                }
+            }
+        });
+        merged
+    };
+
+    // Deterministic error reporting: the first failed candidate in
+    // screen order wins, independent of thread interleaving.
+    let mut ranked = Vec::with_capacity(slots.len());
+    for (candidate, slot) in candidates.iter().zip(slots.iter_mut()) {
+        match slot.take() {
+            Some(Ok(responsibility)) => ranked.push(RankedCause {
+                tuple: candidate.tuple,
+                responsibility,
+            }),
+            Some(Err(e)) => return Err(e),
+            None => {} // pruned
+        }
+    }
+    let computed = ranked.len();
+    sort_ranked(&mut ranked);
+    if let Some(k) = cfg.top_k {
+        ranked.truncate(k);
+    }
+    Ok(RankedTopK {
+        causes: ranked,
+        stats: RankStats {
+            candidates: candidates.len(),
+            computed,
+            pruned: shared.pruned.load(Ordering::Relaxed),
+            threads,
+        },
+    })
+}
+
+/// State shared by the fan-out workers (all borrows — scoped threads).
+struct RankShared<'a> {
+    db: &'a Database,
+    q: &'a ConjunctiveQuery,
+    method: Method,
+    cache: Option<&'a SharedIndexCache>,
+    candidates: &'a [Candidate],
+    /// Next candidate index to claim.
+    cursor: AtomicUsize,
+    /// Candidates skipped by the top-k bound.
+    pruned: AtomicUsize,
+    /// Set once any worker hits an error; others stop claiming work.
+    failed: AtomicBool,
+    /// The `k` best ρ values computed so far (absent without `top_k`).
+    threshold: Option<Mutex<TopKThreshold>>,
+    /// The minimized n-lineage, shared by the exact solves.
+    phin: &'a Dnf,
+}
+
+/// Claims candidates off the shared cursor until the list is drained,
+/// writing each computed responsibility into the worker's slot vector
+/// (slot `i` belongs to screened candidate `i`; a worker only ever fills
+/// slots it claimed, so merging is conflict-free).
+fn rank_worker(shared: &RankShared<'_>, slots: &mut [Option<Result<Responsibility, CoreError>>]) {
+    loop {
+        if shared.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(candidate) = shared.candidates.get(i) else {
+            return;
+        };
+        if let Some(threshold) = &shared.threshold {
+            let prune = threshold
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .proves_out(candidate.upper_bound);
+            if prune {
+                shared.pruned.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let result = compute_responsibility(shared, candidate.tuple);
+        if let Ok(responsibility) = &result {
+            if let Some(threshold) = &shared.threshold {
+                threshold
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .record(responsibility.rho);
+            }
+        } else {
+            shared.failed.store(true, Ordering::Relaxed);
+        }
+        slots[i] = Some(result);
+    }
+}
+
+/// One per-cause responsibility solve, dispatching exactly like the
+/// sequential path — except that the exact branch reuses the already
+/// computed minimized lineage instead of re-deriving it per cause.
+fn compute_responsibility(
+    shared: &RankShared<'_>,
+    t: TupleRef,
+) -> Result<Responsibility, CoreError> {
+    let exact_from_lineage = || {
+        Ok(match min_contingency_from_lineage(shared.phin, t) {
+            Some(gamma) => Responsibility::from_contingency(gamma),
+            None => Responsibility::not_a_cause(),
+        })
+    };
+    match shared.method {
+        Method::Exact => exact_from_lineage(),
+        Method::Flow => {
+            resp::flow::why_so_responsibility_flow_cached(shared.db, shared.q, t, shared.cache)
+        }
+        Method::Auto => {
+            match resp::flow::why_so_responsibility_flow_cached(
+                shared.db,
+                shared.q,
+                t,
+                shared.cache,
+            ) {
+                Ok(r) => Ok(r),
+                Err(
+                    CoreError::NotWeaklyLinear { .. }
+                    | CoreError::SelfJoin { .. }
+                    | CoreError::UnmarkedAtom { .. },
+                ) => exact_from_lineage(),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// Lower bound on `min |Γ|` for candidate `t`: a greedy packing of
+/// pairwise tuple-disjoint conjuncts among those not containing `t`
+/// (each needs its own tuple in any hitting contingency). Sound for the
+/// exact solver and Algorithm 1 alike — both compute the Def. 2.3
+/// optimum.
+fn disjoint_packing_bound(phin: &Dnf, t: TupleRef) -> usize {
+    let mut packed = 0usize;
+    let mut blocked: BTreeSet<TupleRef> = BTreeSet::new();
+    for c in phin.conjuncts().iter().filter(|c| !c.contains(t)) {
+        if c.vars().all(|v| !blocked.contains(&v)) {
+            packed += 1;
+            blocked.extend(c.vars());
+        }
+    }
+    packed
+}
+
+/// The `k` largest computed ρ values, for strict pruning.
+#[derive(Debug)]
+struct TopKThreshold {
+    k: usize,
+    /// Sorted descending; at most `k` entries.
+    best: Vec<f64>,
+}
+
+impl TopKThreshold {
+    fn new(k: usize) -> Self {
+        TopKThreshold {
+            k: k.max(1),
+            best: Vec::new(),
+        }
+    }
+
+    /// Whether `upper_bound` proves a candidate cannot enter the top k:
+    /// `k` computed causes are already *strictly* more responsible than
+    /// the bound allows. Strictness keeps potential ties alive, so the
+    /// tuple-identity tie-break matches the unpruned ranking exactly.
+    fn proves_out(&self, upper_bound: f64) -> bool {
+        self.best.len() == self.k && upper_bound < self.best[self.k - 1]
+    }
+
+    fn record(&mut self, rho: f64) {
+        let at = self
+            .best
+            .partition_point(|&b| b.total_cmp(&rho) != std::cmp::Ordering::Less);
+        self.best.insert(at, rho);
+        self.best.truncate(self.k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::rank_why_so_cached;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, Schema, Value};
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(text).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_all_parallelisms() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let sequential = rank_why_so_cached(&db, &query, Method::Auto, None).unwrap();
+        for parallelism in [1, 2, 8] {
+            let out = rank_why_so_parallel(
+                &db,
+                &query,
+                &RankConfig::with_parallelism(parallelism),
+                None,
+            )
+            .unwrap();
+            assert_eq!(out.causes, sequential);
+            assert_eq!(out.stats.candidates, sequential.len());
+            assert_eq!(out.stats.computed, sequential.len());
+            assert_eq!(out.stats.pruned, 0);
+        }
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_ranking() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let full = rank_why_so_cached(&db, &query, Method::Auto, None).unwrap();
+        for k in 1..=full.len() + 1 {
+            for parallelism in [1, 2, 8] {
+                let out = rank_why_so_parallel(
+                    &db,
+                    &query,
+                    &RankConfig::with_parallelism(parallelism).top_k(k),
+                    None,
+                )
+                .unwrap();
+                assert_eq!(out.causes, full[..k.min(full.len())]);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_fires_when_counterfactuals_fill_the_top_k() {
+        // A(1) is in every witness of q :- A(x), B(y) (counterfactual,
+        // ρ = 1); B(1) and B(2) are each ρ = 1/2 with upper bound 1/2.
+        // With k = 1, once A(1) is computed both B tuples are provably
+        // out (1/2 < 1) and must be pruned, not solved.
+        let mut db = Database::new();
+        let a = db.add_relation(Schema::new("A", &["x"]));
+        let b = db.add_relation(Schema::new("B", &["y"]));
+        db.insert_endo(a, tup![1]);
+        db.insert_endo(b, tup![1]);
+        db.insert_endo(b, tup![2]);
+        let query = q("q :- A(x), B(y)");
+        for parallelism in [1, 2] {
+            let out = rank_why_so_parallel(
+                &db,
+                &query,
+                &RankConfig::with_parallelism(parallelism).top_k(1),
+                None,
+            )
+            .unwrap();
+            assert_eq!(out.causes.len(), 1);
+            assert_eq!(out.causes[0].responsibility.rho, 1.0);
+            if parallelism == 1 {
+                // Deterministic with one thread: both B candidates are
+                // screened out after A(1) fills the top 1.
+                assert_eq!(out.stats.pruned, 2, "stats: {:?}", out.stats);
+                assert_eq!(out.stats.computed, 1);
+            }
+            let full = rank_why_so_cached(&db, &query, Method::Auto, None).unwrap();
+            assert_eq!(out.causes, full[..1]);
+        }
+    }
+
+    #[test]
+    fn methods_agree_in_parallel() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        for method in [Method::Auto, Method::Exact, Method::Flow] {
+            let sequential = rank_why_so_cached(&db, &query, method, None).unwrap();
+            let out = rank_why_so_parallel(
+                &db,
+                &query,
+                &RankConfig {
+                    method,
+                    parallelism: 4,
+                    top_k: None,
+                },
+                None,
+            )
+            .unwrap();
+            assert_eq!(out.causes, sequential);
+        }
+    }
+
+    #[test]
+    fn hard_query_errors_match_sequential() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        db.insert_endo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2, 3]);
+        db.insert_endo(t, tup![3, 1]);
+        let query = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        // Flow refuses the non-weakly-linear triangle on every path.
+        for parallelism in [1, 4] {
+            let err = rank_why_so_parallel(
+                &db,
+                &query,
+                &RankConfig {
+                    method: Method::Flow,
+                    parallelism,
+                    top_k: None,
+                },
+                None,
+            );
+            assert!(err.is_err());
+        }
+        // Auto falls back to the exact solver and agrees with sequential.
+        let sequential = rank_why_so_cached(&db, &query, Method::Auto, None).unwrap();
+        let out =
+            rank_why_so_parallel(&db, &query, &RankConfig::with_parallelism(4), None).unwrap();
+        assert_eq!(out.causes, sequential);
+    }
+
+    #[test]
+    fn empty_ranking_for_false_query() {
+        let db = example_2_2();
+        let out = rank_why_so_parallel(
+            &db,
+            &q("q :- R(x, 'a6'), S('a6')"),
+            &RankConfig::with_parallelism(4).top_k(3),
+            None,
+        )
+        .unwrap();
+        assert!(out.causes.is_empty());
+        assert_eq!(out.stats.candidates, 0);
+    }
+
+    #[test]
+    fn threshold_strictness_preserves_ties() {
+        let mut t = TopKThreshold::new(2);
+        t.record(0.5);
+        t.record(0.5);
+        // A bound *equal* to the kth best must not prune: the candidate
+        // could tie and win on tuple identity.
+        assert!(!t.proves_out(0.5));
+        assert!(t.proves_out(0.4999));
+        t.record(1.0);
+        assert_eq!(t.best, vec![1.0, 0.5]);
+        assert!(!t.proves_out(0.5));
+        assert!(t.proves_out(0.25));
+    }
+
+    #[test]
+    fn packing_bound_is_sound_on_example() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
+        let phin = n_lineage_cached(&db, &query, None).unwrap().minimized();
+        for t in phin.variables() {
+            let lb = disjoint_packing_bound(&phin, t);
+            let ub = 1.0 / (1.0 + lb as f64);
+            let actual = resp::why_so_responsibility(&db, &query, t).unwrap();
+            assert!(
+                actual.rho <= ub + 1e-12,
+                "bound {ub} below actual {} for {t:?}",
+                actual.rho
+            );
+        }
+    }
+}

@@ -32,7 +32,20 @@
 //!   cached answer survives writes to relations the query never reads;
 //!   duplicate in-batch requests are coalesced into one computation, and
 //!   hit/miss/coalesce/eviction counters are exposed via
-//!   [`ServiceStats`].
+//!   [`ServiceStats`];
+//! * parallel top-k ranking — [`ExplainKind::RankTopK`] requests run
+//!   the parallel executor (`causality_core::ranking::parallel`):
+//!   candidates screened by a cheap responsibility upper bound, solved
+//!   on [`ServiceConfig::rank_parallelism`] scoped threads, pruned once
+//!   they provably cannot enter the top k — bit-identical to the
+//!   sequential ranking, with [`ServiceStats::rank_tasks`] /
+//!   [`ServiceStats::topk_pruned`] accounting;
+//! * failure isolation — every fresh computation runs behind a
+//!   `catch_unwind` boundary, so a panicking job resolves to
+//!   [`ServiceError::Panicked`] instead of killing its worker (counted
+//!   in [`ServiceStats::panics_caught`]); service mutexes recover from
+//!   poisoning, and [`CausalityService::inject_fault`] lets tests panic
+//!   chosen requests on purpose.
 //!
 //! # Example
 //!

@@ -37,14 +37,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
-    /// Look up `k`, marking it most recently used on a hit.
+    /// Look up `k`, marking it most recently used on a hit. A miss is
+    /// side-effect-free: no tick is consumed and no recency key is
+    /// cloned or reinserted, so a scan of absent keys can never perturb
+    /// recency bookkeeping (or burn through the tick space).
     pub fn get(&mut self, k: &K) -> Option<&V> {
-        self.tick += 1;
-        let tick = self.tick;
         let (v, last) = self.map.get_mut(k)?;
+        self.tick += 1;
         self.recency.remove(&*last);
-        *last = tick;
-        self.recency.insert(tick, k.clone());
+        *last = self.tick;
+        self.recency.insert(self.tick, k.clone());
         Some(v)
     }
 
@@ -67,6 +69,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn clear(&mut self) {
         self.map.clear();
         self.recency.clear();
+    }
+
+    /// The recency tick (test-only: observing miss side-effect freedom).
+    #[cfg(test)]
+    fn current_tick(&self) -> u64 {
+        self.tick
     }
 }
 
@@ -96,6 +104,50 @@ mod tests {
         lru.insert("c", 3); // evicts b
         assert_eq!(lru.get(&"a"), Some(&10));
         assert_eq!(lru.get(&"b"), None);
+    }
+
+    #[test]
+    fn get_miss_is_side_effect_free() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        let tick = lru.current_tick();
+        for _ in 0..100 {
+            assert_eq!(lru.get(&"zzz"), None);
+        }
+        assert_eq!(lru.current_tick(), tick, "misses consume no ticks");
+        // Recency is untouched: "a" is still the LRU entry, so the next
+        // insert evicts it — not "b".
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.get(&"b"), Some(&2));
+        assert_eq!(lru.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn get_hit_refreshes_recency_exactly_once() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        let before = lru.current_tick();
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.current_tick(), before + 1, "one tick per hit");
+        // "b" is now the LRU entry and gets evicted next.
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+    }
+
+    #[test]
+    fn reinsert_keeps_one_recency_entry_per_key() {
+        let mut lru = LruCache::new(4);
+        for _ in 0..10 {
+            lru.insert("a", 1);
+        }
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.recency.len(), 1, "stale recency keys are removed");
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.recency.len(), 1);
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub enum ServiceError {
     InvalidRequest(String),
     /// The underlying cause/responsibility computation failed.
     Core(CoreError),
+    /// The computation panicked. The worker caught the panic, recovered,
+    /// and kept serving — only this request is affected.
+    Panicked(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -120,6 +123,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Timeout => write!(f, "timed out waiting for a response"),
             ServiceError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::Panicked(why) => {
+                write!(f, "explanation computation panicked: {why}")
+            }
         }
     }
 }

@@ -27,9 +27,26 @@ use crate::stats::{ServiceStats, StatsCounters};
 use causality_core::explain::{Explainer, Explanation};
 use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Lock a mutex, recovering from poisoning. Workers convert panics into
+/// error responses ([`ServiceError::Panicked`]) before they can unwind
+/// through a held lock, so poisoning is already unreachable from the
+/// serving path — but if a lock is ever poisoned anyway (e.g. by a
+/// panicking test hook or a future code path), serving degrades to
+/// using the last-written state instead of cascading the panic into
+/// every worker that touches the mutex afterwards. All state behind
+/// these locks is valid at every step (caches and registries are
+/// updated by single self-contained calls), so recovery is safe.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A chaos-testing predicate marking requests that must panic mid-flight.
+type FaultHook = Box<dyn Fn(&ExplainRequest) -> bool + Send + Sync>;
 
 /// The relation-content fingerprint a cached explanation depends on: the
 /// (id, version) stamps of exactly the relations the request's query
@@ -52,6 +69,11 @@ pub struct ServiceConfig {
     /// indexes alive in the shared index cache; relation versions
     /// reachable from none of them are evicted.
     pub cached_versions: usize,
+    /// Threads each fresh [`ExplainKind::RankTopK`] computation fans its
+    /// per-cause responsibility runs over (min 1; 1 = rank on the worker
+    /// thread). Total ranking threads can reach `workers ×
+    /// rank_parallelism`, so size the two together against the machine.
+    pub rank_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +84,7 @@ impl Default for ServiceConfig {
             batch_max: 16,
             cache_capacity: 1024,
             cached_versions: 4,
+            rank_parallelism: 1,
         }
     }
 }
@@ -82,6 +105,9 @@ struct Shared {
     /// newest last; the union of their stamps is the index cache's live
     /// set, everything else gets evicted.
     live_snapshots: Mutex<Vec<(u64, RelFingerprint)>>,
+    /// Chaos-testing hook: requests matching the predicate panic inside
+    /// the worker (see [`CausalityService::inject_fault`]).
+    fault: Mutex<Option<FaultHook>>,
 }
 
 impl Shared {
@@ -93,7 +119,7 @@ impl Shared {
     /// from the window are evicted and counted.
     fn index_cache_for(&self, snapshot: &Snapshot) -> Arc<SharedIndexCache> {
         let version = snapshot.version();
-        let mut live = self.live_snapshots.lock().expect("live snapshot registry");
+        let mut live = lock_unpoisoned(&self.live_snapshots);
         let mut window_changed = false;
         if !live.iter().any(|(v, _)| *v == version) {
             live.push((version, snapshot.relation_versions()));
@@ -179,6 +205,7 @@ impl CausalityService {
             queue_capacity: cfg.queue_capacity.max(1),
             batch_max: cfg.batch_max.max(1),
             cached_versions: cfg.cached_versions.max(1),
+            rank_parallelism: cfg.rank_parallelism.max(1),
             ..cfg
         };
         let shared = Arc::new(Shared {
@@ -188,6 +215,7 @@ impl CausalityService {
             resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             index_cache: Arc::new(SharedIndexCache::new()),
             live_snapshots: Mutex::new(Vec::new()),
+            fault: Mutex::new(None),
         });
         let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
@@ -255,6 +283,22 @@ impl CausalityService {
         self.shared.store.update(f).version()
     }
 
+    /// Install a chaos-testing fault: every request the predicate
+    /// matches **panics** inside the worker that computes it. The pool
+    /// must isolate the blast radius — the matched request resolves to
+    /// [`ServiceError::Panicked`], the panic is counted in
+    /// [`ServiceStats::panics_caught`], and every worker keeps serving.
+    /// Used by the panic-isolation regression tests; also handy for
+    /// game-day drills against a staging deployment.
+    pub fn inject_fault(&self, hook: impl Fn(&ExplainRequest) -> bool + Send + Sync + 'static) {
+        *lock_unpoisoned(&self.shared.fault) = Some(Box::new(hook));
+    }
+
+    /// Remove the fault installed by [`CausalityService::inject_fault`].
+    pub fn clear_faults(&self) {
+        *lock_unpoisoned(&self.shared.fault) = None;
+    }
+
     /// A point-in-time view of the service counters.
     pub fn stats(&self) -> ServiceStats {
         self.shared.stats.snapshot(
@@ -301,7 +345,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
         let mut saw_shutdown = false;
         let mut batch: Vec<(ExplainRequest, Sender<ExplainResponse>)> = Vec::new();
         {
-            let rx = rx.lock().expect("request queue lock");
+            let rx = lock_unpoisoned(rx);
             match rx.recv() {
                 Ok(Job::Request(req, tx)) => batch.push((*req, tx)),
                 Ok(Job::Shutdown) | Err(_) => return,
@@ -353,7 +397,7 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
         // version — sound as long as those relations are untouched.
         let key = resp_fingerprint(&snapshot, &request).map(|f| (f, request.clone()));
         let cached = key.as_ref().and_then(|key| {
-            let mut cache = shared.resp_cache.lock().expect("responsibility cache");
+            let mut cache = lock_unpoisoned(&shared.resp_cache);
             cache.get(key).cloned()
         });
         // Per-request accounting: a hit group is all hits; a miss group is
@@ -366,13 +410,9 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
             None => {
                 StatsCounters::bump(&shared.stats.cache_misses);
                 StatsCounters::add(&shared.stats.coalesced, senders.len() as u64 - 1);
-                let computed = compute(&snapshot, &index_cache, &request);
+                let computed = compute_isolated(shared, &snapshot, &index_cache, &request);
                 if let (Some(key), Ok(explanation)) = (key, &computed) {
-                    shared
-                        .resp_cache
-                        .lock()
-                        .expect("responsibility cache")
-                        .insert(key, explanation.clone());
+                    lock_unpoisoned(&shared.resp_cache).insert(key, explanation.clone());
                 }
                 (computed, false)
             }
@@ -388,7 +428,48 @@ fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResp
     }
 }
 
+/// [`compute`] behind a panic boundary. A panicking job must cost
+/// exactly one response, not the worker (and with it the whole pool —
+/// every worker shares the queue mutex a dying thread would poison):
+/// the panic is caught, counted, and converted into
+/// [`ServiceError::Panicked`] for the requester.
+fn compute_isolated(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    index_cache: &Arc<SharedIndexCache>,
+    request: &ExplainRequest,
+) -> Result<Explanation, ServiceError> {
+    let guarded = catch_unwind(AssertUnwindSafe(|| {
+        // Evaluate the chaos hook before panicking so the fault lock is
+        // released by the time the unwind starts.
+        let inject = lock_unpoisoned(&shared.fault)
+            .as_ref()
+            .is_some_and(|hook| hook(request));
+        if inject {
+            panic!("fault injected by chaos hook");
+        }
+        compute(shared, snapshot, index_cache, request)
+    }));
+    guarded.unwrap_or_else(|payload| {
+        StatsCounters::bump(&shared.stats.panics_caught);
+        Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+    })
+}
+
+/// Best-effort rendering of a caught panic payload (panics carry a
+/// `&str` or `String` unless raised with a custom payload).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn compute(
+    shared: &Shared,
     snapshot: &Snapshot,
     index_cache: &Arc<SharedIndexCache>,
     request: &ExplainRequest,
@@ -400,8 +481,14 @@ fn compute(
         ExplainKind::WhySo => Ok(explainer.why(&request.answer)?),
         ExplainKind::WhyNo => Ok(explainer.why_not(&request.answer)?),
         ExplainKind::RankTopK(k) => {
-            let mut explanation = explainer.why(&request.answer)?;
-            explanation.causes.truncate(k);
+            // The top-k path: upper-bound screening skips candidates
+            // that can no longer enter the top k, and the surviving
+            // solves fan out over `rank_parallelism` threads.
+            let (explanation, rank_stats) = explainer
+                .with_parallelism(shared.cfg.rank_parallelism)
+                .why_top_k(&request.answer, k)?;
+            StatsCounters::bump(&shared.stats.rank_tasks);
+            StatsCounters::add(&shared.stats.topk_pruned, rank_stats.pruned as u64);
             Ok(explanation)
         }
     }
@@ -631,6 +718,105 @@ mod tests {
              got {} entries",
             stats.index_entries
         );
+    }
+
+    #[test]
+    fn panicking_job_gets_an_error_and_the_pool_survives() {
+        let svc = CausalityService::with_config(
+            example_2_2(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.inject_fault(|req| req.answer == vec![Value::str("a3")]);
+        let poisoned = svc
+            .explain(ExplainRequest::why_so(query(), vec![Value::str("a3")]))
+            .unwrap();
+        match poisoned.result {
+            Err(ServiceError::Panicked(msg)) => {
+                assert!(msg.contains("fault injected"), "got: {msg}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Every worker still serves, including the one that caught the
+        // panic (more requests than workers).
+        svc.clear_faults();
+        for _ in 0..4 {
+            let ok = svc
+                .explain(ExplainRequest::why_so(query(), vec![Value::str("a2")]))
+                .unwrap();
+            assert!(ok.result.is_ok());
+        }
+        assert_eq!(svc.stats().panics_caught, 1);
+    }
+
+    #[test]
+    fn panicked_results_are_not_cached() {
+        let svc = CausalityService::new(example_2_2());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        svc.inject_fault(|_| true);
+        assert!(matches!(
+            svc.explain(req.clone()).unwrap().result,
+            Err(ServiceError::Panicked(_))
+        ));
+        svc.clear_faults();
+        let healed = svc.explain(req).unwrap();
+        assert!(healed.result.is_ok(), "the request recomputes cleanly");
+        assert!(!healed.cache_hit, "the panicked attempt left no entry");
+    }
+
+    #[test]
+    fn poisoned_caches_are_recovered_not_fatal() {
+        let svc = CausalityService::new(example_2_2());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        svc.explain(req.clone()).unwrap();
+        // Poison resp_cache and live_snapshots by panicking mid-hold.
+        let shared = Arc::clone(&svc.shared);
+        let _ = std::thread::spawn(move || {
+            let _cache = shared.resp_cache.lock().unwrap();
+            let _live = shared.live_snapshots.lock().unwrap();
+            panic!("poison the service mutexes");
+        })
+        .join();
+        assert!(svc.shared.resp_cache.lock().is_err(), "cache is poisoned");
+        // Serving continues: lock recovery hands back the intact state.
+        let warm = svc.explain(req).unwrap();
+        assert!(warm.result.is_ok());
+        assert!(warm.cache_hit, "recovered cache still serves its entries");
+    }
+
+    #[test]
+    fn rank_top_k_reports_pruning_stats() {
+        // q :- A(x), B(y): A(1) is counterfactual; B(1), B(2) are ρ =
+        // 1/2 and provably out of the top 1 once A(1) is computed.
+        let mut db = Database::new();
+        let a = db.add_relation(Schema::new("A", &["x"]));
+        let b = db.add_relation(Schema::new("B", &["y"]));
+        db.insert_endo(a, tup![1]);
+        db.insert_endo(b, tup![1]);
+        db.insert_endo(b, tup![2]);
+        // rank_parallelism: 1 keeps the pruned count deterministic —
+        // with concurrent solvers a B candidate can finish before A(1)
+        // and legitimately escape the screen (tests/ covers the
+        // parallel-served path; the output is identical either way).
+        let svc = CausalityService::with_config(
+            db,
+            ServiceConfig {
+                rank_parallelism: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = ConjunctiveQuery::parse("q :- A(x), B(y)").unwrap();
+        let top1 = svc
+            .explain(ExplainRequest::rank_top_k(q, Vec::<Value>::new(), 1))
+            .unwrap()
+            .expect_explanation();
+        assert_eq!(top1.causes.len(), 1);
+        assert_eq!(top1.causes[0].rho, 1.0);
+        let stats = svc.stats();
+        assert_eq!(stats.rank_tasks, 1);
+        assert!(stats.topk_pruned >= 1, "stats: {stats:?}");
     }
 
     #[test]

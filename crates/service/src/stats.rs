@@ -12,6 +12,9 @@ pub(crate) struct StatsCounters {
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub index_evictions: AtomicU64,
+    pub rank_tasks: AtomicU64,
+    pub topk_pruned: AtomicU64,
+    pub panics_caught: AtomicU64,
 }
 
 impl StatsCounters {
@@ -40,6 +43,9 @@ impl StatsCounters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             index_entries,
             index_evictions: self.index_evictions.load(Ordering::Relaxed),
+            rank_tasks: self.rank_tasks.load(Ordering::Relaxed),
+            topk_pruned: self.topk_pruned.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
         }
     }
 }
@@ -72,6 +78,18 @@ pub struct ServiceStats {
     /// counts only indexes of *touched* relations; untouched relations
     /// keep their stamps and are never evicted by a write elsewhere.
     pub index_evictions: u64,
+    /// Freshly computed [`RankTopK`](crate::ExplainKind::RankTopK)
+    /// rankings (cache hits and coalesced riders are not re-ranked).
+    pub rank_tasks: u64,
+    /// Candidate causes the top-k screen skipped across all rank tasks:
+    /// their cheap responsibility upper bound proved they could no
+    /// longer enter the top k, so no full Algorithm-1 / branch-and-bound
+    /// solve was spent on them.
+    pub topk_pruned: u64,
+    /// Worker panics caught and converted into
+    /// [`ServiceError::Panicked`](crate::ServiceError::Panicked)
+    /// responses. Nonzero means a job blew up but the pool survived it.
+    pub panics_caught: u64,
 }
 
 impl ServiceStats {
@@ -107,6 +125,9 @@ mod tests {
         StatsCounters::add(&c.cache_hits, 3);
         StatsCounters::bump(&c.cache_misses);
         StatsCounters::add(&c.index_evictions, 2);
+        StatsCounters::bump(&c.rank_tasks);
+        StatsCounters::add(&c.topk_pruned, 7);
+        StatsCounters::bump(&c.panics_caught);
         let s = c.snapshot(4, 7, 5);
         assert_eq!(s.workers, 4);
         assert_eq!(s.snapshot_version, 7);
@@ -114,6 +135,9 @@ mod tests {
         assert_eq!(s.cache_hits, 3);
         assert_eq!(s.index_entries, 5);
         assert_eq!(s.index_evictions, 2);
+        assert_eq!(s.rank_tasks, 1);
+        assert_eq!(s.topk_pruned, 7);
+        assert_eq!(s.panics_caught, 1);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 

@@ -25,6 +25,9 @@ fn main() {
         db,
         ServiceConfig {
             workers: 4,
+            // Fresh top-k rankings fan their per-cause responsibility
+            // solves over 2 threads each.
+            rank_parallelism: 2,
             ..ServiceConfig::default()
         },
     ));
@@ -69,6 +72,21 @@ fn main() {
         .expect_explanation();
     println!("== Top-2 causes by responsibility ==\n{top2}");
 
+    // --- 2b. Failure isolation: a panicking job costs one response. ----
+    // Chaos hook: the next Why-No request panics inside its worker; the
+    // pool catches it, answers with an error, and keeps serving.
+    svc.inject_fault(|req| matches!(req.kind, ExplainKind::WhyNo));
+    let blast = svc
+        .explain(ExplainRequest::why_no(query.clone(), musical.clone()))
+        .unwrap();
+    println!(
+        "== Injected fault: Why-No request answered with an error, pool alive ==\n{}\n",
+        blast
+            .result
+            .expect_err("the chaos hook panicked this request")
+    );
+    svc.clear_faults();
+
     // --- 3. Publish a new snapshot: Sweeney Todd becomes exogenous -----
     // (context rather than suspect), so it can no longer be a cause.
     let sweeney = refs.sweeney;
@@ -93,11 +111,16 @@ fn main() {
     println!(
         "final stats: version {}, {} requests, hit rate {:.0}%, \
          {} join indexes held, {} evicted (per-relation keying: only the \
-         touched relation's indexes can ever be invalidated)",
+         touched relation's indexes can ever be invalidated); \
+         {} top-k rankings computed, {} candidates pruned by the top-k \
+         screen, {} panics caught without losing a worker",
         stats.snapshot_version,
         stats.requests,
         stats.hit_rate() * 100.0,
         stats.index_entries,
         stats.index_evictions,
+        stats.rank_tasks,
+        stats.topk_pruned,
+        stats.panics_caught,
     );
 }

@@ -65,6 +65,7 @@ fn writers_and_readers_make_progress_without_deadlock() {
                 batch_max: 8,
                 cache_capacity: 256,
                 cached_versions: 3,
+                rank_parallelism: 2,
             },
         ));
         let query = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();

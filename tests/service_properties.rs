@@ -40,6 +40,7 @@ fn small_service(db: Database) -> CausalityService {
             batch_max: 4,
             cache_capacity: 64,
             cached_versions: 2,
+            rank_parallelism: 1,
         },
     )
 }
