@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use causality_engine::{
     holds_masked, ConjunctiveQuery, Database, EndoMask, SharedIndexCache, TupleRef,
 };
-use causality_lineage::{n_lineage_cached, non_answer_lineage_cached, Dnf};
+use causality_lineage::{n_lineage_cached, non_answer_lineage_cached, BitDnf, LineageArena};
 use std::collections::{BTreeSet, HashSet};
 
 /// The causes of one (non-)answer.
@@ -64,8 +64,9 @@ pub fn why_so_causes_cached(
     q: &ConjunctiveQuery,
     cache: Option<&SharedIndexCache>,
 ) -> Result<CauseSet, CoreError> {
-    let phin = n_lineage_cached(db, q, cache)?.minimized();
-    Ok(causes_from_minimized_whyso(&phin))
+    let phi = n_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    Ok(causes_from_minimized_whyso(&arena, &bits.minimized()))
 }
 
 /// Causes of a specific answer `ā` of a non-Boolean query: grounds
@@ -79,12 +80,15 @@ pub fn why_so_causes_of_answer(
     why_so_causes(db, &q.try_ground(answer)?)
 }
 
-pub(crate) fn causes_from_minimized_whyso(phin: &Dnf) -> CauseSet {
-    let actual = phin.variables();
-    let counterfactual = actual
-        .iter()
-        .copied()
-        .filter(|&t| phin.conjuncts().iter().all(|c| c.contains(t)))
+/// Theorem 3.2 read off the arena-form minimized n-lineage: actual
+/// causes are the variables (word-wise OR of the conjuncts),
+/// counterfactual causes the variables in *every* conjunct (word-wise
+/// AND), resolved back to `TupleRef`s at the boundary.
+pub(crate) fn causes_from_minimized_whyso(arena: &LineageArena, phin: &BitDnf) -> CauseSet {
+    let actual: BTreeSet<TupleRef> = arena.tuples_of(&phin.variables()).into_iter().collect();
+    let counterfactual: BTreeSet<TupleRef> = arena
+        .tuples_of(&phin.common_variables())
+        .into_iter()
         .collect();
     CauseSet {
         actual,
@@ -106,17 +110,19 @@ pub fn why_no_causes_cached(
     q: &ConjunctiveQuery,
     cache: Option<&SharedIndexCache>,
 ) -> Result<CauseSet, CoreError> {
-    let phin = non_answer_lineage_cached(db, q, cache)?.minimized();
+    let phi = non_answer_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    let phin = bits.minimized();
     if phin.is_tautology() {
         // q is already true on Dx: not a non-answer, no causes.
         return Ok(CauseSet::default());
     }
-    let actual = phin.variables();
-    let counterfactual = phin
+    let actual: BTreeSet<TupleRef> = arena.tuples_of(&phin.variables()).into_iter().collect();
+    let counterfactual: BTreeSet<TupleRef> = phin
         .conjuncts()
         .iter()
         .filter(|c| c.len() == 1)
-        .flat_map(|c| c.vars())
+        .flat_map(|c| arena.tuples_of(c))
         .collect();
     Ok(CauseSet {
         actual,

@@ -54,6 +54,13 @@ pub struct Explanation {
 
 /// Explains answers and non-answers of one query over one database.
 ///
+/// Every ranking an explainer produces runs on the interned lineage
+/// arena ([`causality_lineage::arena`]): the (non-)answer's lineage is
+/// computed, interned to dense variable ids, and minimized **once** per
+/// call, and all per-cause responsibility kernels operate on packed
+/// bitsets — `TupleRef`s reappear only in the returned
+/// [`ExplainedCause`]s.
+///
 /// The explainer owns a [`SharedIndexCache`]: the join indexes built for
 /// the first `why`/`why_not` call are reused by every later call on the
 /// same explainer. A serving layer that maintains a long-lived cache

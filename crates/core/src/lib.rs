@@ -56,3 +56,6 @@ pub use error::CoreError;
 pub use explain::Explainer;
 pub use ranking::{rank_why_so_parallel, RankConfig, RankStats, RankedTopK};
 pub use resp::{why_no_responsibility, why_so_responsibility, Responsibility};
+pub use whyno_candidates::{
+    install_candidates, screen_candidates, suggest_candidates, CandidateConfig,
+};

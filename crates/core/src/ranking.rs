@@ -8,10 +8,12 @@
 
 pub mod parallel;
 
-use crate::causes::{why_no_causes_cached, why_so_causes_cached};
+use crate::causes::causes_from_minimized_whyso;
 use crate::error::CoreError;
+use crate::resp::exact::responsibility_from_bits;
 use crate::resp::{self, Responsibility};
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
+use causality_lineage::{n_lineage_cached, non_answer_lineage_cached, LineageArena};
 
 pub use parallel::{rank_why_so_parallel, RankConfig, RankStats, RankedTopK};
 
@@ -51,18 +53,31 @@ pub fn rank_why_so(
 /// responsibility run, and by later rankings for as long as the query's
 /// relations keep their content stamps (writes to other relations do not
 /// invalidate them).
+///
+/// The n-lineage is computed, interned, and minimized **once** in arena
+/// form; the candidate screen (Theorem 3.2) and every exact per-cause
+/// solve read that one `BitDnf` instead of re-deriving the lineage per
+/// cause. The flow method still evaluates per cause (Algorithm 1 reads
+/// the database, not the lineage).
 pub fn rank_why_so_cached(
     db: &Database,
     q: &ConjunctiveQuery,
     method: Method,
     cache: Option<&SharedIndexCache>,
 ) -> Result<Vec<RankedCause>, CoreError> {
-    let causes = why_so_causes_cached(db, q, cache)?;
+    let phi = n_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    let phin = bits.minimized();
+    let causes = causes_from_minimized_whyso(&arena, &phin);
     let mut ranked = Vec::with_capacity(causes.actual.len());
     for &t in &causes.actual {
         let responsibility = match method {
-            Method::Auto => resp::why_so_responsibility_cached(db, q, t, cache)?,
-            Method::Exact => resp::exact::why_so_responsibility_exact_cached(db, q, t, cache)?,
+            Method::Auto => match resp::flow::why_so_responsibility_flow_cached(db, q, t, cache) {
+                Ok(r) => r,
+                Err(e) if resp::flow_inapplicable(&e) => responsibility_from_bits(&arena, &phin, t),
+                Err(e) => return Err(e),
+            },
+            Method::Exact => responsibility_from_bits(&arena, &phin, t),
             Method::Flow => resp::flow::why_so_responsibility_flow_cached(db, q, t, cache)?,
         };
         ranked.push(RankedCause {
@@ -80,16 +95,26 @@ pub fn rank_why_no(db: &Database, q: &ConjunctiveQuery) -> Result<Vec<RankedCaus
     rank_why_no_cached(db, q, None)
 }
 
-/// [`rank_why_no`] with an optional [`SharedIndexCache`].
+/// [`rank_why_no`] with an optional [`SharedIndexCache`]. One non-answer
+/// lineage is interned and minimized in arena form; every candidate's
+/// Theorem 4.17 responsibility (cheapest conjunct containing it) is read
+/// off that shared `BitDnf` — the seed recomputed the whole lineage per
+/// candidate.
 pub fn rank_why_no_cached(
     db: &Database,
     q: &ConjunctiveQuery,
     cache: Option<&SharedIndexCache>,
 ) -> Result<Vec<RankedCause>, CoreError> {
-    let causes = why_no_causes_cached(db, q, cache)?;
-    let mut ranked = Vec::with_capacity(causes.actual.len());
-    for &t in &causes.actual {
-        let responsibility = resp::whyno::why_no_responsibility_cached(db, q, t, cache)?;
+    let phi = non_answer_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    let phin = bits.minimized();
+    if phin.is_tautology() {
+        // Already an answer on Dx: no Why-No causes to rank.
+        return Ok(Vec::new());
+    }
+    let mut ranked = Vec::new();
+    for t in arena.tuples_of(&phin.variables()) {
+        let responsibility = resp::whyno::why_no_responsibility_from_bits(&arena, &phin, t);
         ranked.push(RankedCause {
             tuple: t,
             responsibility,

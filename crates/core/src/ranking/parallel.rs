@@ -10,8 +10,11 @@
 //! * **Fan-out** — the candidate-cause list is sharded across a
 //!   configurable number of scoped std threads (no work-stealing
 //!   runtime; an atomic cursor over a screened candidate list is
-//!   enough). The thread-safe [`SharedIndexCache`] makes every
-//!   per-cause flow/exact run reuse one set of join indexes.
+//!   enough). The n-lineage is interned and minimized **once** in arena
+//!   form ([`LineageArena`] + [`BitDnf`]); workers borrow the same
+//!   conjunct bitsets (`&VarSet` slices) in place — zero per-candidate
+//!   cloning — and the thread-safe [`SharedIndexCache`] makes every
+//!   per-cause flow run reuse one set of join indexes.
 //! * **Top-k early termination** — when only the `k` most responsible
 //!   causes are wanted (the Fig. 2b table is rarely shown in full),
 //!   candidates are screened with a cheap, sound upper bound on ρ and
@@ -41,11 +44,10 @@
 use crate::causes::causes_from_minimized_whyso;
 use crate::error::CoreError;
 use crate::ranking::{sort_ranked, Method, RankedCause};
-use crate::resp::exact::min_contingency_from_lineage;
+use crate::resp::exact::responsibility_from_bits;
 use crate::resp::{self, Responsibility};
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
-use causality_lineage::{n_lineage_cached, Dnf};
-use std::collections::BTreeSet;
+use causality_lineage::{n_lineage_cached, BitDnf, LineageArena, VarSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -130,11 +132,16 @@ pub fn rank_why_so_parallel(
     cfg: &RankConfig,
     cache: Option<&SharedIndexCache>,
 ) -> Result<RankedTopK, CoreError> {
-    // One lineage computation feeds the candidate screen, the upper
-    // bounds, and (for the exact method) every per-cause solve.
-    let phin = n_lineage_cached(db, q, cache)?.minimized();
-    let causes = causes_from_minimized_whyso(&phin);
+    // One lineage computation, interned and minimized once in arena
+    // form, feeds the candidate screen, the upper bounds, and (for the
+    // exact method) every per-cause solve. Workers borrow the same
+    // `BitDnf` conjunct slice — zero per-candidate cloning.
+    let phi = n_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    let phin = bits.minimized();
+    let causes = causes_from_minimized_whyso(&arena, &phin);
 
+    let mut packing_scratch = VarSet::new();
     let mut candidates: Vec<Candidate> = causes
         .actual
         .iter()
@@ -143,7 +150,8 @@ pub fn rank_why_so_parallel(
             upper_bound: if causes.counterfactual.contains(&tuple) {
                 1.0
             } else {
-                1.0 / (1.0 + disjoint_packing_bound(&phin, tuple) as f64)
+                let v = arena.id(tuple).expect("causes come from the lineage");
+                1.0 / (1.0 + disjoint_packing_bound(&phin, v, &mut packing_scratch) as f64)
             },
         })
         .collect();
@@ -163,6 +171,7 @@ pub fn rank_why_so_parallel(
         pruned: AtomicUsize::new(0),
         failed: AtomicBool::new(false),
         threshold: cfg.top_k.map(|k| Mutex::new(TopKThreshold::new(k))),
+        arena: &arena,
         phin: &phin,
     };
 
@@ -240,8 +249,12 @@ struct RankShared<'a> {
     failed: AtomicBool,
     /// The `k` best ρ values computed so far (absent without `top_k`).
     threshold: Option<Mutex<TopKThreshold>>,
-    /// The minimized n-lineage, shared by the exact solves.
-    phin: &'a Dnf,
+    /// The interner resolving variable ids back to tuples at the result
+    /// boundary.
+    arena: &'a LineageArena,
+    /// The minimized n-lineage in arena form, shared by the exact solves
+    /// (workers read the same conjunct bitsets in place).
+    phin: &'a BitDnf,
 }
 
 /// Claims candidates off the shared cursor until the list is drained,
@@ -289,12 +302,7 @@ fn compute_responsibility(
     shared: &RankShared<'_>,
     t: TupleRef,
 ) -> Result<Responsibility, CoreError> {
-    let exact_from_lineage = || {
-        Ok(match min_contingency_from_lineage(shared.phin, t) {
-            Some(gamma) => Responsibility::from_contingency(gamma),
-            None => Responsibility::not_a_cause(),
-        })
-    };
+    let exact_from_lineage = || Ok(responsibility_from_bits(shared.arena, shared.phin, t));
     match shared.method {
         Method::Exact => exact_from_lineage(),
         Method::Flow => {
@@ -308,29 +316,26 @@ fn compute_responsibility(
                 shared.cache,
             ) {
                 Ok(r) => Ok(r),
-                Err(
-                    CoreError::NotWeaklyLinear { .. }
-                    | CoreError::SelfJoin { .. }
-                    | CoreError::UnmarkedAtom { .. },
-                ) => exact_from_lineage(),
+                Err(e) if resp::flow_inapplicable(&e) => exact_from_lineage(),
                 Err(e) => Err(e),
             }
         }
     }
 }
 
-/// Lower bound on `min |Γ|` for candidate `t`: a greedy packing of
-/// pairwise tuple-disjoint conjuncts among those not containing `t`
+/// Lower bound on `min |Γ|` for candidate variable `v`: a greedy packing
+/// of pairwise tuple-disjoint conjuncts among those not containing `v`
 /// (each needs its own tuple in any hitting contingency). Sound for the
 /// exact solver and Algorithm 1 alike — both compute the Def. 2.3
-/// optimum.
-fn disjoint_packing_bound(phin: &Dnf, t: TupleRef) -> usize {
+/// optimum. In arena form the disjointness test is one word-wise AND
+/// against a reused `blocked` scratch mask.
+fn disjoint_packing_bound(phin: &BitDnf, v: u32, blocked: &mut VarSet) -> usize {
     let mut packed = 0usize;
-    let mut blocked: BTreeSet<TupleRef> = BTreeSet::new();
-    for c in phin.conjuncts().iter().filter(|c| !c.contains(t)) {
-        if c.vars().all(|v| !blocked.contains(&v)) {
+    blocked.clear();
+    for c in phin.conjuncts().iter().filter(|c| !c.contains(v as usize)) {
+        if !c.intersects(blocked) {
             packed += 1;
-            blocked.extend(c.vars());
+            blocked.union_with(c);
         }
     }
     packed
@@ -538,9 +543,13 @@ mod tests {
     fn packing_bound_is_sound_on_example() {
         let db = example_2_2();
         let query = q("q(x) :- R(x, y), S(y)").ground(&[Value::str("a4")]);
-        let phin = n_lineage_cached(&db, &query, None).unwrap().minimized();
-        for t in phin.variables() {
-            let lb = disjoint_packing_bound(&phin, t);
+        let phi = n_lineage_cached(&db, &query, None).unwrap();
+        let (arena, bits) = LineageArena::from_dnf(&phi);
+        let phin = bits.minimized();
+        let mut scratch = VarSet::new();
+        for t in arena.tuples_of(&phin.variables()) {
+            let v = arena.id(t).unwrap();
+            let lb = disjoint_packing_bound(&phin, v, &mut scratch);
             let ub = 1.0 / (1.0 + lb as f64);
             let actual = resp::why_so_responsibility(&db, &query, t).unwrap();
             assert!(

@@ -127,7 +127,10 @@ fn flow_impl(
     }
     let mut edges: HashMap<EdgeKey, EdgeHandle> = HashMap::new();
     let mut handle_tuple: HashMap<EdgeHandle, TupleRef> = HashMap::new();
-    // Paths through t, deduplicated by edge set.
+    // Paths through t, deduplicated by edge set. A path has at most m
+    // edges, so a sorted m-element vec is both the compact dedup key
+    // and the deterministic (element-sequence ordered) iteration
+    // source for the per-witness min-cut loop below.
     let mut witness_paths: BTreeSet<Vec<EdgeHandle>> = BTreeSet::new();
     let mut t_edge: Option<EdgeHandle> = None;
 
@@ -175,10 +178,9 @@ fn flow_impl(
             left = right;
         }
         if contains_t {
-            let mut sorted = path.clone();
-            sorted.sort();
-            sorted.dedup();
-            witness_paths.insert(sorted);
+            path.sort();
+            path.dedup();
+            witness_paths.insert(path);
         }
     }
 

@@ -1,9 +1,10 @@
 //! Responsibility (Def. 2.3): `ρ_t = 1 / (1 + min_Γ |Γ|)`.
 //!
 //! * [`exact`] — exact minimum contingency by branch-and-bound over the
-//!   n-lineage. Works for *every* conjunctive query (self-joins, mixed
-//!   relations); worst-case exponential, as it must be for the NP-hard
-//!   side of the dichotomy.
+//!   n-lineage, running entirely on interned bitsets
+//!   ([`causality_lineage::arena`]). Works for *every* conjunctive query
+//!   (self-joins, mixed relations); worst-case exponential, as it must
+//!   be for the NP-hard side of the dichotomy.
 //! * [`flow`] — Algorithm 1: PTIME responsibility for weakly linear
 //!   queries via repeated max-flow/min-cut (Example 4.2, Theorem 4.5).
 //! * [`whyno`] — Theorem 4.17: Why-No responsibility in PTIME (contingency
@@ -80,13 +81,27 @@ pub fn why_so_responsibility_cached(
 ) -> Result<Responsibility, CoreError> {
     match flow::why_so_responsibility_flow_cached(db, q, t, cache) {
         Ok(r) => Ok(r),
-        Err(
-            CoreError::NotWeaklyLinear { .. }
-            | CoreError::SelfJoin { .. }
-            | CoreError::UnmarkedAtom { .. },
-        ) => exact::why_so_responsibility_exact_cached(db, q, t, cache),
+        Err(e) if flow_inapplicable(&e) => {
+            exact::why_so_responsibility_exact_cached(db, q, t, cache)
+        }
         Err(e) => Err(e),
     }
+}
+
+/// Whether Algorithm 1 refused the query for a reason the automatic
+/// method treats as "fall back to the exact solver" rather than a real
+/// error: the query is outside the flow algorithm's dichotomy class
+/// (not weakly linear, has a self-join) or its relations are not
+/// uniformly marked. One predicate shared by every Auto dispatch
+/// ([`why_so_responsibility_cached`], the sequential ranker, and the
+/// parallel ranker), so the fallback set cannot drift between them.
+pub(crate) fn flow_inapplicable(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::NotWeaklyLinear { .. }
+            | CoreError::SelfJoin { .. }
+            | CoreError::UnmarkedAtom { .. }
+    )
 }
 
 /// Compute Why-No responsibility (always PTIME, Theorem 4.17).

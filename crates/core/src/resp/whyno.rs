@@ -15,7 +15,7 @@
 use crate::error::CoreError;
 use crate::resp::Responsibility;
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, TupleRef};
-use causality_lineage::non_answer_lineage_cached;
+use causality_lineage::{non_answer_lineage_cached, BitDnf, LineageArena};
 
 /// Why-No responsibility of the candidate insertion `t` for a Boolean
 /// non-answer. PTIME in the size of the database (Theorem 4.17).
@@ -37,23 +37,47 @@ pub fn why_no_responsibility_cached(
     if !db.is_endogenous(t) {
         return Err(CoreError::NotEndogenous);
     }
-    let phin = non_answer_lineage_cached(db, q, cache)?.minimized();
+    let phi = non_answer_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    Ok(why_no_responsibility_from_bits(
+        &arena,
+        &bits.minimized(),
+        t,
+    ))
+}
+
+/// Theorem 4.17 read off the arena-form *minimized* non-answer lineage:
+/// `ρ_t = 1 / min_{c ∋ t} |c|`, one popcount per conjunct. Shared by the
+/// single-tuple entry point above and the Why-No ranking (which scans
+/// all candidates over one lineage instead of recomputing it per tuple).
+pub(crate) fn why_no_responsibility_from_bits(
+    arena: &LineageArena,
+    phin: &BitDnf,
+    t: TupleRef,
+) -> Responsibility {
     if phin.is_tautology() {
         // Already an answer on Dx: no Why-No causes.
-        return Ok(Responsibility::not_a_cause());
+        return Responsibility::not_a_cause();
     }
+    let Some(v) = arena.id(t) else {
+        return Responsibility::not_a_cause();
+    };
     let best = phin
         .conjuncts()
         .iter()
-        .filter(|c| c.contains(t))
+        .filter(|c| c.contains(v as usize))
         .min_by_key(|c| c.len());
-    Ok(match best {
+    match best {
         Some(c) => {
-            let gamma: Vec<TupleRef> = c.vars().filter(|&v| v != t).collect();
+            let gamma: Vec<TupleRef> = c
+                .iter()
+                .filter(|&u| u != v as usize)
+                .map(|u| arena.resolve(u as u32))
+                .collect();
             Responsibility::from_contingency(gamma)
         }
         None => Responsibility::not_a_cause(),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -21,8 +21,9 @@
 
 use crate::error::CoreError;
 use causality_engine::{
-    ConjunctiveQuery, Database, EngineError, Term, Tuple, TupleRef, Value, VarId,
+    ConjunctiveQuery, Database, EngineError, SharedIndexCache, Term, Tuple, TupleRef, Value, VarId,
 };
+use causality_lineage::{non_answer_lineage_cached, LineageArena};
 use std::collections::BTreeSet;
 
 /// Configuration for candidate generation.
@@ -162,6 +163,35 @@ fn enumerate(
     assignment[var.0 as usize] = None;
 }
 
+/// Screen installed Why-No candidates against **one** shared non-answer
+/// lineage: returns the subset of `installed` that are actual causes
+/// (Theorem 3.2 over the minimized lineage). The lineage is interned and
+/// minimized once in arena form; each candidate check is a single bitset
+/// membership test — the per-tuple alternative
+/// ([`crate::causes::why_no_causes`]) recomputes nothing either, but
+/// materialises full cause sets where a serving layer often only wants
+/// "which of *these* repairs matter".
+pub fn screen_candidates(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    installed: &[TupleRef],
+    cache: Option<&SharedIndexCache>,
+) -> Result<Vec<TupleRef>, CoreError> {
+    let phi = non_answer_lineage_cached(db, q, cache)?;
+    let (arena, bits) = LineageArena::from_dnf(&phi);
+    let phin = bits.minimized();
+    if phin.is_tautology() {
+        // Already an answer on Dx: no repair matters.
+        return Ok(Vec::new());
+    }
+    let vars = phin.variables();
+    Ok(installed
+        .iter()
+        .copied()
+        .filter(|&t| arena.id(t).is_some_and(|v| vars.contains(v as usize)))
+        .collect())
+}
+
 /// Insert candidates as endogenous tuples (the Why-No `Dn`), returning
 /// their refs. Existing tuples are left untouched.
 pub fn install_candidates(
@@ -261,6 +291,38 @@ mod tests {
         assert!(causes.counterfactual.contains(&refs[0]));
         let resp = why_no_responsibility(&db, &query, refs[0]).unwrap();
         assert_eq!(resp.rho, 1.0);
+
+        // The bitset screen agrees: the installed candidate matters.
+        let screened = screen_candidates(&db, &query, &refs, None).unwrap();
+        assert_eq!(screened, refs);
+    }
+
+    /// The screen keeps exactly the installed candidates the full cause
+    /// computation would report, and drops irrelevant insertions.
+    #[test]
+    fn screen_filters_irrelevant_candidates() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        let useful = db.insert_endo(s, tup![2]);
+        let dangling = db.insert_endo(s, tup![9]); // joins nothing
+        let query = q("q :- R(x, y), S(y)");
+        let screened = screen_candidates(&db, &query, &[useful, dangling], None).unwrap();
+        assert_eq!(screened, vec![useful]);
+        let causes = why_no_causes(&db, &query).unwrap();
+        assert!(causes.is_cause(useful) && !causes.is_cause(dangling));
+    }
+
+    /// A query already true on Dx screens every candidate out.
+    #[test]
+    fn screen_on_actual_answer_is_empty() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x"]));
+        db.insert_exo(r, tup![1]);
+        let t = db.insert_endo(r, tup![2]);
+        let screened = screen_candidates(&db, &q("q :- R(x)"), &[t], None).unwrap();
+        assert!(screened.is_empty());
     }
 
     #[test]

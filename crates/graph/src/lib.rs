@@ -18,16 +18,22 @@
 //!   Proposition 4.16), used as test oracles for the reductions.
 //! * [`ugraph`] — undirected graphs with BFS reachability (the UGAP
 //!   problem that anchors Theorem 4.15's LOGSPACE chain).
+//! * [`bitset`] — packed `u64`-word bitsets over dense universes: the
+//!   shared set representation behind the lineage arena's kernels
+//!   (subset/absorption/hitting-set as word-wise ops) and max-flow's
+//!   residual-reachability marking in min-cut extraction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod c1p;
 pub mod cover;
 pub mod hypergraph;
 pub mod maxflow;
 pub mod ugraph;
 
+pub use bitset::FixedBitSet;
 pub use c1p::{c1p_order, is_consecutive_under};
 pub use cover::{min_hypergraph_cover_3p, min_vertex_cover};
 pub use hypergraph::Hypergraph;

@@ -11,6 +11,7 @@
 //! the paper's "Ford–Fulkerson" reference) and Dinic — which must agree on
 //! every network; the bench suite ablates one against the other.
 
+use crate::bitset::FixedBitSet;
 use std::collections::VecDeque;
 
 /// Effectively-infinite capacity. Large enough that summing every edge of
@@ -139,7 +140,7 @@ impl FlowNetwork {
         let mut min_cut = Vec::new();
         for i in 0..self.caps.len() {
             let (from, to) = self.endpoints(EdgeHandle(i));
-            if reachable[from] && !reachable[to] && self.caps[i] > 0 {
+            if reachable.contains(from) && !reachable.contains(to) && self.caps[i] > 0 {
                 min_cut.push(EdgeHandle(i));
             }
         }
@@ -260,16 +261,16 @@ impl Run<'_> {
         0
     }
 
-    fn residual_reachable(&self, source: usize) -> Vec<bool> {
-        let mut seen = vec![false; self.adj.len()];
-        seen[source] = true;
+    fn residual_reachable(&self, source: usize) -> FixedBitSet {
+        let mut seen = FixedBitSet::with_capacity(self.adj.len());
+        seen.insert(source);
         let mut queue = VecDeque::new();
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
             for &h in &self.adj[u] {
                 let e = &self.halves[h];
-                if e.cap > 0 && !seen[e.to] {
-                    seen[e.to] = true;
+                if e.cap > 0 && !seen.contains(e.to) {
+                    seen.insert(e.to);
                     queue.push_back(e.to);
                 }
             }

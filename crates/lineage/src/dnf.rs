@@ -181,23 +181,19 @@ impl Dnf {
     /// strictly containing another conjunct is dropped (Sect. 3). The
     /// result is the unique minimal positive DNF for this monotone
     /// function, sorted for determinism.
+    ///
+    /// Internally the variables are interned into a
+    /// [`LineageArena`](crate::arena::LineageArena) and the absorption
+    /// scan runs on packed bitsets, sorted by cardinality with
+    /// equal-size probes skipped — an already-minimal lineage of
+    /// same-size conjuncts performs no subset tests at all, where the
+    /// seed implementation (retained in [`crate::oracle`]) walked n²/2
+    /// full tree comparisons. The output is identical to the seed's:
+    /// the minimal form of a monotone DNF is unique, and both sort it
+    /// the same way.
     pub fn minimized(&self) -> Dnf {
-        // Sort by size so that potential subsets come first; keep a
-        // conjunct only if no kept conjunct is a subset of it.
-        let mut sorted: Vec<Conjunct> = self.conjuncts.clone();
-        sorted.sort_by_key(|c| (c.len(), c.clone()));
-        sorted.dedup();
-        let mut kept: Vec<Conjunct> = Vec::new();
-        'outer: for c in sorted {
-            for k in &kept {
-                if k.is_subset(&c) {
-                    continue 'outer;
-                }
-            }
-            kept.push(c);
-        }
-        kept.sort();
-        Dnf { conjuncts: kept }
+        let (arena, bits) = crate::arena::LineageArena::from_dnf(self);
+        arena.dnf_of(&bits.minimized())
     }
 
     /// Render with a tuple-variable naming function.

@@ -19,16 +19,26 @@
 //! * [`semiring`] — provenance semirings (Green et al. \[12\]) evaluated
 //!   over the same valuation stream: Boolean, counting, tropical and
 //!   how-polynomials.
+//! * [`arena`] — interned lineage: [`LineageArena`] maps `TupleRef`s to
+//!   dense `u32` variable ids and [`BitDnf`]/[`VarSet`] run the hot
+//!   kernels (minimize, restrict, subset/intersection) on packed `u64`
+//!   bitsets. Every responsibility solver operates on this form; `Dnf`
+//!   remains the construction-time API and translates at the boundary.
+//! * [`oracle`] — the seed `BTreeSet` kernels, verbatim, for
+//!   differential tests and before/after benchmarking only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod dnf;
+pub mod oracle;
 pub mod semiring;
 pub mod whyno;
 pub mod whyso;
 pub mod witness;
 
+pub use arena::{BitDnf, LineageArena, VarSet};
 pub use dnf::{Conjunct, Dnf};
 pub use whyno::{non_answer_lineage, non_answer_lineage_cached};
 pub use whyso::{lineage, lineage_cached, n_lineage, n_lineage_cached};

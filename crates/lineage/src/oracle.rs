@@ -1,0 +1,68 @@
+//! The seed `BTreeSet`-walking DNF kernels, retained as a differential
+//! oracle.
+//!
+//! The production kernels live in [`crate::arena`] (packed bitsets over
+//! interned variable ids). This module preserves the original
+//! tree-walking implementations **verbatim** so that
+//!
+//! * differential property tests can assert the bitset kernels are
+//!   result-identical on random DNFs, and
+//! * the `lineage_kernels` bench can report honest before/after ratios
+//!   against the seed implementation across PRs.
+//!
+//! Nothing on a serving path calls into this module; do not optimise it.
+
+use crate::dnf::{Conjunct, Dnf};
+
+/// Seed redundancy removal: the quadratic sorted-scan from the original
+/// `Dnf::minimized`, probing every kept conjunct with a full
+/// `BTreeSet::is_subset` walk.
+pub fn minimized(phi: &Dnf) -> Dnf {
+    // Sort by size so that potential subsets come first; keep a
+    // conjunct only if no kept conjunct is a subset of it.
+    let mut sorted: Vec<Conjunct> = phi.conjuncts().to_vec();
+    sorted.sort_by_key(|c| (c.len(), c.clone()));
+    sorted.dedup();
+    let mut kept: Vec<Conjunct> = Vec::new();
+    'outer: for c in sorted {
+        for k in &kept {
+            if k.is_subset(&c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    kept.sort();
+    Dnf::new(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::TupleRef;
+
+    fn c(vars: &[u32]) -> Conjunct {
+        Conjunct::new(vars.iter().map(|&v| TupleRef::new(0, v)))
+    }
+
+    #[test]
+    fn oracle_still_minimizes_the_paper_example() {
+        let phi = Dnf::new(vec![c(&[1, 3]), c(&[1, 2, 3]), c(&[1, 4])]);
+        let min = minimized(&phi);
+        assert_eq!(min.len(), 2);
+        assert!(min.conjuncts().contains(&c(&[1, 3])));
+        assert!(min.conjuncts().contains(&c(&[1, 4])));
+    }
+
+    #[test]
+    fn oracle_agrees_with_production_minimized() {
+        let phi = Dnf::new(vec![
+            c(&[2]),
+            c(&[1, 5]),
+            c(&[2, 7]),
+            c(&[1, 5]),
+            Conjunct::empty(),
+        ]);
+        assert_eq!(minimized(&phi), phi.minimized());
+    }
+}
