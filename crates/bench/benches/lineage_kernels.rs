@@ -23,7 +23,7 @@
 //! writes the machine-readable `BENCH_5.json` at the repo root so the
 //! perf trajectory is tracked across PRs.
 
-use causality_bench::bench_group;
+use causality_bench::{bench_group, BenchManifest, Direction};
 use causality_core::resp::exact::{
     min_contingency_from_lineage, min_hitting_set, min_hitting_set_bits, oracle,
 };
@@ -277,27 +277,32 @@ fn compare_kernels(quick: bool) -> Vec<KernelRow> {
     ]
 }
 
-/// Write the machine-readable perf record at the repo root.
+/// Write the machine-readable perf record at the repo root, in the
+/// shared manifest schema `xtask bench-gate` validates. The gated
+/// results are the unitless before/after speedup ratios (durable across
+/// hosts); the raw ns go into `extra`.
 fn write_bench_json(rows: &[KernelRow]) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = format!("{root}/BENCH_5.json");
-    let kernels: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"op\": \"{}\", \"before_ns\": {:.0}, \"after_ns\": {:.0}, \"ratio\": {:.2}}}",
-                r.op,
-                r.before_ns,
-                r.after_ns,
-                r.ratio()
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"lineage_kernels\",\n  \"pr\": 5,\n  \"unit\": \"ns/iter\",\n  \"note\": \"before = seed BTreeSet kernels (oracle), after = interned arena bitset kernels; ratio = before/after speedup\",\n  \"kernels\": [\n{}\n  ]\n}}\n",
-        kernels.join(",\n")
+    let mut manifest = BenchManifest::new(
+        "lineage_kernels",
+        5,
+        "speedup ratio",
+        5,
+        "before = seed BTreeSet kernels (oracle), after = interned arena bitset kernels; \
+         value = before/after speedup",
     );
-    match std::fs::write(&path, json) {
+    for r in rows {
+        manifest.push(r.op, r.ratio(), "x", Direction::HigherIsBetter);
+        manifest.extra(
+            &format!("{}_ns", r.op),
+            &format!(
+                "{{\"before\": {:.0}, \"after\": {:.0}}}",
+                r.before_ns, r.after_ns
+            ),
+        );
+    }
+    match manifest.write(&path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -1,0 +1,417 @@
+//! load_harness — a multi-tenant, open-loop load generator for the
+//! sharded serving tier.
+//!
+//! The workload comes from `causality_datagen::tenants`: Zipf-hot
+//! tenants issuing a skewed mix of Why-So / Why-No / rank-top-k reads
+//! interleaved with cache-invalidating writes, generated deterministically
+//! from one seed. A pool of client threads replays the op stream
+//! **open-loop** (submit without waiting, collect the pending handles,
+//! wait at the end), which is the arrival pattern bounded admission
+//! exists for.
+//!
+//! Three phases, each asserting its claim *in the bench*:
+//!
+//! 1. **throughput** — the same op stream against a single-shard tier
+//!    and a sharded tier (same workers per shard): warmup, stats
+//!    reset, then a timed replay; latency percentiles come from the
+//!    tier's own fixed-bucket histograms;
+//! 2. **isolation** — warm one tenant's responsibility cache, hammer a
+//!    tenant on a *different* shard with writes, and require the warm
+//!    entry to survive (per-shard caches make cross-tenant eviction
+//!    structurally impossible);
+//! 3. **overload** — shrink the admission limit under stalled workers
+//!    and require every overrun submission to be *rejected* with
+//!    `Overloaded` (never dropped, never blocking) while every accepted
+//!    request still resolves.
+//!
+//! A full run writes `BENCH_6.json` (shared manifest schema, see
+//! `causality_bench::manifest`) at the repo root; `--test`/`--list`
+//! runs a miniature of all three phases with the same assertions and
+//! writes nothing.
+
+use causality_bench::{BenchManifest, Direction};
+use causality_datagen::tenants::{tenant_workload, TenantOp, TenantWorkload, TenantWorkloadConfig};
+use causality_engine::Value;
+use causality_service::{
+    ExplainRequest, PendingExplain, ServiceConfig, ShardedService, TenantId, TierConfig,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How many client threads replay the op stream.
+const CLIENTS: usize = 8;
+
+struct HarnessConfig {
+    workload: TenantWorkloadConfig,
+    shards: usize,
+    workers_per_shard: usize,
+}
+
+fn full_config() -> HarnessConfig {
+    HarnessConfig {
+        workload: TenantWorkloadConfig {
+            tenants: 8,
+            rows_per_tenant: 24,
+            ops: 6_000,
+            ..TenantWorkloadConfig::default()
+        },
+        shards: 4,
+        workers_per_shard: 2,
+    }
+}
+
+fn quick_config() -> HarnessConfig {
+    HarnessConfig {
+        workload: TenantWorkloadConfig {
+            tenants: 4,
+            rows_per_tenant: 8,
+            ops: 200,
+            ..TenantWorkloadConfig::default()
+        },
+        shards: 2,
+        workers_per_shard: 1,
+    }
+}
+
+/// Build a tier for the workload: queue and admission sized so the
+/// open-loop replay is never rejected (the overload phase shrinks them
+/// on purpose).
+fn build_tier(
+    workload: &TenantWorkload,
+    shards: usize,
+    workers: usize,
+) -> (ShardedService, Vec<TenantId>) {
+    let tier = ShardedService::new(TierConfig {
+        shards,
+        admission_limit: workload.ops.len().max(64),
+        default_deadline: None,
+        shard: ServiceConfig {
+            workers,
+            queue_capacity: workload.ops.len().max(64),
+            ..ServiceConfig::default()
+        },
+    });
+    let tenants = workload
+        .tenants
+        .iter()
+        .map(|spec| {
+            tier.add_tenant(&spec.name, spec.db.clone())
+                .expect("unique tenant names")
+        })
+        .collect();
+    (tier, tenants)
+}
+
+fn request_of(workload: &TenantWorkload, op: &TenantOp) -> Option<(usize, ExplainRequest)> {
+    match op {
+        TenantOp::WhySo { tenant, answer } => Some((
+            *tenant,
+            ExplainRequest::why_so(workload.tenants[*tenant].query.clone(), answer.clone()),
+        )),
+        TenantOp::WhyNo { tenant, answer } => Some((
+            *tenant,
+            ExplainRequest::why_no(workload.tenants[*tenant].query.clone(), answer.clone()),
+        )),
+        TenantOp::RankTopK { tenant, answer, k } => Some((
+            *tenant,
+            ExplainRequest::rank_top_k(workload.tenants[*tenant].query.clone(), answer.clone(), *k),
+        )),
+        TenantOp::Write { .. } => None,
+    }
+}
+
+/// Replay the op stream once across [`CLIENTS`] threads (client `c`
+/// takes ops `c, c+CLIENTS, …`): reads are submitted open-loop and
+/// waited at the end, writes are applied inline. Returns the wall time
+/// of the whole replay and the peak aggregate queue depth observed.
+fn replay(
+    tier: &ShardedService,
+    tenants: &[TenantId],
+    workload: &TenantWorkload,
+) -> (Duration, u64) {
+    let peak_depth = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let peak_depth = &peak_depth;
+            scope.spawn(move || {
+                let mut pending: Vec<PendingExplain> = Vec::new();
+                for (i, op) in workload
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .skip(client)
+                    .step_by(CLIENTS)
+                {
+                    match request_of(workload, op) {
+                        Some((tenant, request)) => {
+                            let handle = tier
+                                .submit(tenants[tenant], request)
+                                .expect("sized for zero rejects");
+                            pending.push(handle);
+                        }
+                        None => {
+                            let TenantOp::Write { tenant, value } = op else {
+                                unreachable!("non-request ops are writes");
+                            };
+                            tier.update(tenants[*tenant], |db| {
+                                let s = db.relation_id("S").expect("workload schema");
+                                db.insert_endo(s, vec![value.clone()]);
+                            })
+                            .expect("registered tenant");
+                        }
+                    }
+                    if i % 32 == 0 {
+                        let depth = tier.stats().aggregate().queue_depth;
+                        peak_depth.fetch_max(depth, Ordering::Relaxed);
+                    }
+                }
+                for handle in pending {
+                    let response = handle.wait().expect("service stays up");
+                    response.result.expect("workload requests are valid");
+                }
+            });
+        }
+    });
+    (start.elapsed(), peak_depth.load(Ordering::Relaxed))
+}
+
+struct PhaseNumbers {
+    throughput: f64,
+    p50_us: u64,
+    p99_us: u64,
+    cache_hit_rate: f64,
+    peak_queue_depth: u64,
+}
+
+/// Warmup replay, stats reset, then the timed replay.
+fn measure_tier(workload: &TenantWorkload, shards: usize, workers: usize) -> PhaseNumbers {
+    let (tier, tenants) = build_tier(workload, shards, workers);
+    replay(&tier, &tenants, workload);
+    let warm = tier.snapshot_and_reset().aggregate();
+    assert!(warm.requests > 0, "warmup really ran");
+
+    let (elapsed, peak_queue_depth) = replay(&tier, &tenants, workload);
+    let stats = tier.stats().aggregate();
+    assert_eq!(
+        stats.admission_rejects, 0,
+        "tier is sized to accept the whole open loop"
+    );
+    assert_eq!(stats.queue_depth, 0, "replay fully drained");
+    assert!(
+        stats.p99_us() >= stats.p50_us(),
+        "histogram quantiles are monotone"
+    );
+    assert!(
+        warm.requests == stats.requests,
+        "warmup and measurement replay the same stream"
+    );
+    let hits = stats.cache_hits as f64;
+    let numbers = PhaseNumbers {
+        throughput: workload.ops.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: stats.p50_us(),
+        p99_us: stats.p99_us(),
+        cache_hit_rate: hits / (hits + stats.cache_misses as f64),
+        peak_queue_depth,
+    };
+    tier.shutdown();
+    numbers
+}
+
+/// Isolation: tenant B's warm responsibility cache must survive a write
+/// burst against tenant A on a different shard.
+fn assert_shard_isolation(workload: &TenantWorkload, shards: usize) {
+    let (tier, tenants) = build_tier(workload, shards, 1);
+    let (a, b) = {
+        let first = tenants[0];
+        let other = tenants
+            .iter()
+            .position(|t| t.shard() != first.shard())
+            .expect("enough tenants to cover two shards");
+        (0usize, other)
+    };
+
+    let spec = &workload.tenants[b];
+    let req = ExplainRequest::why_so(spec.query.clone(), vec![spec.answers[0].clone()]);
+    let cold = tier.explain(tenants[b], req.clone()).expect("serves");
+    assert!(!cold.cache_hit);
+    assert!(
+        tier.explain(tenants[b], req.clone())
+            .expect("serves")
+            .cache_hit
+    );
+
+    let before = tier.stats().shards[tenants[b].shard()];
+    for i in 0..50 {
+        tier.update(tenants[a], |db| {
+            let s = db.relation_id("S").expect("workload schema");
+            db.insert_endo(s, vec![Value::str(format!("iso_w{i}"))]);
+        })
+        .expect("registered tenant");
+    }
+    let warm = tier.explain(tenants[b], req).expect("serves");
+    assert!(
+        warm.cache_hit,
+        "writes to tenant A (shard {}) must not cool tenant B (shard {})",
+        tenants[a].shard(),
+        tenants[b].shard()
+    );
+    let after = tier.stats().shards[tenants[b].shard()];
+    assert_eq!(
+        before.index_evictions, after.index_evictions,
+        "B's shard saw no cache movement"
+    );
+    tier.shutdown();
+}
+
+/// Overload: with stalled workers and a tiny admission limit, overrun
+/// submissions come back as `Overloaded` errors — counted, not dropped —
+/// and everything accepted still resolves.
+fn assert_admission_control(workload: &TenantWorkload) {
+    use causality_service::ServiceError;
+    let tier = ShardedService::new(TierConfig {
+        shards: 1,
+        admission_limit: 4,
+        default_deadline: None,
+        shard: ServiceConfig {
+            workers: 1,
+            batch_max: 1,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        },
+    });
+    let spec = &workload.tenants[0];
+    let tenant = tier
+        .add_tenant(&spec.name, spec.db.clone())
+        .expect("fresh tier");
+    tier.inject_delay(|_| Some(Duration::from_millis(20)));
+
+    let req = ExplainRequest::why_so(spec.query.clone(), vec![spec.answers[0].clone()]);
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..64 {
+        match tier.submit(tenant, req.clone()) {
+            Ok(handle) => accepted.push(handle),
+            Err(ServiceError::Overloaded) => rejected += 1,
+            Err(other) => panic!("only Overloaded is expected, got {other}"),
+        }
+    }
+    assert!(rejected > 0, "the open loop must overrun a limit of 4");
+    assert!(!accepted.is_empty(), "admission admits up to the limit");
+    for handle in accepted {
+        handle
+            .wait()
+            .expect("service stays up")
+            .result
+            .expect("accepted requests are served");
+    }
+    let stats = tier.stats().aggregate();
+    assert_eq!(stats.admission_rejects, rejected, "every reject is counted");
+    assert_eq!(stats.queue_depth, 0);
+    tier.shutdown();
+}
+
+fn write_manifest(cfg: &HarnessConfig, single: &PhaseNumbers, sharded: &PhaseNumbers) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_6.json");
+    let mut manifest = BenchManifest::new(
+        "load_harness",
+        6,
+        "ops/s",
+        cfg.workload.seed,
+        "open-loop multi-tenant replay (Zipf-hot tenants, mixed why-so/why-no/top-k reads \
+         with interleaved writes) against the sharded serving tier; single_shard uses the \
+         same workers per shard",
+    );
+    manifest.push(
+        "throughput_sharded",
+        sharded.throughput,
+        "ops/s",
+        Direction::HigherIsBetter,
+    );
+    manifest.push(
+        "throughput_single_shard",
+        single.throughput,
+        "ops/s",
+        Direction::HigherIsBetter,
+    );
+    manifest.push(
+        "shard_speedup",
+        sharded.throughput / single.throughput,
+        "x",
+        Direction::HigherIsBetter,
+    );
+    manifest.push(
+        "p50_us",
+        sharded.p50_us as f64,
+        "us",
+        Direction::LowerIsBetter,
+    );
+    manifest.push(
+        "p99_us",
+        sharded.p99_us as f64,
+        "us",
+        Direction::LowerIsBetter,
+    );
+    manifest.push(
+        "cache_hit_rate",
+        sharded.cache_hit_rate,
+        "fraction",
+        Direction::HigherIsBetter,
+    );
+    manifest.push(
+        "peak_queue_depth",
+        sharded.peak_queue_depth as f64,
+        "requests",
+        Direction::LowerIsBetter,
+    );
+    manifest.extra("shards", &cfg.shards.to_string());
+    manifest.extra("workers_per_shard", &cfg.workers_per_shard.to_string());
+    manifest.extra("clients", &CLIENTS.to_string());
+    manifest.extra("ops", &cfg.workload.ops.to_string());
+    manifest.extra("tenants", &cfg.workload.tenants.to_string());
+    manifest.extra("single_shard_p99_us", &single.p99_us.to_string());
+    match manifest.write(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--list");
+    let cfg = if quick { quick_config() } else { full_config() };
+    let workload = tenant_workload(&cfg.workload);
+    println!(
+        "load_harness: {} tenants × {} rows, {} ops ({} writes), {} clients",
+        workload.tenants.len(),
+        cfg.workload.rows_per_tenant,
+        workload.ops.len(),
+        workload.ops.iter().filter(|op| op.is_write()).count(),
+        CLIENTS
+    );
+
+    assert_shard_isolation(&workload, cfg.shards.max(2));
+    assert_admission_control(&workload);
+
+    let single = measure_tier(&workload, 1, cfg.workers_per_shard);
+    let sharded = measure_tier(&workload, cfg.shards, cfg.workers_per_shard);
+    println!(
+        "single shard : {:>9.0} ops/s  p50 {:>6} us  p99 {:>6} us",
+        single.throughput, single.p50_us, single.p99_us
+    );
+    println!(
+        "{} shards     : {:>9.0} ops/s  p50 {:>6} us  p99 {:>6} us  hit rate {:.2}  peak depth {}",
+        cfg.shards,
+        sharded.throughput,
+        sharded.p50_us,
+        sharded.p99_us,
+        sharded.cache_hit_rate,
+        sharded.peak_queue_depth
+    );
+
+    if quick {
+        println!("load_harness: isolation/admission/latency assertions ok (manifest skipped)");
+        return;
+    }
+    write_manifest(&cfg, &single, &sharded);
+}

@@ -18,6 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manifest;
+
+pub use manifest::{BenchManifest, BenchResult, Direction};
 
 use std::time::{Duration, Instant};
 

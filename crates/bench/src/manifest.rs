@@ -1,0 +1,259 @@
+//! The shared `BENCH_*.json` manifest schema (version 1).
+//!
+//! Every self-measuring bench writes its machine-readable record at the
+//! repo root in one common shape, so `cargo run -p xtask -- bench-gate`
+//! can validate all of them against a single schema and compare runs of
+//! the same bench across PRs:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "load_harness",          // which harness produced it
+//!   "pr": 6,                          // the PR that recorded it
+//!   "unit": "ops/s",                  // headline unit
+//!   "git_rev": "abc1234",             // rev the numbers were taken at
+//!   "host_parallelism": 8,            // available_parallelism() there
+//!   "seed": 6,                        // workload seed
+//!   "note": "...",
+//!   "results": [
+//!     {"name": "throughput", "value": 1234.5,
+//!      "unit": "ops/s", "direction": "higher_is_better"}
+//!   ],
+//!   "extra": {"anything": "goes"}     // optional, not gated
+//! }
+//! ```
+//!
+//! The gate's regression check is **direction-aware**: a
+//! `higher_is_better` result regresses by dropping, a `lower_is_better`
+//! one (latency) by rising. Gate cross-host durability with unitless
+//! ratios or structural counts when absolute times would be noise.
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+/// Which way is better, per result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (throughput, speedup ratios).
+    HigherIsBetter,
+    /// Smaller values are better (latencies, memory).
+    LowerIsBetter,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher_is_better",
+            Direction::LowerIsBetter => "lower_is_better",
+        }
+    }
+}
+
+/// One gated measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Stable name, matched across manifests of the same bench.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// The unit of `value`.
+    pub unit: String,
+    /// Which way is better.
+    pub direction: Direction,
+}
+
+/// Builder for a schema-version-1 manifest.
+#[derive(Clone, Debug)]
+pub struct BenchManifest {
+    bench: String,
+    pr: u32,
+    unit: String,
+    seed: u64,
+    note: String,
+    results: Vec<BenchResult>,
+    /// Free-form extras: `(key, raw JSON value)` pairs, emitted verbatim
+    /// under `"extra"`. Not validated or gated.
+    extra: Vec<(String, String)>,
+}
+
+impl BenchManifest {
+    /// Start a manifest for `bench`, recorded by `pr`, with headline
+    /// `unit` and workload `seed`.
+    pub fn new(bench: &str, pr: u32, unit: &str, seed: u64, note: &str) -> Self {
+        BenchManifest {
+            bench: bench.to_string(),
+            pr,
+            unit: unit.to_string(),
+            seed,
+            note: note.to_string(),
+            results: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Append one gated result.
+    pub fn push(&mut self, name: &str, value: f64, unit: &str, direction: Direction) {
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+            direction,
+        });
+    }
+
+    /// Attach a free-form extra; `raw_json` is emitted verbatim as the
+    /// value, so pass `"42"`, `"\"text\""`, or a nested object literal.
+    pub fn extra(&mut self, key: &str, raw_json: &str) {
+        self.extra.push((key.to_string(), raw_json.to_string()));
+    }
+
+    /// Render the manifest, stamping `git_rev` (short head of the
+    /// current checkout, `"unknown"` outside git) and
+    /// `host_parallelism`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"bench\": {},", escape(&self.bench));
+        let _ = writeln!(out, "  \"pr\": {},", self.pr);
+        let _ = writeln!(out, "  \"unit\": {},", escape(&self.unit));
+        let _ = writeln!(out, "  \"git_rev\": {},", escape(&git_rev()));
+        let _ = writeln!(out, "  \"host_parallelism\": {},", host_parallelism());
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"note\": {},", escape(&self.note));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"value\": {}, \"unit\": {}, \"direction\": {}}}",
+                escape(&r.name),
+                fmt_f64(r.value),
+                escape(&r.unit),
+                escape(r.direction.as_str())
+            );
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
+        if !self.extra.is_empty() {
+            out.push_str(",\n  \"extra\": {\n");
+            for (i, (k, v)) in self.extra.iter().enumerate() {
+                let _ = write!(out, "    {}: {}", escape(k), v);
+                out.push_str(if i + 1 < self.extra.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the rendered manifest to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Short git rev of the checkout containing this crate (the numbers'
+/// provenance), or `"unknown"`.
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Render an f64 the schema accepts: finite numbers plainly, non-finite
+/// as `null` (the gate treats `null` as "not measured this run").
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_renders_all_schema_fields() {
+        let mut m = BenchManifest::new("demo", 6, "ops/s", 42, "a note");
+        m.push("throughput", 1234.5, "ops/s", Direction::HigherIsBetter);
+        m.push("p99", 850.0, "us", Direction::LowerIsBetter);
+        m.extra("shards", "4");
+        let json = m.to_json();
+        for needle in [
+            "\"schema_version\": 1",
+            "\"bench\": \"demo\"",
+            "\"pr\": 6",
+            "\"git_rev\": ",
+            "\"host_parallelism\": ",
+            "\"seed\": 42",
+            "\"name\": \"throughput\", \"value\": 1234.5",
+            "\"direction\": \"higher_is_better\"",
+            "\"name\": \"p99\", \"value\": 850.0",
+            "\"direction\": \"lower_is_better\"",
+            "\"extra\": {",
+            "\"shards\": 4",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        let mut m = BenchManifest::new("demo", 6, "x", 0, "");
+        m.push("skipped", f64::NAN, "x", Direction::HigherIsBetter);
+        assert!(m.to_json().contains("\"value\": null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let m = BenchManifest::new("a\"b\\c\nd", 1, "x", 0, "");
+        assert!(m.to_json().contains("\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -12,14 +12,19 @@
 //! * [`workloads`] — parameterized instance families for the benches:
 //!   layered chain-join databases (Algorithm 1's PTIME scaling), random
 //!   triangle databases (h2*'s hard shape), and random graphs.
+//! * [`tenants`] — multi-tenant serving workloads for the load harness:
+//!   per-tenant databases plus a seeded, Zipf-skewed op stream mixing
+//!   Why-So / Why-No / rank-top-k reads with cache-invalidating writes.
 //! * [`zipf`] — a seeded Zipf(α) sampler (inverse-CDF table).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod imdb;
+pub mod tenants;
 pub mod workloads;
 pub mod zipf;
 
 pub use imdb::{fig2a_instance, Fig2aRefs};
+pub use tenants::{tenant_workload, TenantOp, TenantSpec, TenantWorkload, TenantWorkloadConfig};
 pub use zipf::Zipf;

@@ -1,0 +1,548 @@
+//! The front end of the sharded serving tier: bounded admission,
+//! per-request deadline budgets, and tenant-routed dispatch over N
+//! independent [`shard`](crate::shard)s.
+//!
+//! ```text
+//!        submit(tenant, request [, deadline budget])
+//!                        │
+//!              ┌─────────▼─────────┐
+//!              │     front end     │  validate · deadline stamp ·
+//!              │                   │  admission (queue depth < limit,
+//!              │                   │  else ServiceError::Overloaded)
+//!              └─────────┬─────────┘
+//!              ┌─────────▼─────────┐
+//!              │     dispatch      │  tenant name ──FNV-1a──▶ shard
+//!              └──┬───────┬───────┬┘
+//!            ┌────▼──┐ ┌──▼────┐ ┌▼──────┐
+//!            │shard 0│ │shard 1│ │shard N│   each: snapshot stores,
+//!            │       │ │       │ │       │   worker pool, index cache,
+//!            └───────┘ └───────┘ └───────┘   responsibility LRU, stats
+//! ```
+//!
+//! Every shard is failure- and performance-isolated: a write burst, a
+//! cache-evicting workload, or even a panicking job on one shard cannot
+//! queue ahead of, evict, or crash another shard's traffic.
+
+use crate::dispatch::{Dispatcher, TenantId};
+use crate::request::{ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+use crate::shard::{lock_unpoisoned, validate, ServiceConfig, Shard};
+use crate::stats::ServiceStats;
+use crate::worker::Job;
+use causality_engine::{Database, Snapshot};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the sharded tier.
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// Number of independent shards (min 1). Tenants are hashed onto
+    /// shards by name; each shard runs its own worker pool of
+    /// `shard.workers` threads, so total workers = `shards × shard.workers`.
+    pub shards: usize,
+    /// Per-shard queue-depth limit: a submit finding the target shard's
+    /// queue at (or beyond) this depth is rejected with
+    /// [`ServiceError::Overloaded`] instead of queueing — bounded
+    /// admission keeps tail latency flat when an open-loop client
+    /// outruns the tier.
+    pub admission_limit: usize,
+    /// Deadline budget stamped on every request submitted without an
+    /// explicit one ([`None`] = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Per-shard tuning (worker count, queue bound, batch size, caches).
+    pub shard: ServiceConfig,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        let shard = ServiceConfig::default();
+        TierConfig {
+            shards: 4,
+            admission_limit: shard.queue_capacity,
+            default_deadline: None,
+            shard,
+        }
+    }
+}
+
+/// Per-shard plus aggregate stats of a [`ShardedService`].
+#[derive(Clone, Debug)]
+pub struct TierStats {
+    /// One [`ServiceStats`] per shard, indexed by shard number.
+    pub shards: Vec<ServiceStats>,
+}
+
+impl TierStats {
+    /// The tier-wide roll-up: counters, queue depths, and latency
+    /// histograms summed across shards (so `p50_us`/`p99_us` on the
+    /// result are tier-wide percentiles, not averages of per-shard ones).
+    pub fn aggregate(&self) -> ServiceStats {
+        let mut iter = self.shards.iter();
+        let mut total = *iter.next().expect("at least one shard");
+        for shard in iter {
+            total.merge(shard);
+        }
+        total
+    }
+}
+
+/// A multi-tenant, sharded, admission-controlled explanation service.
+///
+/// Tenants register a database each and are routed (stably, by name) to
+/// one of N shards; each shard owns its snapshot stores, worker pool,
+/// join-index cache, and responsibility LRU, so one tenant's write or
+/// traffic burst never evicts another shard's warm state.
+///
+/// ```
+/// use causality_service::{ExplainRequest, ShardedService, TierConfig};
+/// use causality_engine::{database::example_2_2, ConjunctiveQuery, Value};
+///
+/// let tier = ShardedService::new(TierConfig::default());
+/// let alice = tier.add_tenant("alice", example_2_2()).unwrap();
+/// let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+/// let resp = tier
+///     .explain(alice, ExplainRequest::why_so(q, vec![Value::str("a2")]))
+///     .unwrap();
+/// assert_eq!(resp.expect_explanation().causes.len(), 2);
+/// ```
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    dispatcher: Dispatcher,
+    cfg: TierConfig,
+}
+
+impl ShardedService {
+    /// Start a tier with `cfg.shards` shards (each a full worker pool).
+    pub fn new(cfg: TierConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let cfg = TierConfig {
+            shards,
+            admission_limit: cfg.admission_limit.max(1),
+            ..cfg
+        };
+        ShardedService {
+            shards: (0..shards)
+                .map(|i| Shard::spawn(cfg.shard, cfg.admission_limit, &format!("shard{i}")))
+                .collect(),
+            dispatcher: Dispatcher::new(shards),
+            cfg,
+        }
+    }
+
+    /// Register a tenant and install its database on the shard its name
+    /// routes to. Fails with [`ServiceError::InvalidRequest`] if the
+    /// name is already registered.
+    pub fn add_tenant(&self, name: &str, db: Database) -> Result<TenantId, ServiceError> {
+        let id = self.dispatcher.register(name).ok_or_else(|| {
+            ServiceError::InvalidRequest(format!("tenant {name:?} is already registered"))
+        })?;
+        self.shards[id.shard()].add_tenant(id.key(), db);
+        Ok(id)
+    }
+
+    /// Look up a registered tenant by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.dispatcher.lookup(name)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.dispatcher.tenant_count()
+    }
+
+    fn job(
+        tenant: TenantId,
+        request: ExplainRequest,
+        deadline: Option<Duration>,
+    ) -> (Job, PendingExplain) {
+        let (tx, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        (
+            Job {
+                tenant: tenant.key(),
+                request,
+                deadline: deadline.map(|budget| enqueued + budget),
+                enqueued,
+                tx,
+            },
+            PendingExplain { rx },
+        )
+    }
+
+    /// Submit through admission control with the tier's default deadline.
+    ///
+    /// Never blocks: past the shard's queue-depth limit the request is
+    /// rejected with [`ServiceError::Overloaded`] (and counted), which
+    /// is the backpressure signal of an open-loop front end.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+    ) -> Result<PendingExplain, ServiceError> {
+        self.submit_inner(tenant, request, self.cfg.default_deadline)
+    }
+
+    /// Submit with an explicit per-request deadline budget: if the
+    /// budget expires before a worker starts the job, it resolves to
+    /// [`ServiceError::DeadlineExceeded`] instead of occupying a worker.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+        budget: Duration,
+    ) -> Result<PendingExplain, ServiceError> {
+        self.submit_inner(tenant, request, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+        deadline: Option<Duration>,
+    ) -> Result<PendingExplain, ServiceError> {
+        validate(&request)?;
+        let shard = self
+            .shards
+            .get(tenant.shard())
+            .ok_or_else(|| ServiceError::InvalidRequest("foreign tenant id".to_string()))?;
+        let (job, pending) = Self::job(tenant, request, deadline);
+        shard.submit_admitted(job)?;
+        Ok(pending)
+    }
+
+    /// Submit and wait: the blocking convenience call.
+    pub fn explain(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+    ) -> Result<ExplainResponse, ServiceError> {
+        self.submit(tenant, request)?.wait()
+    }
+
+    /// Pin the tenant's current snapshot (for ad-hoc reads outside the
+    /// pools).
+    pub fn snapshot(&self, tenant: TenantId) -> Result<Snapshot, ServiceError> {
+        Ok(self.store(tenant)?.current())
+    }
+
+    /// Publish a whole new database as the tenant's next snapshot
+    /// version.
+    pub fn publish(&self, tenant: TenantId, db: Database) -> Result<u64, ServiceError> {
+        Ok(self.store(tenant)?.publish(db).version())
+    }
+
+    /// Copy-on-write update of the tenant's current snapshot; returns
+    /// the new version. Only the touched relations are cloned, only the
+    /// tenant's shard sees any cache movement, and in-flight requests
+    /// keep their pinned older snapshots.
+    pub fn update(
+        &self,
+        tenant: TenantId,
+        f: impl FnOnce(&mut Database),
+    ) -> Result<u64, ServiceError> {
+        Ok(self.store(tenant)?.update(f).version())
+    }
+
+    fn store(
+        &self,
+        tenant: TenantId,
+    ) -> Result<std::sync::Arc<causality_engine::SnapshotStore>, ServiceError> {
+        self.shards
+            .get(tenant.shard())
+            .and_then(|shard| shard.core.store(tenant.key()))
+            .ok_or_else(|| ServiceError::InvalidRequest("foreign tenant id".to_string()))
+    }
+
+    /// Install a chaos-testing fault on **every** shard: matched
+    /// requests panic inside their worker (each shard must contain the
+    /// blast radius — see
+    /// [`CausalityService::inject_fault`](crate::CausalityService::inject_fault)).
+    /// To take down a single shard, match on something only that
+    /// shard's tenants send.
+    pub fn inject_fault(
+        &self,
+        hook: impl Fn(&ExplainRequest) -> bool + Send + Sync + Clone + 'static,
+    ) {
+        for shard in &self.shards {
+            *lock_unpoisoned(&shard.core.fault) = Some(Box::new(hook.clone()));
+        }
+    }
+
+    /// Install a chaos/load-testing stall on every shard: matched
+    /// requests sleep for the returned duration before computing.
+    pub fn inject_delay(
+        &self,
+        hook: impl Fn(&ExplainRequest) -> Option<Duration> + Send + Sync + Clone + 'static,
+    ) {
+        for shard in &self.shards {
+            *lock_unpoisoned(&shard.core.delay) = Some(Box::new(hook.clone()));
+        }
+    }
+
+    /// Remove every hook installed by [`ShardedService::inject_fault`] /
+    /// [`ShardedService::inject_delay`].
+    pub fn clear_faults(&self) {
+        for shard in &self.shards {
+            *lock_unpoisoned(&shard.core.fault) = None;
+            *lock_unpoisoned(&shard.core.delay) = None;
+        }
+    }
+
+    /// Point-in-time per-shard stats (aggregate via
+    /// [`TierStats::aggregate`]).
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| {
+                    shard.core.stats.snapshot(
+                        shard.core.cfg.workers,
+                        shard.core.max_version(),
+                        shard.core.index_cache.len() as u64,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Like [`ShardedService::stats`], but zeroes every shard's monotone
+    /// counters and latency histogram (queue-depth gauges stay live) —
+    /// the phase separator the load harness uses between warmup and the
+    /// timed window.
+    pub fn snapshot_and_reset(&self) -> TierStats {
+        TierStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| {
+                    shard.core.stats.snapshot_and_reset(
+                        shard.core.cfg.workers,
+                        shard.core.max_version(),
+                        shard.core.index_cache.len() as u64,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop accepting work, drain every shard's queue, and join all
+    /// worker pools.
+    pub fn shutdown(mut self) {
+        for shard in &mut self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causality_engine::database::example_2_2;
+    use causality_engine::{tup, ConjunctiveQuery, Value};
+
+    fn query() -> ConjunctiveQuery {
+        ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap()
+    }
+
+    fn small_tier() -> ShardedService {
+        ShardedService::new(TierConfig {
+            shards: 2,
+            shard: ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            ..TierConfig::default()
+        })
+    }
+
+    #[test]
+    fn tenants_are_isolated_by_content() {
+        let tier = small_tier();
+        let alice = tier.add_tenant("alice", example_2_2()).unwrap();
+        // Bob's S(a1) is exogenous: same query, different answer set.
+        let mut bobs = example_2_2();
+        let s = bobs.relation_id("S").unwrap();
+        let row = bobs.relation(s).find(&tup!["a1"]).unwrap();
+        bobs.relation_mut(s).set_endogenous(row, false);
+        let bob = tier.add_tenant("bob", bobs).unwrap();
+
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+        let a = tier
+            .explain(alice, req.clone())
+            .unwrap()
+            .expect_explanation();
+        let b = tier.explain(bob, req).unwrap().expect_explanation();
+        assert_eq!(a.causes.len(), 2);
+        assert_eq!(b.causes.len(), 1, "bob's S(a1) cannot be a cause");
+        tier.shutdown();
+    }
+
+    #[test]
+    fn identical_requests_of_different_tenants_never_coalesce() {
+        let tier = ShardedService::new(TierConfig {
+            shards: 1, // force both tenants onto one shard
+            ..TierConfig::default()
+        });
+        let a = tier.add_tenant("a", example_2_2()).unwrap();
+        let b = tier.add_tenant("b", example_2_2()).unwrap();
+        assert_eq!(a.shard(), b.shard());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        let ra = tier.explain(a, req.clone()).unwrap();
+        let rb = tier.explain(b, req).unwrap();
+        // Same query text, same answer — but different databases, so
+        // the second must be a fresh computation, not a cache hit (the
+        // content fingerprints differ because RelVersion stamps are
+        // process-wide unique).
+        assert!(!ra.cache_hit);
+        assert!(!rb.cache_hit);
+        assert_eq!(
+            ra.expect_explanation(),
+            rb.expect_explanation(),
+            "identical content computes identical explanations"
+        );
+        let stats = tier.stats().aggregate();
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.coalesced, 0);
+    }
+
+    #[test]
+    fn duplicate_tenant_names_are_rejected() {
+        let tier = small_tier();
+        tier.add_tenant("dup", example_2_2()).unwrap();
+        assert!(matches!(
+            tier.add_tenant("dup", example_2_2()),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert_eq!(tier.tenant_count(), 1);
+        assert!(tier.tenant_id("dup").is_some());
+        assert!(tier.tenant_id("other").is_none());
+    }
+
+    #[test]
+    fn admission_rejects_past_queue_depth_limit() {
+        let tier = ShardedService::new(TierConfig {
+            shards: 1,
+            admission_limit: 2,
+            shard: ServiceConfig {
+                workers: 1,
+                batch_max: 1,
+                queue_capacity: 64,
+                ..ServiceConfig::default()
+            },
+            ..TierConfig::default()
+        });
+        let t = tier.add_tenant("hot", example_2_2()).unwrap();
+        // Stall every computation so submissions pile up in the queue.
+        tier.inject_delay(|_| Some(Duration::from_millis(80)));
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        // Greatly overrun the limit; everything past depth 2 must be
+        // rejected-with-Overloaded, not silently dropped or blocked.
+        for _ in 0..32 {
+            match tier.submit(t, req.clone()) {
+                Ok(pending) => accepted.push(pending),
+                Err(ServiceError::Overloaded) => rejected += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "open loop overran the limit");
+        // Every accepted request still resolves.
+        for pending in accepted {
+            assert!(pending.wait().unwrap().result.is_ok());
+        }
+        let stats = tier.stats().aggregate();
+        assert_eq!(stats.admission_rejects, rejected);
+        assert_eq!(stats.queue_depth, 0, "queue fully drained");
+        tier.shutdown();
+    }
+
+    #[test]
+    fn default_deadline_is_stamped() {
+        let tier = ShardedService::new(TierConfig {
+            shards: 1,
+            default_deadline: Some(Duration::from_millis(5)),
+            shard: ServiceConfig {
+                workers: 1,
+                batch_max: 1,
+                ..ServiceConfig::default()
+            },
+            ..TierConfig::default()
+        });
+        let t = tier.add_tenant("t", example_2_2()).unwrap();
+        tier.inject_delay(|req| {
+            (req.answer == vec![Value::str("a2")]).then_some(Duration::from_millis(60))
+        });
+        let blocker = tier
+            .submit(t, ExplainRequest::why_so(query(), vec![Value::str("a2")]))
+            .unwrap();
+        let doomed = tier
+            .submit(t, ExplainRequest::why_so(query(), vec![Value::str("a3")]))
+            .unwrap();
+        assert!(matches!(
+            doomed.wait().unwrap().result,
+            Err(ServiceError::DeadlineExceeded)
+        ));
+        assert!(blocker.wait().unwrap().result.is_ok());
+        assert_eq!(tier.stats().aggregate().deadline_misses, 1);
+    }
+
+    #[test]
+    fn writes_to_one_tenant_leave_the_other_shard_warm() {
+        let tier = small_tier();
+        // Find two tenant names on *different* shards.
+        let mut names = (0..16).map(|i| format!("tenant-{i}"));
+        let first = names.next().unwrap();
+        let alice = tier.add_tenant(&first, example_2_2()).unwrap();
+        let second = names
+            .find(|n| Dispatcher::new(2).route(n) != alice.shard())
+            .expect("some name routes elsewhere");
+        let bob = tier.add_tenant(&second, example_2_2()).unwrap();
+        assert_ne!(alice.shard(), bob.shard());
+
+        // Warm bob's caches.
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        assert!(!tier.explain(bob, req.clone()).unwrap().cache_hit);
+        assert!(tier.explain(bob, req.clone()).unwrap().cache_hit);
+
+        // Hammer alice with writes.
+        for i in 0..10 {
+            tier.update(alice, |db| {
+                let s = db.relation_id("S").unwrap();
+                db.insert_endo(s, tup![format!("w{i}")]);
+            })
+            .unwrap();
+        }
+        // Bob's warm entry survived: different shard, different caches.
+        let warm = tier.explain(bob, req).unwrap();
+        assert!(warm.cache_hit, "alice's writes cannot cool bob's shard");
+        let stats = tier.stats();
+        assert_eq!(stats.shards[bob.shard()].index_evictions, 0);
+    }
+
+    #[test]
+    fn tier_stats_aggregate_sums_shards() {
+        let tier = small_tier();
+        let a = tier.add_tenant("agg-a", example_2_2()).unwrap();
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+        tier.explain(a, req.clone()).unwrap();
+        tier.explain(a, req).unwrap();
+        let stats = tier.stats();
+        assert_eq!(stats.shards.len(), 2);
+        let total = stats.aggregate();
+        assert_eq!(total.requests, 2);
+        assert_eq!(total.cache_hits, 1);
+        assert_eq!(total.cache_misses, 1);
+        assert_eq!(total.workers, 2, "1 worker per shard");
+        assert!(total.p99_us() >= total.p50_us());
+        // Reset separates phases tier-wide.
+        let reset = tier.snapshot_and_reset();
+        assert_eq!(reset.aggregate().requests, 2);
+        assert_eq!(tier.stats().aggregate().requests, 0);
+    }
+}

@@ -9,11 +9,30 @@
 //! the companion paper *Why so? or Why no?* (arXiv:0912.5340).
 //!
 //! This crate turns the `causality` workspace from a single-threaded
-//! library into that serving layer (std-only — no async runtime):
+//! library into that serving layer (std-only — no async runtime),
+//! structured as a tier of three layers:
 //!
-//! * [`CausalityService`] — a worker pool pulling typed
+//! * **front end** ([`ShardedService`]) — validates requests, stamps
+//!   per-request deadline budgets, and applies bounded admission: a
+//!   submit that finds its target shard's queue at the configured depth
+//!   is rejected with [`ServiceError::Overloaded`] instead of queueing,
+//!   so tail latency stays flat when an open-loop client outruns the
+//!   tier;
+//! * **dispatch** ([`TenantId`], `dispatch` module) — routes each
+//!   tenant, stably by name, to one of [`TierConfig::shards`] shards;
+//! * **shards** (`shard` + `worker` modules) — each shard owns its
+//!   tenants' snapshot stores, a worker pool pulling typed
 //!   [`ExplainRequest`]s (Why-So, Why-No, rank-top-k) off one bounded
-//!   queue, with backpressure on `submit` and batch draining per pull;
+//!   queue with batch draining per pull, its own
+//!   [`SharedIndexCache`](causality_engine::SharedIndexCache), and its
+//!   own responsibility LRU — so one tenant's writes or traffic can
+//!   never evict, queue behind, or crash another shard's tenants.
+//!
+//! [`CausalityService`] remains as the single-tenant facade over one
+//! shard (blocking `submit` backpressure, `try_submit`, no admission
+//! control), preserving the original embedded-service semantics.
+//!
+//! Mechanisms shared by both entry points:
 //! * snapshots — writers [`CausalityService::publish`]/[`CausalityService::update`]
 //!   new immutable database versions while readers keep evaluating
 //!   against the snapshot they pinned (see
@@ -44,8 +63,15 @@
 //!   `catch_unwind` boundary, so a panicking job resolves to
 //!   [`ServiceError::Panicked`] instead of killing its worker (counted
 //!   in [`ServiceStats::panics_caught`]); service mutexes recover from
-//!   poisoning, and [`CausalityService::inject_fault`] lets tests panic
-//!   chosen requests on purpose.
+//!   poisoning, and [`CausalityService::inject_fault`] /
+//!   [`CausalityService::inject_delay`] let tests panic or stall chosen
+//!   requests on purpose;
+//! * observability — [`ServiceStats`] carries request/cache/coalesce
+//!   counters, admission rejects, deadline misses, a live queue-depth
+//!   gauge, and a fixed-bucket submit→response latency histogram
+//!   ([`ServiceStats::p50_us`]/[`ServiceStats::p99_us`]);
+//!   `snapshot_and_reset` separates measurement phases without
+//!   restarting the tier.
 //!
 //! # Example
 //!
@@ -71,14 +97,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
+pub mod frontend;
 pub mod lru;
 pub mod request;
 pub mod service;
+pub mod shard;
 pub mod stats;
+pub(crate) mod worker;
 
+pub use dispatch::TenantId;
+pub use frontend::{ShardedService, TierConfig, TierStats};
 pub use lru::LruCache;
 pub use request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
-pub use service::{CausalityService, ServiceConfig};
+pub use service::CausalityService;
+pub use shard::ServiceConfig;
 pub use stats::ServiceStats;
 
 #[cfg(test)]
@@ -90,8 +123,11 @@ mod tests {
     #[test]
     fn service_types_are_send_sync() {
         assert_send_sync::<CausalityService>();
+        assert_send_sync::<ShardedService>();
+        assert_send_sync::<TenantId>();
         assert_send_sync::<ExplainRequest>();
         assert_send_sync::<ExplainResponse>();
         assert_send_sync::<ServiceStats>();
+        assert_send_sync::<TierStats>();
     }
 }

@@ -103,6 +103,15 @@ pub enum ServiceError {
     Disconnected,
     /// The bounded request queue is full (`try_submit` only).
     QueueFull,
+    /// Admission control rejected the request: the target shard's queue
+    /// depth had reached its configured limit. The reject is returned to
+    /// the caller immediately (never silently dropped) so an open-loop
+    /// client can back off or shed load.
+    Overloaded,
+    /// The request's deadline budget expired before a worker started
+    /// computing it; the job was discarded at the queue instead of
+    /// occupying a worker past its budget.
+    DeadlineExceeded,
     /// Waiting for a response timed out; the computation may still finish.
     Timeout,
     /// The request is malformed (answer arity or constants disagree with
@@ -120,6 +129,15 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Disconnected => write!(f, "explanation service is shut down"),
             ServiceError::QueueFull => write!(f, "request queue is full"),
+            ServiceError::Overloaded => {
+                write!(
+                    f,
+                    "admission control rejected the request: shard overloaded"
+                )
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline budget expired before the request was served")
+            }
             ServiceError::Timeout => write!(f, "timed out waiting for a response"),
             ServiceError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             ServiceError::Core(e) => write!(f, "{e}"),
@@ -193,6 +211,10 @@ mod tests {
     fn error_display() {
         assert!(ServiceError::Disconnected.to_string().contains("shut down"));
         assert!(ServiceError::QueueFull.to_string().contains("full"));
+        assert!(ServiceError::Overloaded.to_string().contains("overloaded"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
         assert!(ServiceError::Timeout.to_string().contains("timed out"));
     }
 }

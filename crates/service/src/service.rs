@@ -1,177 +1,26 @@
-//! The concurrent explanation service.
+//! The single-shard concurrent explanation service (the PR 2 API).
 //!
-//! Architecture (std-only, no async runtime):
-//!
-//! * **Snapshots** — a [`SnapshotStore`] holds the current immutable
-//!   [`Snapshot`]; writers publish new versions without blocking readers.
-//!   Snapshots share structure: publishing an update clones only the
-//!   relations it touches (`Arc` per relation, copy-on-write).
-//! * **Worker pool** — N threads pull [`ExplainRequest`]s off one bounded
-//!   channel. Each pull drains up to `batch_max` queued requests into a
-//!   **batch** evaluated against a single pinned snapshot.
-//! * **Index reuse** — one [`SharedIndexCache`] serves *every* snapshot
-//!   version: its entries are keyed on per-relation content stamps
-//!   (`(RelId, RelVersion, pattern)`), so a write to one relation leaves
-//!   the join indexes of every other relation warm. Entries whose
-//!   relation versions fall out of the retained snapshot window are
-//!   evicted (counted in [`ServiceStats::index_evictions`]).
-//! * **Responsibility cache** — finished explanations are memoized in an
-//!   LRU keyed on (the query's relations' content stamps, request), so a
-//!   cached answer survives writes to relations the query never mentions;
-//!   duplicate requests within a batch are **coalesced** into one
-//!   computation.
+//! [`CausalityService`] wraps exactly one `Shard`
+//! hosting exactly one tenant: the worker pool, batching, coalescing,
+//! snapshot store, index cache, and responsibility LRU all live in the
+//! shard/worker layers shared with the multi-tenant
+//! [`ShardedService`](crate::ShardedService). What this facade adds is
+//! the original single-database ergonomics: `submit` blocks for
+//! backpressure (no admission control), `try_submit` reports
+//! [`ServiceError::QueueFull`], and writes go straight to the one store.
 
-use crate::lru::LruCache;
-use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
-use crate::stats::{ServiceStats, StatsCounters};
-use causality_core::explain::{Explainer, Explanation};
-use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
-use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use crate::request::{ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+use crate::shard::{lock_unpoisoned, validate, Shard, TenantKey};
+use crate::stats::ServiceStats;
+use crate::worker::Job;
+use causality_engine::{Database, Snapshot, SnapshotStore};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
-/// Lock a mutex, recovering from poisoning. Workers convert panics into
-/// error responses ([`ServiceError::Panicked`]) before they can unwind
-/// through a held lock, so poisoning is already unreachable from the
-/// serving path — but if a lock is ever poisoned anyway (e.g. by a
-/// panicking test hook or a future code path), serving degrades to
-/// using the last-written state instead of cascading the panic into
-/// every worker that touches the mutex afterwards. All state behind
-/// these locks is valid at every step (caches and registries are
-/// updated by single self-contained calls), so recovery is safe.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+pub use crate::shard::ServiceConfig;
 
-/// A chaos-testing predicate marking requests that must panic mid-flight.
-type FaultHook = Box<dyn Fn(&ExplainRequest) -> bool + Send + Sync>;
-
-/// The relation-content fingerprint a cached explanation depends on: the
-/// (id, version) stamps of exactly the relations the request's query
-/// mentions, sorted and deduplicated. Writes to other relations leave the
-/// fingerprint — and therefore the cache entry — intact.
-type RelFingerprint = Vec<(RelId, RelVersion)>;
-
-/// Tuning knobs of the service.
-#[derive(Clone, Copy, Debug)]
-pub struct ServiceConfig {
-    /// Worker threads evaluating requests.
-    pub workers: usize,
-    /// Bound of the request queue; `submit` applies backpressure beyond it.
-    pub queue_capacity: usize,
-    /// Maximum requests a worker drains into one batch.
-    pub batch_max: usize,
-    /// Entries held by the responsibility LRU cache.
-    pub cache_capacity: usize,
-    /// How many recent snapshot versions keep their relations' join
-    /// indexes alive in the shared index cache; relation versions
-    /// reachable from none of them are evicted.
-    pub cached_versions: usize,
-    /// Threads each fresh [`ExplainKind::RankTopK`] computation fans its
-    /// per-cause responsibility runs over (min 1; 1 = rank on the worker
-    /// thread). Total ranking threads can reach `workers ×
-    /// rank_parallelism`, so size the two together against the machine.
-    pub rank_parallelism: usize,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            workers: 4,
-            queue_capacity: 128,
-            batch_max: 16,
-            cache_capacity: 1024,
-            cached_versions: 4,
-            rank_parallelism: 1,
-        }
-    }
-}
-
-/// State shared between the handle and the workers.
-struct Shared {
-    cfg: ServiceConfig,
-    store: SnapshotStore,
-    stats: StatsCounters,
-    /// Memoized explanations: (query's relation fingerprint, request) →
-    /// explanation. Keyed on relation content, not snapshot version, so
-    /// entries survive writes to unrelated relations.
-    resp_cache: Mutex<LruCache<(RelFingerprint, ExplainRequest), Explanation>>,
-    /// The one join-index cache serving every snapshot version — sound
-    /// because its entries are keyed on per-relation content stamps.
-    index_cache: Arc<SharedIndexCache>,
-    /// Relation fingerprints of recently served snapshot versions,
-    /// newest last; the union of their stamps is the index cache's live
-    /// set, everything else gets evicted.
-    live_snapshots: Mutex<Vec<(u64, RelFingerprint)>>,
-    /// Chaos-testing hook: requests matching the predicate panic inside
-    /// the worker (see [`CausalityService::inject_fault`]).
-    fault: Mutex<Option<FaultHook>>,
-}
-
-impl Shared {
-    /// Register `snapshot` as served and return the shared index cache.
-    ///
-    /// The first time a snapshot version is seen, its relation-version
-    /// fingerprint joins the retained window ([`ServiceConfig::cached_versions`]
-    /// entries); index entries for relation versions no longer reachable
-    /// from the window are evicted and counted.
-    fn index_cache_for(&self, snapshot: &Snapshot) -> Arc<SharedIndexCache> {
-        let version = snapshot.version();
-        let mut live = lock_unpoisoned(&self.live_snapshots);
-        let mut window_changed = false;
-        if !live.iter().any(|(v, _)| *v == version) {
-            live.push((version, snapshot.relation_versions()));
-            live.sort_by_key(|(v, _)| *v);
-            if live.len() > self.cfg.cached_versions {
-                let excess = live.len() - self.cfg.cached_versions;
-                live.drain(0..excess);
-            }
-            window_changed = true;
-        }
-        // Sweep when the window moved — plus on a periodic cadence: a
-        // worker still evaluating an already-dropped older snapshot may
-        // re-insert stamps from outside the window *after* the sweep that
-        // dropped them, and without the cadence those would linger until
-        // the next version arrives (forever, if the write stream stops).
-        // The cadence keeps the steady read-only path free of the index
-        // cache's write lock.
-        let periodic = self
-            .stats
-            .batches
-            .load(std::sync::atomic::Ordering::Relaxed)
-            .is_multiple_of(64);
-        if window_changed || periodic {
-            let mut retained: RelFingerprint =
-                live.iter().flat_map(|(_, f)| f.iter().copied()).collect();
-            retained.sort();
-            retained.dedup();
-            let evicted = self.index_cache.retain_versions(&retained);
-            StatsCounters::add(&self.stats.index_evictions, evicted as u64);
-        }
-        Arc::clone(&self.index_cache)
-    }
-}
-
-/// The relation fingerprint a request's answer depends on, or `None` if
-/// the query names a relation the snapshot does not have (the computation
-/// will surface the error; it just cannot be cached).
-fn resp_fingerprint(snapshot: &Snapshot, request: &ExplainRequest) -> Option<RelFingerprint> {
-    let mut rels: RelFingerprint = Vec::with_capacity(request.query.atoms().len());
-    for atom in request.query.atoms() {
-        let id = snapshot.relation_id(&atom.relation)?;
-        rels.push((id, snapshot.relation_version(id)));
-    }
-    rels.sort();
-    rels.dedup();
-    Some(rels)
-}
-
-enum Job {
-    Request(Box<ExplainRequest>, Sender<ExplainResponse>),
-    Shutdown,
-}
+/// The one tenant a single-shard service hosts.
+const SOLE_TENANT: TenantKey = 0;
 
 /// A concurrent explanation service over one logical database.
 ///
@@ -187,9 +36,8 @@ enum Job {
 /// assert_eq!(resp.expect_explanation().causes.len(), 2);
 /// ```
 pub struct CausalityService {
-    shared: Arc<Shared>,
-    tx: SyncSender<Job>,
-    handles: Vec<JoinHandle<()>>,
+    pub(crate) shard: Shard,
+    store: Arc<SnapshotStore>,
 }
 
 impl CausalityService {
@@ -200,66 +48,56 @@ impl CausalityService {
 
     /// Start a service with explicit tuning knobs.
     pub fn with_config(db: Database, cfg: ServiceConfig) -> Self {
-        let cfg = ServiceConfig {
-            workers: cfg.workers.max(1),
-            queue_capacity: cfg.queue_capacity.max(1),
-            batch_max: cfg.batch_max.max(1),
-            cached_versions: cfg.cached_versions.max(1),
-            rank_parallelism: cfg.rank_parallelism.max(1),
-            ..cfg
-        };
-        let shared = Arc::new(Shared {
-            cfg,
-            store: SnapshotStore::new(db),
-            stats: StatsCounters::default(),
-            resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-            index_cache: Arc::new(SharedIndexCache::new()),
-            live_snapshots: Mutex::new(Vec::new()),
-            fault: Mutex::new(None),
-        });
-        let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..cfg.workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("causality-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        CausalityService {
-            shared,
-            tx,
-            handles,
-        }
+        let shard = Shard::spawn(cfg, usize::MAX, "causality");
+        let store = shard.add_tenant(SOLE_TENANT, db);
+        CausalityService { shard, store }
+    }
+
+    fn job(request: ExplainRequest) -> (Job, PendingExplain) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                tenant: SOLE_TENANT,
+                request,
+                deadline: None,
+                enqueued: std::time::Instant::now(),
+                tx,
+            },
+            PendingExplain { rx },
+        )
     }
 
     /// Enqueue a request, blocking while the queue is full (backpressure).
     pub fn submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
         validate(&request)?;
-        let (tx, rx) = mpsc::channel();
-        self.tx
-            .send(Job::Request(Box::new(request), tx))
-            .map_err(|_| ServiceError::Disconnected)?;
-        StatsCounters::bump(&self.shared.stats.requests);
-        Ok(PendingExplain { rx })
+        let (job, pending) = Self::job(request);
+        self.shard.submit_blocking(job)?;
+        Ok(pending)
     }
 
     /// Enqueue a request without blocking; [`ServiceError::QueueFull`]
     /// when the bounded queue has no room.
     pub fn try_submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
         validate(&request)?;
-        let (tx, rx) = mpsc::channel();
-        match self.tx.try_send(Job::Request(Box::new(request), tx)) {
-            Ok(()) => {
-                StatsCounters::bump(&self.shared.stats.requests);
-                Ok(PendingExplain { rx })
-            }
-            Err(TrySendError::Full(_)) => Err(ServiceError::QueueFull),
-            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
-        }
+        let (job, pending) = Self::job(request);
+        self.shard.try_submit(job)?;
+        Ok(pending)
+    }
+
+    /// Enqueue a request with a per-request **deadline budget**: if the
+    /// budget expires before a worker picks the job up, it resolves to
+    /// [`ServiceError::DeadlineExceeded`] (counted in
+    /// [`ServiceStats::deadline_misses`]) instead of occupying a worker.
+    pub fn submit_with_deadline(
+        &self,
+        request: ExplainRequest,
+        budget: Duration,
+    ) -> Result<PendingExplain, ServiceError> {
+        validate(&request)?;
+        let (mut job, pending) = Self::job(request);
+        job.deadline = Some(job.enqueued + budget);
+        self.shard.submit_blocking(job)?;
+        Ok(pending)
     }
 
     /// Submit and wait: the blocking convenience call.
@@ -269,18 +107,18 @@ impl CausalityService {
 
     /// Pin the current snapshot (for ad-hoc reads outside the pool).
     pub fn snapshot(&self) -> Snapshot {
-        self.shared.store.current()
+        self.store.current()
     }
 
     /// Publish a whole new database as the next snapshot version.
     pub fn publish(&self, db: Database) -> u64 {
-        self.shared.store.publish(db).version()
+        self.store.publish(db).version()
     }
 
     /// Copy-on-write update of the current snapshot; returns the new
     /// version. In-flight requests keep their pinned older snapshots.
     pub fn update(&self, f: impl FnOnce(&mut Database)) -> u64 {
-        self.shared.store.update(f).version()
+        self.store.update(f).version()
     }
 
     /// Install a chaos-testing fault: every request the predicate
@@ -291,206 +129,51 @@ impl CausalityService {
     /// Used by the panic-isolation regression tests; also handy for
     /// game-day drills against a staging deployment.
     pub fn inject_fault(&self, hook: impl Fn(&ExplainRequest) -> bool + Send + Sync + 'static) {
-        *lock_unpoisoned(&self.shared.fault) = Some(Box::new(hook));
+        *lock_unpoisoned(&self.shard.core.fault) = Some(Box::new(hook));
     }
 
-    /// Remove the fault installed by [`CausalityService::inject_fault`].
+    /// Install a chaos/load-testing stall: every request the hook
+    /// matches sleeps for the returned duration inside its worker before
+    /// computing — simulating slow computations (to fill queues, expire
+    /// deadlines, or exercise admission control) without burning CPU.
+    pub fn inject_delay(
+        &self,
+        hook: impl Fn(&ExplainRequest) -> Option<Duration> + Send + Sync + 'static,
+    ) {
+        *lock_unpoisoned(&self.shard.core.delay) = Some(Box::new(hook));
+    }
+
+    /// Remove the hooks installed by [`CausalityService::inject_fault`]
+    /// and [`CausalityService::inject_delay`].
     pub fn clear_faults(&self) {
-        *lock_unpoisoned(&self.shared.fault) = None;
+        *lock_unpoisoned(&self.shard.core.fault) = None;
+        *lock_unpoisoned(&self.shard.core.delay) = None;
     }
 
     /// A point-in-time view of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.stats.snapshot(
-            self.shared.cfg.workers,
-            self.shared.store.version(),
-            self.shared.index_cache.len() as u64,
+        self.shard.core.stats.snapshot(
+            self.shard.core.cfg.workers,
+            self.store.version(),
+            self.shard.core.index_cache.len() as u64,
+        )
+    }
+
+    /// Like [`CausalityService::stats`], but also zeroes every monotone
+    /// counter and the latency histogram (the queue-depth gauge stays
+    /// live), so successive measurement phases — warmup vs timed window
+    /// in the load harness — never bleed together.
+    pub fn snapshot_and_reset(&self) -> ServiceStats {
+        self.shard.core.stats.snapshot_and_reset(
+            self.shard.core.cfg.workers,
+            self.store.version(),
+            self.shard.core.index_cache.len() as u64,
         )
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
     pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        for _ in 0..self.handles.len() {
-            // Blocks while the queue is full; workers are draining it.
-            let _ = self.tx.send(Job::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for CausalityService {
-    fn drop(&mut self) {
-        self.shutdown_inner();
-    }
-}
-
-/// Reject malformed requests at submit time: grounding must succeed, so a
-/// worker can never hit an answer/head mismatch mid-computation.
-fn validate(request: &ExplainRequest) -> Result<(), ServiceError> {
-    request
-        .query
-        .try_ground(&request.answer)
-        .map(|_| ())
-        .map_err(|e| ServiceError::InvalidRequest(e.to_string()))
-}
-
-fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
-    loop {
-        let mut saw_shutdown = false;
-        let mut batch: Vec<(ExplainRequest, Sender<ExplainResponse>)> = Vec::new();
-        {
-            let rx = lock_unpoisoned(rx);
-            match rx.recv() {
-                Ok(Job::Request(req, tx)) => batch.push((*req, tx)),
-                Ok(Job::Shutdown) | Err(_) => return,
-            }
-            while batch.len() < shared.cfg.batch_max {
-                match rx.try_recv() {
-                    Ok(Job::Request(req, tx)) => batch.push((*req, tx)),
-                    Ok(Job::Shutdown) => {
-                        saw_shutdown = true;
-                        break;
-                    }
-                    Err(_) => break,
-                }
-            }
-        }
-        process_batch(shared, batch);
-        if saw_shutdown {
-            return;
-        }
-    }
-}
-
-/// Evaluate one batch against a single pinned snapshot: group identical
-/// requests, serve them from the responsibility cache when possible, and
-/// compute each distinct miss exactly once.
-fn process_batch(shared: &Shared, batch: Vec<(ExplainRequest, Sender<ExplainResponse>)>) {
-    StatsCounters::bump(&shared.stats.batches);
-    StatsCounters::add(&shared.stats.batched_requests, batch.len() as u64);
-
-    let snapshot = shared.store.current();
-    let version = snapshot.version();
-    let index_cache = shared.index_cache_for(&snapshot);
-
-    // Coalesce identical requests, preserving first-seen order.
-    let mut order: Vec<ExplainRequest> = Vec::new();
-    let mut groups: HashMap<ExplainRequest, Vec<Sender<ExplainResponse>>> = HashMap::new();
-    for (request, tx) in batch {
-        let entry = groups.entry(request.clone()).or_default();
-        if entry.is_empty() {
-            order.push(request);
-        }
-        entry.push(tx);
-    }
-
-    for request in order {
-        let senders = groups.remove(&request).expect("grouped senders");
-        // Key on the content stamps of exactly the relations the query
-        // reads: a hit may have been computed under an older snapshot
-        // version — sound as long as those relations are untouched.
-        let key = resp_fingerprint(&snapshot, &request).map(|f| (f, request.clone()));
-        let cached = key.as_ref().and_then(|key| {
-            let mut cache = lock_unpoisoned(&shared.resp_cache);
-            cache.get(key).cloned()
-        });
-        // Per-request accounting: a hit group is all hits; a miss group is
-        // one fresh computation plus coalesced riders.
-        let (result, cache_hit) = match cached {
-            Some(explanation) => {
-                StatsCounters::add(&shared.stats.cache_hits, senders.len() as u64);
-                (Ok(explanation), true)
-            }
-            None => {
-                StatsCounters::bump(&shared.stats.cache_misses);
-                StatsCounters::add(&shared.stats.coalesced, senders.len() as u64 - 1);
-                let computed = compute_isolated(shared, &snapshot, &index_cache, &request);
-                if let (Some(key), Ok(explanation)) = (key, &computed) {
-                    lock_unpoisoned(&shared.resp_cache).insert(key, explanation.clone());
-                }
-                (computed, false)
-            }
-        };
-        for tx in senders {
-            // A requester that dropped its handle is not an error.
-            let _ = tx.send(ExplainResponse {
-                result: result.clone(),
-                snapshot_version: version,
-                cache_hit,
-            });
-        }
-    }
-}
-
-/// [`compute`] behind a panic boundary. A panicking job must cost
-/// exactly one response, not the worker (and with it the whole pool —
-/// every worker shares the queue mutex a dying thread would poison):
-/// the panic is caught, counted, and converted into
-/// [`ServiceError::Panicked`] for the requester.
-fn compute_isolated(
-    shared: &Shared,
-    snapshot: &Snapshot,
-    index_cache: &Arc<SharedIndexCache>,
-    request: &ExplainRequest,
-) -> Result<Explanation, ServiceError> {
-    let guarded = catch_unwind(AssertUnwindSafe(|| {
-        // Evaluate the chaos hook before panicking so the fault lock is
-        // released by the time the unwind starts.
-        let inject = lock_unpoisoned(&shared.fault)
-            .as_ref()
-            .is_some_and(|hook| hook(request));
-        if inject {
-            panic!("fault injected by chaos hook");
-        }
-        compute(shared, snapshot, index_cache, request)
-    }));
-    guarded.unwrap_or_else(|payload| {
-        StatsCounters::bump(&shared.stats.panics_caught);
-        Err(ServiceError::Panicked(panic_message(payload.as_ref())))
-    })
-}
-
-/// Best-effort rendering of a caught panic payload (panics carry a
-/// `&str` or `String` unless raised with a custom payload).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn compute(
-    shared: &Shared,
-    snapshot: &Snapshot,
-    index_cache: &Arc<SharedIndexCache>,
-    request: &ExplainRequest,
-) -> Result<Explanation, ServiceError> {
-    let explainer = Explainer::new(snapshot.database(), &request.query)
-        .with_method(request.method)
-        .with_index_cache(Arc::clone(index_cache));
-    match request.kind {
-        ExplainKind::WhySo => Ok(explainer.why(&request.answer)?),
-        ExplainKind::WhyNo => Ok(explainer.why_not(&request.answer)?),
-        ExplainKind::RankTopK(k) => {
-            // The top-k path: upper-bound screening skips candidates
-            // that can no longer enter the top k, and the surviving
-            // solves fan out over `rank_parallelism` threads.
-            let (explanation, rank_stats) = explainer
-                .with_parallelism(shared.cfg.rank_parallelism)
-                .why_top_k(&request.answer, k)?;
-            StatsCounters::bump(&shared.stats.rank_tasks);
-            StatsCounters::add(&shared.stats.topk_pruned, rank_stats.pruned as u64);
-            Ok(explanation)
-        }
+        self.shard.shutdown();
     }
 }
 
@@ -506,6 +189,7 @@ mod tests {
 
     #[test]
     fn service_matches_direct_explainer() {
+        use causality_core::explain::Explainer;
         let svc = CausalityService::new(example_2_2());
         let q = query();
         let resp = svc
@@ -538,6 +222,12 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            stats.latency_samples(),
+            2,
+            "every response is a latency sample"
+        );
+        assert!(stats.p99_us() >= stats.p50_us());
     }
 
     #[test]
@@ -653,6 +343,8 @@ mod tests {
             stats.cache_hits + stats.coalesced >= 80 - stats.cache_misses,
             "the rest were served without recomputation"
         );
+        assert_eq!(stats.latency_samples(), 80, "one sample per response");
+        assert_eq!(stats.queue_depth, 0, "nothing left enqueued");
     }
 
     #[test]
@@ -772,14 +464,17 @@ mod tests {
         let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
         svc.explain(req.clone()).unwrap();
         // Poison resp_cache and live_snapshots by panicking mid-hold.
-        let shared = Arc::clone(&svc.shared);
+        let core = Arc::clone(&svc.shard.core);
         let _ = std::thread::spawn(move || {
-            let _cache = shared.resp_cache.lock().unwrap();
-            let _live = shared.live_snapshots.lock().unwrap();
+            let _cache = core.resp_cache.lock().unwrap();
+            let _live = core.live_snapshots.lock().unwrap();
             panic!("poison the service mutexes");
         })
         .join();
-        assert!(svc.shared.resp_cache.lock().is_err(), "cache is poisoned");
+        assert!(
+            svc.shard.core.resp_cache.lock().is_err(),
+            "cache is poisoned"
+        );
         // Serving continues: lock recovery hands back the intact state.
         let warm = svc.explain(req).unwrap();
         assert!(warm.result.is_ok());
@@ -829,5 +524,74 @@ mod tests {
             .wait_timeout(std::time::Duration::from_secs(30))
             .unwrap();
         assert!(resp.result.is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_yields_an_error_not_a_computation() {
+        let svc = CausalityService::with_config(
+            example_2_2(),
+            ServiceConfig {
+                workers: 1,
+                // One job per pull: the blocker is drained (and stalls
+                // the sole worker) strictly before the doomed request is
+                // even looked at, making the expiry deterministic.
+                batch_max: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Stall the worker on a blocker request so the deadlined request
+        // sits in the queue past its budget.
+        svc.inject_delay(|req| {
+            (req.answer == vec![Value::str("a2")]).then_some(Duration::from_millis(120))
+        });
+        let blocker = svc
+            .submit(ExplainRequest::why_so(query(), vec![Value::str("a2")]))
+            .unwrap();
+        let doomed = svc
+            .submit_with_deadline(
+                ExplainRequest::why_so(query(), vec![Value::str("a3")]),
+                Duration::from_millis(10),
+            )
+            .unwrap();
+        assert!(matches!(
+            doomed.wait().unwrap().result,
+            Err(ServiceError::DeadlineExceeded)
+        ));
+        assert!(blocker.wait().unwrap().result.is_ok());
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(
+            stats.cache_misses, 1,
+            "the expired request never reached a computation"
+        );
+        // A generous budget is met.
+        svc.clear_faults();
+        let fine = svc
+            .submit_with_deadline(
+                ExplainRequest::why_so(query(), vec![Value::str("a3")]),
+                Duration::from_secs(30),
+            )
+            .unwrap();
+        assert!(fine.wait().unwrap().result.is_ok());
+    }
+
+    #[test]
+    fn snapshot_and_reset_separates_phases() {
+        let svc = CausalityService::new(example_2_2());
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a4")]);
+        svc.explain(req.clone()).unwrap();
+        let warmup = svc.snapshot_and_reset();
+        assert_eq!(warmup.requests, 1);
+        assert_eq!(warmup.cache_misses, 1);
+        assert_eq!(warmup.latency_samples(), 1);
+
+        // The measurement phase starts from zero — but the *caches* are
+        // still warm: resetting counters must not cool the service.
+        svc.explain(req).unwrap();
+        let measured = svc.stats();
+        assert_eq!(measured.requests, 1);
+        assert_eq!(measured.cache_hits, 1, "cache survived the reset");
+        assert_eq!(measured.cache_misses, 0);
+        assert_eq!(measured.latency_samples(), 1);
     }
 }

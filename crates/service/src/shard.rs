@@ -1,0 +1,375 @@
+//! One serving **shard**: the self-contained execution cell of the tier.
+//!
+//! A shard owns everything a slice of the traffic needs — its own
+//! snapshot stores (one per tenant mapped to it), its own worker pool,
+//! its own [`SharedIndexCache`], its own responsibility LRU, and its own
+//! `StatsCounters` — so writes to one
+//! tenant's relations can never evict another shard's warm caches or
+//! queue behind another shard's traffic. The layers above are thin:
+//!
+//! * [`CausalityService`](crate::CausalityService) wraps exactly one
+//!   shard with one tenant (the PR 2 API, unchanged);
+//! * [`ShardedService`](crate::ShardedService) routes tenants onto N
+//!   shards via the [`dispatch`](crate::dispatch) layer and applies
+//!   admission control and deadline budgets at the front end.
+//!
+//! Within a shard, multiple tenants can coexist soundly because both
+//! cache layers are keyed on per-relation `(RelId, RelVersion)` content
+//! stamps and `RelVersion` stamps are **process-wide unique** (PR 3):
+//! two tenants' relations can never alias a cache entry.
+
+use crate::lru::LruCache;
+use crate::request::{ExplainRequest, ServiceError};
+use crate::stats::StatsCounters;
+use crate::worker::{worker_loop, Job, Msg};
+use causality_core::explain::Explanation;
+use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Lock a mutex, recovering from poisoning. Workers convert panics into
+/// error responses ([`ServiceError::Panicked`]) before they can unwind
+/// through a held lock, so poisoning is already unreachable from the
+/// serving path — but if a lock is ever poisoned anyway (e.g. by a
+/// panicking test hook or a future code path), serving degrades to
+/// using the last-written state instead of cascading the panic into
+/// every worker that touches the mutex afterwards. All state behind
+/// these locks is valid at every step (caches and registries are
+/// updated by single self-contained calls), so recovery is safe.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A chaos-testing predicate marking requests that must panic mid-flight.
+pub(crate) type FaultHook = Box<dyn Fn(&ExplainRequest) -> bool + Send + Sync>;
+
+/// A chaos/load-testing hook stalling matched requests for the returned
+/// duration before they compute (simulates slow computations without
+/// burning CPU).
+pub(crate) type DelayHook = Box<dyn Fn(&ExplainRequest) -> Option<Duration> + Send + Sync>;
+
+/// Identifies one tenant's snapshot store within a shard.
+pub(crate) type TenantKey = u64;
+
+/// The relation-content fingerprint a cached explanation depends on: the
+/// (id, version) stamps of exactly the relations the request's query
+/// mentions, sorted and deduplicated. Writes to other relations leave the
+/// fingerprint — and therefore the cache entry — intact.
+pub(crate) type RelFingerprint = Vec<(RelId, RelVersion)>;
+
+/// Tuning knobs of one shard (and of the single-shard
+/// [`CausalityService`](crate::CausalityService)).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads evaluating requests.
+    pub workers: usize,
+    /// Bound of the request queue; `submit` applies backpressure beyond it.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains into one batch.
+    pub batch_max: usize,
+    /// Entries held by the responsibility LRU cache.
+    pub cache_capacity: usize,
+    /// How many recent snapshot versions (per tenant) keep their
+    /// relations' join indexes alive in the shared index cache; relation
+    /// versions reachable from none of them are evicted.
+    pub cached_versions: usize,
+    /// Threads each fresh [`ExplainKind::RankTopK`](crate::ExplainKind::RankTopK)
+    /// computation fans its per-cause responsibility runs over (min 1;
+    /// 1 = rank on the worker thread). Total ranking threads can reach
+    /// `workers × rank_parallelism`, so size the two together against
+    /// the machine.
+    pub rank_parallelism: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 128,
+            batch_max: 16,
+            cache_capacity: 1024,
+            cached_versions: 4,
+            rank_parallelism: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Clamp every knob to its minimum viable value.
+    pub(crate) fn sanitized(self) -> Self {
+        ServiceConfig {
+            workers: self.workers.max(1),
+            queue_capacity: self.queue_capacity.max(1),
+            batch_max: self.batch_max.max(1),
+            cached_versions: self.cached_versions.max(1),
+            rank_parallelism: self.rank_parallelism.max(1),
+            ..self
+        }
+    }
+}
+
+/// State shared between a shard's handle and its workers.
+pub(crate) struct ShardCore {
+    pub(crate) cfg: ServiceConfig,
+    /// Queue-depth limit enforced by [`Shard::submit_admitted`];
+    /// `usize::MAX` disables admission control (the single-shard
+    /// [`CausalityService`](crate::CausalityService) compatibility mode).
+    pub(crate) admission_limit: usize,
+    /// Snapshot stores of the tenants routed to this shard.
+    pub(crate) tenants: RwLock<HashMap<TenantKey, Arc<SnapshotStore>>>,
+    pub(crate) stats: StatsCounters,
+    /// Memoized explanations: (query's relation fingerprint, request) →
+    /// explanation. Keyed on relation content, not snapshot version, so
+    /// entries survive writes to unrelated relations — including every
+    /// write belonging to a *different* tenant.
+    pub(crate) resp_cache: Mutex<LruCache<(RelFingerprint, ExplainRequest), Explanation>>,
+    /// The one join-index cache serving every snapshot version of every
+    /// tenant on this shard — sound because its entries are keyed on
+    /// process-wide-unique per-relation content stamps.
+    pub(crate) index_cache: Arc<SharedIndexCache>,
+    /// Per-tenant relation fingerprints of recently served snapshot
+    /// versions, newest last; the union of their stamps is the index
+    /// cache's live set, everything else gets evicted.
+    pub(crate) live_snapshots: Mutex<HashMap<TenantKey, Vec<(u64, RelFingerprint)>>>,
+    /// Chaos-testing hook: requests matching the predicate panic inside
+    /// the worker (see [`CausalityService::inject_fault`](crate::CausalityService::inject_fault)).
+    pub(crate) fault: Mutex<Option<FaultHook>>,
+    /// Chaos/load-testing hook: requests matched by the predicate sleep
+    /// for the returned duration before computing.
+    pub(crate) delay: Mutex<Option<DelayHook>>,
+}
+
+impl ShardCore {
+    /// The tenant's snapshot store, if this shard hosts it.
+    pub(crate) fn store(&self, tenant: TenantKey) -> Option<Arc<SnapshotStore>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&tenant)
+            .cloned()
+    }
+
+    /// Highest published snapshot version across this shard's tenants.
+    pub(crate) fn max_version(&self) -> u64 {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|store| store.version())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Register `snapshot` of `tenant` as served and return the shared
+    /// index cache.
+    ///
+    /// The first time a (tenant, version) pair is seen, its
+    /// relation-version fingerprint joins that tenant's retained window
+    /// ([`ServiceConfig::cached_versions`] entries); index entries for
+    /// relation versions no longer reachable from any tenant's window
+    /// are evicted and counted.
+    pub(crate) fn index_cache_for(
+        &self,
+        tenant: TenantKey,
+        snapshot: &Snapshot,
+    ) -> Arc<SharedIndexCache> {
+        let version = snapshot.version();
+        let mut live = lock_unpoisoned(&self.live_snapshots);
+        let window = live.entry(tenant).or_default();
+        let mut window_changed = false;
+        if !window.iter().any(|(v, _)| *v == version) {
+            window.push((version, snapshot.relation_versions()));
+            window.sort_by_key(|(v, _)| *v);
+            if window.len() > self.cfg.cached_versions {
+                let excess = window.len() - self.cfg.cached_versions;
+                window.drain(0..excess);
+            }
+            window_changed = true;
+        }
+        // Sweep when a window moved — plus on a periodic cadence: a
+        // worker still evaluating an already-dropped older snapshot may
+        // re-insert stamps from outside the window *after* the sweep that
+        // dropped them, and without the cadence those would linger until
+        // the next version arrives (forever, if the write stream stops).
+        // The cadence keeps the steady read-only path free of the index
+        // cache's write lock.
+        let periodic = self
+            .stats
+            .batches
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .is_multiple_of(64);
+        if window_changed || periodic {
+            let mut retained: RelFingerprint = live
+                .values()
+                .flat_map(|w| w.iter())
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            retained.sort();
+            retained.dedup();
+            let evicted = self.index_cache.retain_versions(&retained);
+            StatsCounters::add(&self.stats.index_evictions, evicted as u64);
+        }
+        Arc::clone(&self.index_cache)
+    }
+}
+
+/// The relation fingerprint a request's answer depends on, or `None` if
+/// the query names a relation the snapshot does not have (the computation
+/// will surface the error; it just cannot be cached).
+pub(crate) fn resp_fingerprint(
+    snapshot: &Snapshot,
+    request: &ExplainRequest,
+) -> Option<RelFingerprint> {
+    let mut rels: RelFingerprint = Vec::with_capacity(request.query.atoms().len());
+    for atom in request.query.atoms() {
+        let id = snapshot.relation_id(&atom.relation)?;
+        rels.push((id, snapshot.relation_version(id)));
+    }
+    rels.sort();
+    rels.dedup();
+    Some(rels)
+}
+
+/// Reject malformed requests at submit time: grounding must succeed, so a
+/// worker can never hit an answer/head mismatch mid-computation.
+pub(crate) fn validate(request: &ExplainRequest) -> Result<(), ServiceError> {
+    request
+        .query
+        .try_ground(&request.answer)
+        .map(|_| ())
+        .map_err(|e| ServiceError::InvalidRequest(e.to_string()))
+}
+
+/// One running shard: the shared core, the job queue, and the worker
+/// pool draining it.
+pub(crate) struct Shard {
+    pub(crate) core: Arc<ShardCore>,
+    tx: SyncSender<Msg>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawn a shard with `cfg.workers` threads. `admission_limit` is
+    /// the queue-depth bound enforced by [`Shard::submit_admitted`]
+    /// (`usize::MAX` = no admission control). `name` labels the worker
+    /// threads.
+    pub(crate) fn spawn(cfg: ServiceConfig, admission_limit: usize, name: &str) -> Self {
+        let cfg = cfg.sanitized();
+        let core = Arc::new(ShardCore {
+            cfg,
+            admission_limit,
+            tenants: RwLock::new(HashMap::new()),
+            stats: StatsCounters::default(),
+            resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            index_cache: Arc::new(SharedIndexCache::new()),
+            live_snapshots: Mutex::new(HashMap::new()),
+            fault: Mutex::new(None),
+            delay: Mutex::new(None),
+        });
+        let (tx, rx) = sync_channel::<Msg>(cfg.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &core))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Shard { core, tx, handles }
+    }
+
+    /// Install (or replace) a tenant's snapshot store.
+    pub(crate) fn add_tenant(&self, tenant: TenantKey, db: Database) -> Arc<SnapshotStore> {
+        let store = Arc::new(SnapshotStore::new(db));
+        self.core
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant, Arc::clone(&store));
+        store
+    }
+
+    /// Enqueue blocking while the queue is full (backpressure; the PR 2
+    /// `submit` semantics). No admission control.
+    pub(crate) fn submit_blocking(&self, job: Job) -> Result<(), ServiceError> {
+        StatsCounters::bump(&self.core.stats.queue_depth);
+        match self.tx.send(Msg::Job(Box::new(job))) {
+            Ok(()) => {
+                StatsCounters::bump(&self.core.stats.requests);
+                Ok(())
+            }
+            Err(_) => {
+                StatsCounters::gauge_dec(&self.core.stats.queue_depth, 1);
+                Err(ServiceError::Disconnected)
+            }
+        }
+    }
+
+    /// Enqueue without blocking; [`ServiceError::QueueFull`] when the
+    /// bounded queue has no room. No admission control.
+    pub(crate) fn try_submit(&self, job: Job) -> Result<(), ServiceError> {
+        StatsCounters::bump(&self.core.stats.queue_depth);
+        match self.tx.try_send(Msg::Job(Box::new(job))) {
+            Ok(()) => {
+                StatsCounters::bump(&self.core.stats.requests);
+                Ok(())
+            }
+            Err(e) => {
+                StatsCounters::gauge_dec(&self.core.stats.queue_depth, 1);
+                Err(match e {
+                    TrySendError::Full(_) => ServiceError::QueueFull,
+                    TrySendError::Disconnected(_) => ServiceError::Disconnected,
+                })
+            }
+        }
+    }
+
+    /// Front-end enqueue with **bounded admission**: when the shard's
+    /// queue depth has reached `admission_limit`, the request is
+    /// rejected with [`ServiceError::Overloaded`] — returned to the
+    /// caller, never dropped — and counted in
+    /// [`ServiceStats::admission_rejects`](crate::ServiceStats::admission_rejects).
+    pub(crate) fn submit_admitted(&self, job: Job) -> Result<(), ServiceError> {
+        let depth = self
+            .core
+            .stats
+            .queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if depth as usize >= self.core.admission_limit {
+            StatsCounters::bump(&self.core.stats.admission_rejects);
+            return Err(ServiceError::Overloaded);
+        }
+        self.try_submit(job).map_err(|e| match e {
+            // The channel filled between the depth check and the send:
+            // that is still "past the queue-depth limit" to a caller.
+            ServiceError::QueueFull => {
+                StatsCounters::bump(&self.core.stats.admission_rejects);
+                ServiceError::Overloaded
+            }
+            other => other,
+        })
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub(crate) fn shutdown(&mut self) {
+        for _ in 0..self.handles.len() {
+            // Blocks while the queue is full; workers are draining it.
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

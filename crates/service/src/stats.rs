@@ -1,8 +1,79 @@
-//! Service observability: cheap atomic counters, snapshotted on demand.
+//! Service observability: cheap atomic counters plus a fixed-bucket
+//! latency histogram, snapshotted (and optionally reset) on demand.
+//!
+//! Everything here is std-only and lock-free on the record path: workers
+//! bump relaxed atomics, and `StatsCounters::snapshot` /
+//! `StatsCounters::snapshot_and_reset` assemble a [`ServiceStats`]
+//! point-in-time view. The histogram uses power-of-two microsecond
+//! buckets, so p50/p99 are exact to within a factor of two — plenty for
+//! spotting a queueing collapse, and cheap enough to keep on 24/7.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds, so the histogram spans 1 µs up to
+/// ~2.2 minutes (`2^27` µs) with the last bucket absorbing the tail.
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// A fixed-bucket, atomically-updated latency histogram (microseconds,
+/// power-of-two buckets). Recording is one relaxed `fetch_add`.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Bucket index of a duration: `floor(log2(µs))`, clamped.
+    fn bucket_of(d: Duration) -> usize {
+        let us = d.as_micros().max(1) as u64;
+        (us.ilog2() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Load all bucket counts (optionally swapping them back to zero).
+    fn counts(&self, reset: bool) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = if reset {
+                bucket.swap(0, Ordering::Relaxed)
+            } else {
+                bucket.load(Ordering::Relaxed)
+            };
+        }
+        out
+    }
+}
+
+/// The quantile `q` (in `[0, 1]`) of a bucket-count array, reported as
+/// the lower bound of the bucket holding that rank — exact to within the
+/// bucket's factor-of-two width, and monotone in `q` by construction
+/// (so p99 ≥ p50 always holds). `0` when no samples were recorded.
+pub fn quantile_us(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (LATENCY_BUCKETS - 1)
+}
 
 /// Internal counters bumped by workers and the submit path.
+///
+/// All fields except `queue_depth` are monotone counters;
+/// `queue_depth` is a live gauge (incremented on admission, decremented
+/// when a worker drains the job) and is therefore never reset.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCounters {
     pub requests: AtomicU64,
@@ -15,6 +86,10 @@ pub(crate) struct StatsCounters {
     pub rank_tasks: AtomicU64,
     pub topk_pruned: AtomicU64,
     pub panics_caught: AtomicU64,
+    pub admission_rejects: AtomicU64,
+    pub deadline_misses: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub latency: LatencyHistogram,
 }
 
 impl StatsCounters {
@@ -26,36 +101,87 @@ impl StatsCounters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Decrement a gauge, saturating at zero.
+    pub(crate) fn gauge_dec(gauge: &AtomicU64, n: u64) {
+        let mut cur = gauge.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match gauge.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn read(counter: &AtomicU64, reset: bool) -> u64 {
+        if reset {
+            counter.swap(0, Ordering::Relaxed)
+        } else {
+            counter.load(Ordering::Relaxed)
+        }
+    }
+
+    fn assemble(
+        &self,
+        workers: usize,
+        snapshot_version: u64,
+        index_entries: u64,
+        reset: bool,
+    ) -> ServiceStats {
+        ServiceStats {
+            workers,
+            snapshot_version,
+            requests: Self::read(&self.requests, reset),
+            batches: Self::read(&self.batches, reset),
+            batched_requests: Self::read(&self.batched_requests, reset),
+            coalesced: Self::read(&self.coalesced, reset),
+            cache_hits: Self::read(&self.cache_hits, reset),
+            cache_misses: Self::read(&self.cache_misses, reset),
+            index_entries,
+            index_evictions: Self::read(&self.index_evictions, reset),
+            rank_tasks: Self::read(&self.rank_tasks, reset),
+            topk_pruned: Self::read(&self.topk_pruned, reset),
+            panics_caught: Self::read(&self.panics_caught, reset),
+            admission_rejects: Self::read(&self.admission_rejects, reset),
+            deadline_misses: Self::read(&self.deadline_misses, reset),
+            // A gauge, not a counter: resetting it would lie about the
+            // jobs still sitting in the queue.
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            latency_buckets: self.latency.counts(reset),
+        }
+    }
+
+    /// A point-in-time view; counters keep accumulating.
     pub(crate) fn snapshot(
         &self,
         workers: usize,
         snapshot_version: u64,
         index_entries: u64,
     ) -> ServiceStats {
-        ServiceStats {
-            workers,
-            snapshot_version,
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            index_entries,
-            index_evictions: self.index_evictions.load(Ordering::Relaxed),
-            rank_tasks: self.rank_tasks.load(Ordering::Relaxed),
-            topk_pruned: self.topk_pruned.load(Ordering::Relaxed),
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
-        }
+        self.assemble(workers, snapshot_version, index_entries, false)
+    }
+
+    /// A point-in-time view that also zeroes every monotone counter and
+    /// the latency histogram (the `queue_depth` gauge is left live), so
+    /// successive measurement phases — e.g. the load harness's warmup vs
+    /// timed window — never bleed into each other.
+    pub(crate) fn snapshot_and_reset(
+        &self,
+        workers: usize,
+        snapshot_version: u64,
+        index_entries: u64,
+    ) -> ServiceStats {
+        self.assemble(workers, snapshot_version, index_entries, true)
     }
 }
 
-/// A point-in-time view of the service's counters.
+/// A point-in-time view of a service's (or one shard's) counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Number of worker threads.
     pub workers: usize,
-    /// Version of the currently published snapshot.
+    /// Version of the currently published snapshot (highest tenant
+    /// version on a multi-tenant shard).
     pub snapshot_version: u64,
     /// Requests accepted by `submit`/`try_submit`.
     pub requests: u64,
@@ -90,6 +216,23 @@ pub struct ServiceStats {
     /// [`ServiceError::Panicked`](crate::ServiceError::Panicked)
     /// responses. Nonzero means a job blew up but the pool survived it.
     pub panics_caught: u64,
+    /// Requests rejected at admission
+    /// ([`ServiceError::Overloaded`](crate::ServiceError::Overloaded))
+    /// because the shard's queue depth had reached its limit. Rejected
+    /// requests are returned to the caller, never silently dropped.
+    pub admission_rejects: u64,
+    /// Requests whose deadline budget had already expired when a worker
+    /// drained them; each resolved to
+    /// [`ServiceError::DeadlineExceeded`](crate::ServiceError::DeadlineExceeded)
+    /// without occupying the worker.
+    pub deadline_misses: u64,
+    /// Jobs currently admitted but not yet drained by a worker (a live
+    /// gauge — not reset by `snapshot_and_reset`).
+    pub queue_depth: u64,
+    /// Response-latency histogram counts (submit → response), bucket `i`
+    /// covering `[2^i, 2^(i+1))` µs. Query with [`ServiceStats::p50_us`]
+    /// / [`ServiceStats::p99_us`] / [`ServiceStats::latency_quantile_us`].
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
 impl ServiceStats {
@@ -112,6 +255,57 @@ impl ServiceStats {
             self.batched_requests as f64 / self.batches as f64
         }
     }
+
+    /// Number of latency samples recorded.
+    pub fn latency_samples(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Latency quantile in microseconds (bucket lower bound; 0 with no
+    /// samples). Monotone in `q`, so `p99_us() >= p50_us()` always.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        quantile_us(&self.latency_buckets, q)
+    }
+
+    /// Median response latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_quantile_us(0.50)
+    }
+
+    /// 99th-percentile response latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_quantile_us(0.99)
+    }
+
+    /// Fold another stats view into this one (used to aggregate shards):
+    /// counters, gauges, and histograms add; `workers` adds;
+    /// `snapshot_version` and `index_entries` take the max / sum
+    /// respectively.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.workers += other.workers;
+        self.snapshot_version = self.snapshot_version.max(other.snapshot_version);
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.coalesced += other.coalesced;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.index_entries += other.index_entries;
+        self.index_evictions += other.index_evictions;
+        self.rank_tasks += other.rank_tasks;
+        self.topk_pruned += other.topk_pruned;
+        self.panics_caught += other.panics_caught;
+        self.admission_rejects += other.admission_rejects;
+        self.deadline_misses += other.deadline_misses;
+        self.queue_depth += other.queue_depth;
+        for (mine, theirs) in self
+            .latency_buckets
+            .iter_mut()
+            .zip(other.latency_buckets.iter())
+        {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +322,8 @@ mod tests {
         StatsCounters::bump(&c.rank_tasks);
         StatsCounters::add(&c.topk_pruned, 7);
         StatsCounters::bump(&c.panics_caught);
+        StatsCounters::bump(&c.admission_rejects);
+        StatsCounters::add(&c.deadline_misses, 4);
         let s = c.snapshot(4, 7, 5);
         assert_eq!(s.workers, 4);
         assert_eq!(s.snapshot_version, 7);
@@ -138,6 +334,8 @@ mod tests {
         assert_eq!(s.rank_tasks, 1);
         assert_eq!(s.topk_pruned, 7);
         assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.admission_rejects, 1);
+        assert_eq!(s.deadline_misses, 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 
@@ -146,5 +344,81 @@ mod tests {
         let s = StatsCounters::default().snapshot(1, 1, 0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.p50_us(), 0);
+        assert_eq!(s.p99_us(), 0);
+    }
+
+    #[test]
+    fn snapshot_and_reset_zeroes_counters_but_not_the_gauge() {
+        let c = StatsCounters::default();
+        StatsCounters::add(&c.requests, 10);
+        StatsCounters::add(&c.queue_depth, 3);
+        c.latency.record(Duration::from_micros(100));
+        let phase1 = c.snapshot_and_reset(1, 1, 0);
+        assert_eq!(phase1.requests, 10);
+        assert_eq!(phase1.latency_samples(), 1);
+        assert_eq!(phase1.queue_depth, 3, "gauge is reported");
+        let phase2 = c.snapshot(1, 1, 0);
+        assert_eq!(phase2.requests, 0, "counter was reset");
+        assert_eq!(phase2.latency_samples(), 0, "histogram was reset");
+        assert_eq!(phase2.queue_depth, 3, "gauge is not reset");
+    }
+
+    #[test]
+    fn gauge_dec_saturates() {
+        let g = AtomicU64::new(2);
+        StatsCounters::gauge_dec(&g, 5);
+        assert_eq!(g.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0)); // clamps into bucket 0
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        h.record(Duration::from_secs(3600)); // clamps into the last bucket
+        let counts = h.counts(false);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1, "1000 µs lands in [512, 1024)");
+        assert_eq!(counts[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_exact() {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        buckets[3] = 50; // 50 samples in [8, 16) µs
+        buckets[10] = 49; // 49 samples in [1024, 2048) µs
+        buckets[20] = 1; // 1 outlier
+        assert_eq!(quantile_us(&buckets, 0.5), 8);
+        assert_eq!(quantile_us(&buckets, 0.99), 1024);
+        assert_eq!(quantile_us(&buckets, 1.0), 1 << 20);
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = quantile_us(&buckets, f64::from(i) / 100.0);
+            assert!(q >= last, "quantiles are monotone");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let a = StatsCounters::default();
+        StatsCounters::add(&a.requests, 5);
+        a.latency.record(Duration::from_micros(10));
+        let b = StatsCounters::default();
+        StatsCounters::add(&b.requests, 7);
+        StatsCounters::add(&b.queue_depth, 2);
+        b.latency.record(Duration::from_micros(5000));
+        let mut m = a.snapshot(2, 3, 1);
+        m.merge(&b.snapshot(4, 9, 2));
+        assert_eq!(m.workers, 6);
+        assert_eq!(m.snapshot_version, 9);
+        assert_eq!(m.requests, 12);
+        assert_eq!(m.index_entries, 3);
+        assert_eq!(m.queue_depth, 2);
+        assert_eq!(m.latency_samples(), 2);
     }
 }

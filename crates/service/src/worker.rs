@@ -1,0 +1,276 @@
+//! The worker loop shared by every shard: batch draining, coalescing,
+//! deadline enforcement, cache lookup, panic isolation, and latency
+//! accounting.
+//!
+//! Workers pull [`Job`]s off their shard's one bounded channel. Each
+//! pull drains up to `batch_max` queued jobs into a **batch**; within a
+//! batch, jobs are grouped by `(tenant, request)` and each distinct
+//! group is evaluated exactly once against a single pinned snapshot of
+//! that tenant's store. Every response — success, error, deadline miss —
+//! is recorded in the shard's submit→response latency histogram.
+
+use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, ServiceError};
+use crate::shard::{lock_unpoisoned, resp_fingerprint, ShardCore, TenantKey};
+use crate::stats::StatsCounters;
+use causality_core::explain::{Explainer, Explanation};
+use causality_engine::{SharedIndexCache, Snapshot};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One queued unit of work: a request bound to a tenant, carrying its
+/// enqueue instant (for the latency histogram) and an optional deadline.
+pub(crate) struct Job {
+    /// Which tenant's snapshot store serves this request.
+    pub tenant: TenantKey,
+    /// The request itself.
+    pub request: ExplainRequest,
+    /// If set, the instant past which the job must not *start*: a worker
+    /// draining an expired job responds [`ServiceError::DeadlineExceeded`]
+    /// instead of computing. (A computation already underway runs to
+    /// completion — enforcement is at admission and dequeue, which bounds
+    /// the overrun by one batch's compute time.)
+    pub deadline: Option<Instant>,
+    /// When the job was accepted, for submit→response latency.
+    pub enqueued: Instant,
+    /// Where the response goes.
+    pub tx: Sender<ExplainResponse>,
+}
+
+/// What travels on a shard's queue.
+pub(crate) enum Msg {
+    /// A unit of work.
+    Job(Box<Job>),
+    /// One worker should exit after finishing its current batch.
+    Shutdown,
+}
+
+/// Send `response` for a job accepted at `enqueued`, recording the
+/// submit→response latency. A requester that dropped its handle is not
+/// an error.
+fn respond(
+    core: &ShardCore,
+    enqueued: Instant,
+    tx: &Sender<ExplainResponse>,
+    response: ExplainResponse,
+) {
+    core.stats.latency.record(enqueued.elapsed());
+    let _ = tx.send(response);
+}
+
+pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore) {
+    loop {
+        let mut saw_shutdown = false;
+        let mut batch: Vec<Job> = Vec::new();
+        {
+            let rx = lock_unpoisoned(rx);
+            match rx.recv() {
+                Ok(Msg::Job(job)) => batch.push(*job),
+                Ok(Msg::Shutdown) | Err(_) => return,
+            }
+            while batch.len() < core.cfg.batch_max {
+                match rx.try_recv() {
+                    Ok(Msg::Job(job)) => batch.push(*job),
+                    Ok(Msg::Shutdown) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        StatsCounters::gauge_dec(&core.stats.queue_depth, batch.len() as u64);
+        process_batch(core, batch);
+        if saw_shutdown {
+            return;
+        }
+    }
+}
+
+/// Evaluate one batch: enforce deadlines, group identical
+/// (tenant, request) pairs, serve them from the responsibility cache
+/// when possible, and compute each distinct miss exactly once against a
+/// snapshot pinned per group.
+fn process_batch(core: &ShardCore, batch: Vec<Job>) {
+    StatsCounters::bump(&core.stats.batches);
+    StatsCounters::add(&core.stats.batched_requests, batch.len() as u64);
+
+    // Deadline gate at dequeue: an expired job costs a response, never a
+    // computation — the worker's budget is spent on requests that can
+    // still meet theirs.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        match job.deadline {
+            Some(deadline) if deadline <= now => {
+                StatsCounters::bump(&core.stats.deadline_misses);
+                respond(
+                    core,
+                    job.enqueued,
+                    &job.tx,
+                    ExplainResponse {
+                        result: Err(ServiceError::DeadlineExceeded),
+                        snapshot_version: 0,
+                        cache_hit: false,
+                    },
+                );
+            }
+            _ => live.push(job),
+        }
+    }
+
+    // Coalesce identical (tenant, request) pairs, preserving first-seen
+    // order. Tenants never coalesce with each other: identical queries
+    // over different tenants' databases are different computations.
+    type Waiters = Vec<(Instant, Sender<ExplainResponse>)>;
+    let mut order: Vec<(TenantKey, ExplainRequest)> = Vec::new();
+    let mut groups: HashMap<(TenantKey, ExplainRequest), Waiters> = HashMap::new();
+    for job in live {
+        let key = (job.tenant, job.request);
+        let entry = groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push((job.enqueued, job.tx));
+    }
+
+    for (tenant, request) in order {
+        let senders = groups
+            .remove(&(tenant, request.clone()))
+            .expect("grouped senders");
+        let Some(store) = core.store(tenant) else {
+            // Unreachable through the public API (tenants are registered
+            // before their id is handed out and never removed), but a
+            // stale id must get an error, not a hang.
+            for (enqueued, tx) in senders {
+                respond(
+                    core,
+                    enqueued,
+                    &tx,
+                    ExplainResponse {
+                        result: Err(ServiceError::InvalidRequest(
+                            "unknown tenant for this shard".to_string(),
+                        )),
+                        snapshot_version: 0,
+                        cache_hit: false,
+                    },
+                );
+            }
+            continue;
+        };
+        let snapshot = store.current();
+        let version = snapshot.version();
+        let index_cache = core.index_cache_for(tenant, &snapshot);
+        // Key on the content stamps of exactly the relations the query
+        // reads: a hit may have been computed under an older snapshot
+        // version — sound as long as those relations are untouched.
+        let key = resp_fingerprint(&snapshot, &request).map(|f| (f, request.clone()));
+        let cached = key.as_ref().and_then(|key| {
+            let mut cache = lock_unpoisoned(&core.resp_cache);
+            cache.get(key).cloned()
+        });
+        // Per-request accounting: a hit group is all hits; a miss group is
+        // one fresh computation plus coalesced riders.
+        let (result, cache_hit) = match cached {
+            Some(explanation) => {
+                StatsCounters::add(&core.stats.cache_hits, senders.len() as u64);
+                (Ok(explanation), true)
+            }
+            None => {
+                StatsCounters::bump(&core.stats.cache_misses);
+                StatsCounters::add(&core.stats.coalesced, senders.len() as u64 - 1);
+                let computed = compute_isolated(core, &snapshot, &index_cache, &request);
+                if let (Some(key), Ok(explanation)) = (key, &computed) {
+                    lock_unpoisoned(&core.resp_cache).insert(key, explanation.clone());
+                }
+                (computed, false)
+            }
+        };
+        for (enqueued, tx) in senders {
+            respond(
+                core,
+                enqueued,
+                &tx,
+                ExplainResponse {
+                    result: result.clone(),
+                    snapshot_version: version,
+                    cache_hit,
+                },
+            );
+        }
+    }
+}
+
+/// [`compute`] behind a panic boundary. A panicking job must cost
+/// exactly one response, not the worker (and with it the whole pool —
+/// every worker shares the queue mutex a dying thread would poison):
+/// the panic is caught, counted, and converted into
+/// [`ServiceError::Panicked`] for the requester.
+fn compute_isolated(
+    core: &ShardCore,
+    snapshot: &Snapshot,
+    index_cache: &Arc<SharedIndexCache>,
+    request: &ExplainRequest,
+) -> Result<Explanation, ServiceError> {
+    let guarded = catch_unwind(AssertUnwindSafe(|| {
+        // Evaluate the chaos hooks before panicking so their locks are
+        // released by the time an unwind starts.
+        let stall = lock_unpoisoned(&core.delay)
+            .as_ref()
+            .and_then(|hook| hook(request));
+        if let Some(stall) = stall {
+            std::thread::sleep(stall);
+        }
+        let inject = lock_unpoisoned(&core.fault)
+            .as_ref()
+            .is_some_and(|hook| hook(request));
+        if inject {
+            panic!("fault injected by chaos hook");
+        }
+        compute(core, snapshot, index_cache, request)
+    }));
+    guarded.unwrap_or_else(|payload| {
+        StatsCounters::bump(&core.stats.panics_caught);
+        Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+    })
+}
+
+/// Best-effort rendering of a caught panic payload (panics carry a
+/// `&str` or `String` unless raised with a custom payload).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn compute(
+    core: &ShardCore,
+    snapshot: &Snapshot,
+    index_cache: &Arc<SharedIndexCache>,
+    request: &ExplainRequest,
+) -> Result<Explanation, ServiceError> {
+    let explainer = Explainer::new(snapshot.database(), &request.query)
+        .with_method(request.method)
+        .with_index_cache(Arc::clone(index_cache));
+    match request.kind {
+        ExplainKind::WhySo => Ok(explainer.why(&request.answer)?),
+        ExplainKind::WhyNo => Ok(explainer.why_not(&request.answer)?),
+        ExplainKind::RankTopK(k) => {
+            // The top-k path: upper-bound screening skips candidates
+            // that can no longer enter the top k, and the surviving
+            // solves fan out over `rank_parallelism` threads.
+            let (explanation, rank_stats) = explainer
+                .with_parallelism(core.cfg.rank_parallelism)
+                .why_top_k(&request.answer, k)?;
+            StatsCounters::bump(&core.stats.rank_tasks);
+            StatsCounters::add(&core.stats.topk_pruned, rank_stats.pruned as u64);
+            Ok(explanation)
+        }
+    }
+}

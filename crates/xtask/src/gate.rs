@@ -1,0 +1,505 @@
+//! The bench gate: schema validation and direction-aware regression
+//! checking over the repo's `BENCH_*.json` manifests.
+//!
+//! Every manifest must match schema version 1 (see
+//! `causality_bench::manifest`). Manifests of the same bench are
+//! ordered by recording PR and compared pairwise: a `higher_is_better`
+//! result regresses by *dropping*, a `lower_is_better` one by *rising*,
+//! in both cases beyond the noise tolerance (default ±25%). Any schema
+//! violation or regression fails the gate — and CI.
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default noise band: a result must move more than this fraction in
+/// the *worse* direction to count as a regression.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Which way is better for a result (mirrors the writer's enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better.
+    Higher,
+    /// Smaller values are better.
+    Lower,
+}
+
+/// One gated measurement of a manifest.
+#[derive(Clone, Debug)]
+pub struct GateResult {
+    /// Stable name, matched across manifests of the same bench.
+    pub name: String,
+    /// The value; `None` means "not measured this run" (JSON `null`).
+    pub value: Option<f64>,
+    /// The unit (informational).
+    pub unit: String,
+    /// Which way is better.
+    pub direction: Direction,
+}
+
+/// One parsed, schema-valid manifest.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Where it came from (for messages).
+    pub file: String,
+    /// The bench that produced it.
+    pub bench: String,
+    /// The PR that recorded it.
+    pub pr: u32,
+    /// Its gated results.
+    pub results: Vec<GateResult>,
+}
+
+fn field<'j>(doc: &'j Json, errors: &mut Vec<String>, file: &str, key: &str) -> Option<&'j Json> {
+    let value = doc.get(key);
+    if value.is_none() {
+        errors.push(format!("{file}: missing required field \"{key}\""));
+    }
+    value
+}
+
+fn str_field(doc: &Json, errors: &mut Vec<String>, file: &str, key: &str) -> String {
+    match field(doc, errors, file, key).map(|v| v.as_str()) {
+        Some(Some(s)) => s.to_string(),
+        Some(None) => {
+            errors.push(format!("{file}: field \"{key}\" must be a string"));
+            String::new()
+        }
+        None => String::new(),
+    }
+}
+
+fn uint_field(doc: &Json, errors: &mut Vec<String>, file: &str, key: &str) -> u64 {
+    match field(doc, errors, file, key).map(|v| v.as_f64()) {
+        Some(Some(n)) if n >= 0.0 && n == n.trunc() => n as u64,
+        Some(_) => {
+            errors.push(format!(
+                "{file}: field \"{key}\" must be a non-negative integer"
+            ));
+            0
+        }
+        None => 0,
+    }
+}
+
+/// Parse and schema-validate one manifest. Returns every violation
+/// found, not just the first.
+pub fn parse_manifest(file: &str, text: &str) -> Result<Manifest, Vec<String>> {
+    let doc = parse(text).map_err(|e| vec![format!("{file}: not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(1.0) => {}
+        Some(v) => errors.push(format!("{file}: unsupported schema_version {v} (want 1)")),
+        None => errors.push(format!("{file}: missing required field \"schema_version\"")),
+    }
+    let bench = str_field(&doc, &mut errors, file, "bench");
+    let pr = uint_field(&doc, &mut errors, file, "pr") as u32;
+    str_field(&doc, &mut errors, file, "unit");
+    str_field(&doc, &mut errors, file, "git_rev");
+    uint_field(&doc, &mut errors, file, "host_parallelism");
+    uint_field(&doc, &mut errors, file, "seed");
+
+    let mut results = Vec::new();
+    match field(&doc, &mut errors, file, "results").map(|v| v.as_arr()) {
+        Some(Some(items)) => {
+            if items.is_empty() {
+                errors.push(format!("{file}: \"results\" must not be empty"));
+            }
+            for (i, item) in items.iter().enumerate() {
+                let at = format!("{file}: results[{i}]");
+                let name = match item.get("name").and_then(Json::as_str) {
+                    Some(name) if !name.is_empty() => name.to_string(),
+                    _ => {
+                        errors.push(format!("{at}: missing or empty \"name\""));
+                        continue;
+                    }
+                };
+                let value = match item.get("value") {
+                    Some(Json::Null) => None,
+                    Some(v) => match v.as_f64() {
+                        Some(n) => Some(n),
+                        None => {
+                            errors.push(format!("{at}: \"value\" must be a number or null"));
+                            continue;
+                        }
+                    },
+                    None => {
+                        errors.push(format!("{at}: missing \"value\""));
+                        continue;
+                    }
+                };
+                let unit = match item.get("unit").and_then(Json::as_str) {
+                    Some(u) => u.to_string(),
+                    None => {
+                        errors.push(format!("{at}: missing \"unit\""));
+                        continue;
+                    }
+                };
+                let direction = match item.get("direction").and_then(Json::as_str) {
+                    Some("higher_is_better") => Direction::Higher,
+                    Some("lower_is_better") => Direction::Lower,
+                    other => {
+                        errors.push(format!(
+                            "{at}: \"direction\" must be higher_is_better or lower_is_better, got {other:?}"
+                        ));
+                        continue;
+                    }
+                };
+                if results.iter().any(|r: &GateResult| r.name == name) {
+                    errors.push(format!("{at}: duplicate result name {name:?}"));
+                    continue;
+                }
+                results.push(GateResult {
+                    name,
+                    value,
+                    unit,
+                    direction,
+                });
+            }
+        }
+        Some(None) => errors.push(format!("{file}: \"results\" must be an array")),
+        None => {}
+    }
+
+    if errors.is_empty() {
+        Ok(Manifest {
+            file: file.to_string(),
+            bench,
+            pr,
+            results,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Direction-aware regression check of `newer` against `older`.
+/// Returns one message per regressed result; names present in only one
+/// manifest (and `null` values) are skipped.
+pub fn regressions(older: &Manifest, newer: &Manifest, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for new in &newer.results {
+        let Some(old) = older.results.iter().find(|r| r.name == new.name) else {
+            continue;
+        };
+        let (Some(before), Some(after)) = (old.value, new.value) else {
+            continue;
+        };
+        let regressed = match new.direction {
+            Direction::Higher => after < before * (1.0 - tolerance),
+            Direction::Lower => after > before * (1.0 + tolerance),
+        };
+        if regressed {
+            let worse = match new.direction {
+                Direction::Higher => "dropped",
+                Direction::Lower => "rose",
+            };
+            out.push(format!(
+                "{bench}/{name}: {worse} beyond the ±{pct:.0}% band — {before} → {after} {unit} ({old_file} pr {old_pr} vs {new_file} pr {new_pr})",
+                bench = newer.bench,
+                name = new.name,
+                pct = tolerance * 100.0,
+                unit = new.unit,
+                old_file = older.file,
+                old_pr = older.pr,
+                new_file = newer.file,
+                new_pr = newer.pr,
+            ));
+        }
+    }
+    out
+}
+
+/// List the `BENCH_*.json` files directly under `root`, sorted by name.
+fn manifest_paths(root: &str) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut paths: Vec<_> = std::fs::read_dir(root)?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Run the full gate over `root`: validate every `BENCH_*.json`, then
+/// compare consecutive PRs of each bench. With `latest`, additionally
+/// compare that freshly-generated manifest against the newest committed
+/// manifest of the same bench (other than itself) — the CI hook for
+/// "did this run regress the recorded trajectory?".
+///
+/// Returns the human-readable report, or every violation found.
+pub fn run_gate(root: &str, tolerance: f64, latest: Option<&str>) -> Result<String, Vec<String>> {
+    let paths = manifest_paths(root).map_err(|e| vec![format!("cannot read {root}: {e}")])?;
+    if paths.is_empty() {
+        return Err(vec![format!("no BENCH_*.json manifests under {root}")]);
+    }
+
+    let mut errors = Vec::new();
+    let mut manifests = Vec::new();
+    for path in &paths {
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("BENCH_?.json")
+            .to_string();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                errors.push(format!("{file}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match parse_manifest(&file, &text) {
+            Ok(manifest) => manifests.push(manifest),
+            Err(mut es) => errors.append(&mut es),
+        }
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "bench-gate: {} manifest(s) under {root}, tolerance ±{:.0}%",
+        manifests.len(),
+        tolerance * 100.0
+    );
+
+    // Group by bench, order by recording PR, compare consecutive pairs.
+    let mut by_bench: BTreeMap<&str, Vec<&Manifest>> = BTreeMap::new();
+    for m in &manifests {
+        by_bench.entry(&m.bench).or_default().push(m);
+    }
+    for (bench, group) in &mut by_bench {
+        group.sort_by_key(|m| m.pr);
+        let _ = writeln!(
+            report,
+            "  {bench}: {} ({} result(s) each at most)",
+            group
+                .iter()
+                .map(|m| format!("{} [pr {}]", m.file, m.pr))
+                .collect::<Vec<_>>()
+                .join(" → "),
+            group.iter().map(|m| m.results.len()).max().unwrap_or(0)
+        );
+        for pair in group.windows(2) {
+            errors.extend(regressions(pair[0], pair[1], tolerance));
+        }
+    }
+
+    if let Some(latest_path) = latest {
+        let text = std::fs::read_to_string(latest_path)
+            .map_err(|e| vec![format!("{latest_path}: unreadable: {e}")])?;
+        let fresh = parse_manifest(latest_path, &text)?;
+        let baseline = manifests
+            .iter()
+            .filter(|m| m.bench == fresh.bench && m.file != fresh.file)
+            .max_by_key(|m| m.pr);
+        match baseline {
+            Some(baseline) => {
+                let _ = writeln!(
+                    report,
+                    "  latest {latest_path} vs committed {} [pr {}]",
+                    baseline.file, baseline.pr
+                );
+                errors.extend(regressions(baseline, &fresh, tolerance));
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "  latest {latest_path}: no committed baseline for bench {:?} — nothing to compare",
+                    fresh.bench
+                );
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        let _ = writeln!(report, "bench-gate: OK");
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(bench: &str, pr: u32, results: &[(&str, f64, &str)]) -> String {
+        let rows: Vec<String> = results
+            .iter()
+            .map(|(name, value, direction)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"value\": {value}, \"unit\": \"u\", \"direction\": \"{direction}\"}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\": 1, \"bench\": \"{bench}\", \"pr\": {pr}, \"unit\": \"u\", \
+             \"git_rev\": \"abc\", \"host_parallelism\": 1, \"seed\": 0, \"note\": \"\", \
+             \"results\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn valid_manifest_parses() {
+        let m = parse_manifest(
+            "BENCH_9.json",
+            &manifest("demo", 9, &[("x", 2.0, "higher_is_better")]),
+        )
+        .unwrap();
+        assert_eq!(m.bench, "demo");
+        assert_eq!(m.pr, 9);
+        assert_eq!(m.results.len(), 1);
+        assert_eq!(m.results[0].direction, Direction::Higher);
+    }
+
+    #[test]
+    fn schema_violations_are_all_reported() {
+        let errs = parse_manifest(
+            "B.json",
+            r#"{"schema_version": 2, "bench": "d", "results": [{"name": "", "value": 1}]}"#,
+        )
+        .unwrap_err();
+        let text = errs.join("\n");
+        for needle in [
+            "unsupported schema_version 2",
+            "missing required field \"pr\"",
+            "missing required field \"git_rev\"",
+            "missing required field \"host_parallelism\"",
+            "missing required field \"seed\"",
+            "missing or empty \"name\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn null_values_and_unknown_names_are_skipped() {
+        let old =
+            parse_manifest("a", &manifest("d", 1, &[("x", 10.0, "higher_is_better")])).unwrap();
+        let new = parse_manifest(
+            "b",
+            r#"{"schema_version": 1, "bench": "d", "pr": 2, "unit": "u", "git_rev": "r",
+                "host_parallelism": 1, "seed": 0, "note": "",
+                "results": [{"name": "x", "value": null, "unit": "u", "direction": "higher_is_better"},
+                            {"name": "fresh", "value": 1.0, "unit": "u", "direction": "higher_is_better"}]}"#,
+        )
+        .unwrap();
+        assert!(regressions(&old, &new, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn fabricated_2x_regression_fails_the_gate() {
+        // A higher-is-better result halving is far outside ±25%.
+        let old = parse_manifest(
+            "a",
+            &manifest("d", 5, &[("speedup", 4.0, "higher_is_better")]),
+        )
+        .unwrap();
+        let new = parse_manifest(
+            "b",
+            &manifest("d", 6, &[("speedup", 2.0, "higher_is_better")]),
+        )
+        .unwrap();
+        let violations = regressions(&old, &new, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("dropped"), "{violations:?}");
+
+        // And a lower-is-better latency doubling fails too.
+        let old =
+            parse_manifest("a", &manifest("d", 5, &[("p99", 100.0, "lower_is_better")])).unwrap();
+        let new =
+            parse_manifest("b", &manifest("d", 6, &[("p99", 200.0, "lower_is_better")])).unwrap();
+        let violations = regressions(&old, &new, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("rose"), "{violations:?}");
+    }
+
+    #[test]
+    fn noise_band_and_improvements_pass() {
+        let old = parse_manifest(
+            "a",
+            &manifest(
+                "d",
+                5,
+                &[
+                    ("tput", 100.0, "higher_is_better"),
+                    ("p99", 100.0, "lower_is_better"),
+                ],
+            ),
+        )
+        .unwrap();
+        // 20% worse on both: inside the ±25% band.
+        let noisy = parse_manifest(
+            "b",
+            &manifest(
+                "d",
+                6,
+                &[
+                    ("tput", 80.0, "higher_is_better"),
+                    ("p99", 120.0, "lower_is_better"),
+                ],
+            ),
+        )
+        .unwrap();
+        assert!(regressions(&old, &noisy, DEFAULT_TOLERANCE).is_empty());
+        // Better on both: always passes.
+        let better = parse_manifest(
+            "b",
+            &manifest(
+                "d",
+                6,
+                &[
+                    ("tput", 500.0, "higher_is_better"),
+                    ("p99", 10.0, "lower_is_better"),
+                ],
+            ),
+        )
+        .unwrap();
+        assert!(regressions(&old, &better, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn gate_runs_over_a_directory_and_fails_on_regression() {
+        let dir = std::env::temp_dir().join(format!("bench-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let root = dir.to_str().unwrap();
+        std::fs::write(
+            dir.join("BENCH_1.json"),
+            manifest("d", 1, &[("x", 10.0, "higher_is_better")]),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("BENCH_2.json"),
+            manifest("d", 2, &[("x", 9.0, "higher_is_better")]),
+        )
+        .unwrap();
+        let report = run_gate(root, DEFAULT_TOLERANCE, None).unwrap();
+        assert!(report.contains("bench-gate: OK"), "{report}");
+
+        // Fabricate a 2× regression in a third manifest: gate fails.
+        std::fs::write(
+            dir.join("BENCH_3.json"),
+            manifest("d", 3, &[("x", 4.5, "higher_is_better")]),
+        )
+        .unwrap();
+        let errors = run_gate(root, DEFAULT_TOLERANCE, None).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("d/x")), "{errors:?}");
+
+        // --latest compares against the newest committed manifest.
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&fresh, manifest("d", 3, &[("x", 2.0, "higher_is_better")])).unwrap();
+        std::fs::remove_file(dir.join("BENCH_3.json")).unwrap();
+        let errors = run_gate(root, DEFAULT_TOLERANCE, Some(fresh.to_str().unwrap())).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("dropped")), "{errors:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

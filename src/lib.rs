@@ -24,7 +24,7 @@
 //! | [`core`] | causes (Thm. 3.2), FO cause programs (Thm. 3.4), responsibility (Algorithm 1, exact, Why-No), the dichotomy classifier (Cor. 4.14) |
 //! | [`reductions`] | executable hardness proofs: 3SAT rings, vertex cover, the LOGSPACE chain |
 //! | [`datagen`] | IMDB-schema synthesis (Fig. 1/2), chain/triangle workloads, Zipf |
-//! | [`service`] | concurrent explanation serving: snapshots, worker pool with batching, responsibility LRU cache |
+//! | [`service`] | sharded explanation serving: admission control, deadlines, per-shard worker pools and caches, latency histograms |
 //!
 //! # Quickstart
 //!
@@ -77,7 +77,7 @@ pub mod prelude {
     pub use causality_lineage::{lineage, n_lineage};
     pub use causality_service::{
         CausalityService, ExplainKind, ExplainRequest, ExplainResponse, ServiceConfig,
-        ServiceError, ServiceStats,
+        ServiceError, ServiceStats, ShardedService, TenantId, TierConfig, TierStats,
     };
 }
 
