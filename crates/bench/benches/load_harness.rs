@@ -22,19 +22,29 @@
 //! 3. **overload** — shrink the admission limit under stalled workers
 //!    and require every overrun submission to be *rejected* with
 //!    `Overloaded` (never dropped, never blocking) while every accepted
-//!    request still resolves.
+//!    request still resolves;
+//! 4. **slow-log outlier** — a non-weakly-linear (NP-hard) triangle
+//!    query served next to a stalled worker must land in the
+//!    explanation slow-log with its dichotomy class and a
+//!    `kernel_solve` span attached.
 //!
-//! A full run writes `BENCH_6.json` (shared manifest schema, see
-//! `causality_bench::manifest`) at the repo root; `--test`/`--list`
-//! runs a miniature of all three phases with the same assertions and
-//! writes nothing.
+//! The timed replays run with **full trace sampling on** (ring of 128
+//! per shard), so the throughput numbers the bench gate compares across
+//! PRs already include the tracing overhead — that is the release-mode
+//! overhead guard. A full run writes `BENCH_7.json` (shared manifest
+//! schema, see `causality_bench::manifest`) plus the telemetry
+//! artifacts `traces.jsonl`, `metrics.prom`, and `slowlog.jsonl` at the
+//! repo root; `--test`/`--list` runs a miniature of all phases with the
+//! same assertions and drops the artifacts under `target/` as
+//! `load_harness_{traces.jsonl,metrics.prom,slowlog.jsonl}` instead.
 
 use causality_bench::{BenchManifest, Direction};
 use causality_datagen::tenants::{tenant_workload, TenantOp, TenantWorkload, TenantWorkloadConfig};
-use causality_engine::Value;
+use causality_engine::{Database, Schema, Value};
 use causality_service::{
     ExplainRequest, PendingExplain, ServiceConfig, ShardedService, TenantId, TierConfig,
 };
+use causality_telemetry::{Stage, TelemetryConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -88,6 +98,10 @@ fn build_tier(
         shard: ServiceConfig {
             workers,
             queue_capacity: workload.ops.len().max(64),
+            telemetry: TelemetryConfig {
+                trace_ring: 128,
+                ..TelemetryConfig::default()
+            },
             ..ServiceConfig::default()
         },
     });
@@ -184,8 +198,19 @@ struct PhaseNumbers {
     peak_queue_depth: u64,
 }
 
+/// Telemetry captured from the timed tier before shutdown.
+struct TierTelemetry {
+    traces_jsonl: String,
+    metrics_prom: String,
+    traces_sampled: usize,
+}
+
 /// Warmup replay, stats reset, then the timed replay.
-fn measure_tier(workload: &TenantWorkload, shards: usize, workers: usize) -> PhaseNumbers {
+fn measure_tier(
+    workload: &TenantWorkload,
+    shards: usize,
+    workers: usize,
+) -> (PhaseNumbers, TierTelemetry) {
     let (tier, tenants) = build_tier(workload, shards, workers);
     replay(&tier, &tenants, workload);
     let warm = tier.snapshot_and_reset().aggregate();
@@ -214,8 +239,131 @@ fn measure_tier(workload: &TenantWorkload, shards: usize, workers: usize) -> Pha
         cache_hit_rate: hits / (hits + stats.cache_misses as f64),
         peak_queue_depth,
     };
+    let traces = tier.recent_traces();
+    assert!(
+        !traces.is_empty(),
+        "full sampling must retain traces of the timed replay"
+    );
+    let telemetry = TierTelemetry {
+        traces_jsonl: tier.export_traces(),
+        metrics_prom: tier.export_metrics(),
+        traces_sampled: traces.len(),
+    };
     tier.shutdown();
-    numbers
+    (numbers, telemetry)
+}
+
+/// Slow-log outlier: serve an *easy* (weakly linear, PTIME) request and
+/// a *hard* (non-weakly-linear triangle, NP-hard per Cor. 4.14) request
+/// through a tier whose workers are artificially stalled, with a slow
+/// threshold between the two. The hard request must land in the
+/// slow-log carrying its dichotomy class and a `kernel_solve` span.
+/// Returns the slow-log JSONL for the artifact dump.
+fn assert_slow_log_outlier(workload: &TenantWorkload) -> String {
+    let tier = ShardedService::new(TierConfig {
+        shards: 1,
+        admission_limit: 64,
+        default_deadline: None,
+        shard: ServiceConfig {
+            workers: 1,
+            telemetry: TelemetryConfig {
+                slow_latency: Some(Duration::from_millis(5)),
+                ..TelemetryConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    });
+
+    let easy_spec = &workload.tenants[0];
+    let easy = tier
+        .add_tenant(&easy_spec.name, easy_spec.db.clone())
+        .expect("fresh tier");
+
+    let mut db = Database::new();
+    let r = db.add_relation(Schema::new("R", &["x", "y"]));
+    let s = db.add_relation(Schema::new("S", &["y", "z"]));
+    let t = db.add_relation(Schema::new("T", &["z", "x"]));
+    db.insert_endo(r, vec![Value::int(1), Value::int(2)]);
+    db.insert_endo(s, vec![Value::int(2), Value::int(3)]);
+    db.insert_endo(t, vec![Value::int(3), Value::int(1)]);
+    let hard = tier.add_tenant("triangle", db).expect("fresh tier");
+    let triangle =
+        causality_engine::ConjunctiveQuery::parse("h2 :- R(x, y), S(y, z), T(z, x)").unwrap();
+
+    // The easy request runs unstalled and stays under the threshold.
+    let easy_req =
+        ExplainRequest::why_so(easy_spec.query.clone(), vec![easy_spec.answers[0].clone()]);
+    tier.explain(easy, easy_req)
+        .expect("serves")
+        .result
+        .unwrap();
+
+    // Stall the worker for the hard request so it overruns the slow
+    // threshold deterministically.
+    tier.inject_delay(|_| Some(Duration::from_millis(20)));
+    let hard_req = ExplainRequest::why_so(triangle, vec![]);
+    let resp = tier.explain(hard, hard_req).expect("serves");
+    resp.result.expect("boolean triangle answer has causes");
+
+    let slow = tier.slow_log_records();
+    assert!(
+        !slow.is_empty(),
+        "the stalled NP-hard request must hit the slow-log"
+    );
+    let outlier = slow
+        .iter()
+        .find(|rec| rec.dichotomy.starts_with("NP-hard"))
+        .expect("slow-log captures the NP-hard outlier with its class");
+    assert_eq!(outlier.kind, "why_so");
+    assert!(
+        outlier.stage(Stage::KernelSolve).is_some(),
+        "outlier keeps its kernel-stage timing"
+    );
+    assert!(
+        outlier.total_us >= 5_000,
+        "outlier really overran the 5ms threshold: {} us",
+        outlier.total_us
+    );
+    assert!(
+        !slow.iter().any(|rec| rec.dichotomy == "PTIME"),
+        "the easy request stays out of the slow-log"
+    );
+    let jsonl = tier.export_slow_log();
+    tier.shutdown();
+    jsonl
+}
+
+/// Dump the telemetry artifacts next to the manifest (full run) or
+/// under `target/` with a `load_harness_` prefix (quick run).
+fn write_artifacts(quick: bool, telemetry: &TierTelemetry, slowlog: &str) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let files: [(String, &str); 3] = if quick {
+        [
+            (format!("{root}/target/load_harness_traces.jsonl"), "traces"),
+            (format!("{root}/target/load_harness_metrics.prom"), "prom"),
+            (
+                format!("{root}/target/load_harness_slowlog.jsonl"),
+                "slowlog",
+            ),
+        ]
+    } else {
+        [
+            (format!("{root}/traces.jsonl"), "traces"),
+            (format!("{root}/metrics.prom"), "prom"),
+            (format!("{root}/slowlog.jsonl"), "slowlog"),
+        ]
+    };
+    for (path, which) in &files {
+        let body = match *which {
+            "traces" => telemetry.traces_jsonl.as_str(),
+            "prom" => telemetry.metrics_prom.as_str(),
+            _ => slowlog,
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => println!("wrote {path} ({} bytes)", body.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }
 
 /// Isolation: tenant B's warm responsibility cache must survive a write
@@ -313,10 +461,10 @@ fn assert_admission_control(workload: &TenantWorkload) {
 
 fn write_manifest(cfg: &HarnessConfig, single: &PhaseNumbers, sharded: &PhaseNumbers) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_6.json");
+    let path = format!("{root}/BENCH_7.json");
     let mut manifest = BenchManifest::new(
         "load_harness",
-        6,
+        7,
         "ops/s",
         cfg.workload.seed,
         "open-loop multi-tenant replay (Zipf-hot tenants, mixed why-so/why-no/top-k reads \
@@ -392,9 +540,10 @@ fn main() {
 
     assert_shard_isolation(&workload, cfg.shards.max(2));
     assert_admission_control(&workload);
+    let slowlog = assert_slow_log_outlier(&workload);
 
-    let single = measure_tier(&workload, 1, cfg.workers_per_shard);
-    let sharded = measure_tier(&workload, cfg.shards, cfg.workers_per_shard);
+    let (single, _) = measure_tier(&workload, 1, cfg.workers_per_shard);
+    let (sharded, telemetry) = measure_tier(&workload, cfg.shards, cfg.workers_per_shard);
     println!(
         "single shard : {:>9.0} ops/s  p50 {:>6} us  p99 {:>6} us",
         single.throughput, single.p50_us, single.p99_us
@@ -408,9 +557,16 @@ fn main() {
         sharded.cache_hit_rate,
         sharded.peak_queue_depth
     );
+    println!(
+        "telemetry    : {} traces retained across {} shard rings",
+        telemetry.traces_sampled, cfg.shards
+    );
 
+    write_artifacts(quick, &telemetry, &slowlog);
     if quick {
-        println!("load_harness: isolation/admission/latency assertions ok (manifest skipped)");
+        println!(
+            "load_harness: isolation/admission/slow-log/latency assertions ok (manifest skipped)"
+        );
         return;
     }
     write_manifest(&cfg, &single, &sharded);

@@ -39,17 +39,86 @@ pub enum Complexity {
 impl Complexity {
     /// Short label for tables (Fig. 3 style).
     pub fn label(&self) -> &'static str {
-        match self {
-            Complexity::PTime(_) => "PTIME",
-            Complexity::NpHard(_) => "NP-hard",
-            Complexity::HardSelfJoin => "NP-hard (self-join, Prop. 4.16)",
-            Complexity::OpenSelfJoin => "open (self-join)",
-        }
+        self.tag().label()
     }
 
     /// Whether the verdict is PTIME.
     pub fn is_ptime(&self) -> bool {
         matches!(self, Complexity::PTime(_))
+    }
+
+    /// The certificate-free, `Copy` summary of the verdict, suitable for
+    /// stamping on explanations and traces.
+    pub fn tag(&self) -> DichotomyTag {
+        match self {
+            Complexity::PTime(_) => DichotomyTag::PTime,
+            Complexity::NpHard(_) => DichotomyTag::NpHard,
+            Complexity::HardSelfJoin => DichotomyTag::HardSelfJoin,
+            Complexity::OpenSelfJoin => DichotomyTag::OpenSelfJoin,
+        }
+    }
+}
+
+/// A certificate-free summary of a [`Complexity`] verdict. Unlike
+/// [`Complexity`] (which boxes the weakening sequence or rewrite chain),
+/// this is `Copy` and comparable, so results and traces can carry it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DichotomyTag {
+    /// Weakly linear: PTIME via Algorithm 1.
+    PTime,
+    /// Not weakly linear: NP-hard (Theorems 4.1, 4.13).
+    NpHard,
+    /// The Prop. 4.16 self-join pattern — known NP-hard.
+    HardSelfJoin,
+    /// A self-join outside the dichotomy; complexity open.
+    OpenSelfJoin,
+    /// The classifier could not analyze the query (e.g. malformed
+    /// abstract view); no verdict.
+    Unclassified,
+}
+
+impl DichotomyTag {
+    /// Same labels as [`Complexity::label`], plus `unclassified`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DichotomyTag::PTime => "PTIME",
+            DichotomyTag::NpHard => "NP-hard",
+            DichotomyTag::HardSelfJoin => "NP-hard (self-join, Prop. 4.16)",
+            DichotomyTag::OpenSelfJoin => "open (self-join)",
+            DichotomyTag::Unclassified => "unclassified",
+        }
+    }
+
+    /// Classifies `q`, collapsing classifier errors to
+    /// [`DichotomyTag::Unclassified`] instead of failing the request.
+    ///
+    /// Serving-path queries usually leave atoms unmarked
+    /// ([`causality_engine::Nature::Any`]: the *tuples* carry the
+    /// endogenous/exogenous split), which the certificate-producing
+    /// classifier rejects. For tagging purposes unmarked atoms are
+    /// treated as endogenous — the hard direction — so the tag reports
+    /// the worst-case complexity the request could have exhibited.
+    pub fn of_why_so(q: &ConjunctiveQuery) -> DichotomyTag {
+        let needs_marks = q
+            .atoms()
+            .iter()
+            .any(|a| a.nature == causality_engine::Nature::Any);
+        let marked;
+        let query = if needs_marks {
+            let mut m = q.clone();
+            for i in 0..m.atoms().len() {
+                if m.atoms()[i].nature == causality_engine::Nature::Any {
+                    m.atom_mut(i).nature = causality_engine::Nature::Endo;
+                }
+            }
+            marked = m;
+            &marked
+        } else {
+            q
+        };
+        classify_why_so(query)
+            .map(|c| c.tag())
+            .unwrap_or(DichotomyTag::Unclassified)
     }
 }
 

@@ -22,5 +22,5 @@ pub mod rewrite;
 pub mod weaken;
 
 pub use aquery::{AAtom, AQuery};
-pub use classify::{classify_why_so, Complexity};
+pub use classify::{classify_why_so, Complexity, DichotomyTag};
 pub use weaken::WeakenStep;

@@ -6,10 +6,11 @@
 //! grounds an answer, computes its causes and responsibilities, and
 //! returns a ranked, renderable [`Explanation`] — the Fig. 2b table.
 
+use crate::dichotomy::classify::DichotomyTag;
 use crate::error::CoreError;
 use crate::ranking::{
-    rank_why_no_cached, rank_why_so_cached, rank_why_so_parallel, Method, RankConfig, RankStats,
-    RankedCause,
+    rank_why_no_metered, rank_why_so_metered, rank_why_so_parallel, Method, RankConfig, RankMeta,
+    RankStats, RankedCause,
 };
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, Tuple, TupleRef, Value};
 use std::fmt;
@@ -50,6 +51,44 @@ pub struct Explanation {
     pub answer: Vec<Value>,
     /// Causes, ranked by responsibility (descending).
     pub causes: Vec<ExplainedCause>,
+    /// The dichotomy verdict for the grounded query (Cor. 4.14). Why-No
+    /// explanations are always [`DichotomyTag::PTime`] (Theorem 4.17).
+    pub dichotomy: DichotomyTag,
+    /// Conjunct count of the minimized lineage the causes were ranked
+    /// against — the paper's per-request cost driver.
+    pub lineage_conjuncts: usize,
+}
+
+impl Explanation {
+    /// The highest responsibility among the causes (0.0 when none).
+    pub fn rho_max(&self) -> f64 {
+        self.causes.first().map(|c| c.rho).unwrap_or(0.0)
+    }
+}
+
+/// Where the time went inside one `why`/`why_not` call, for tracing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExplainTiming {
+    /// µs computing, interning, and minimizing the lineage.
+    pub lineage_us: u64,
+    /// µs in the per-cause responsibility solves.
+    pub solve_us: u64,
+}
+
+impl ExplainTiming {
+    fn of(meta: &RankMeta) -> Self {
+        Self {
+            lineage_us: meta.lineage_us,
+            solve_us: meta.solve_us,
+        }
+    }
+
+    fn of_stats(stats: &RankStats) -> Self {
+        Self {
+            lineage_us: stats.lineage_us,
+            solve_us: stats.solve_us,
+        }
+    }
 }
 
 /// Explains answers and non-answers of one query over one database.
@@ -120,18 +159,34 @@ impl<'a> Explainer<'a> {
     /// An answer that does not match the query head (arity, constants) is
     /// an error, not a panic.
     pub fn why(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
+        self.why_timed(answer).map(|(explanation, _)| explanation)
+    }
+
+    /// [`Explainer::why`] plus an [`ExplainTiming`] splitting the cost
+    /// into lineage and solve time. The explanation itself is identical
+    /// (timings never live on [`Explanation`], which stays comparable
+    /// across runs).
+    pub fn why_timed(&self, answer: &[Value]) -> Result<(Explanation, ExplainTiming), CoreError> {
         let grounded = self.query.try_ground(answer)?;
-        let ranked = if self.parallelism > 1 {
+        let tag = DichotomyTag::of_why_so(&grounded);
+        let (ranked, conjuncts, timing) = if self.parallelism > 1 {
             let cfg = RankConfig {
                 method: self.method,
                 parallelism: self.parallelism,
                 top_k: None,
             };
-            rank_why_so_parallel(self.db, &grounded, &cfg, Some(&self.cache))?.causes
+            let out = rank_why_so_parallel(self.db, &grounded, &cfg, Some(&self.cache))?;
+            let timing = ExplainTiming::of_stats(&out.stats);
+            (out.causes, out.stats.lineage_conjuncts, timing)
         } else {
-            rank_why_so_cached(self.db, &grounded, self.method, Some(&self.cache))?
+            let (ranked, meta) =
+                rank_why_so_metered(self.db, &grounded, self.method, Some(&self.cache))?;
+            (ranked, meta.lineage_conjuncts, ExplainTiming::of(&meta))
         };
-        Ok(self.build(ExplanationKind::WhySo, answer, ranked))
+        Ok((
+            self.build(ExplanationKind::WhySo, answer, ranked, tag, conjuncts),
+            timing,
+        ))
     }
 
     /// Like [`Explainer::why`], but computes (and returns) only the `k`
@@ -147,14 +202,16 @@ impl<'a> Explainer<'a> {
         k: usize,
     ) -> Result<(Explanation, RankStats), CoreError> {
         let grounded = self.query.try_ground(answer)?;
+        let tag = DichotomyTag::of_why_so(&grounded);
         let cfg = RankConfig {
             method: self.method,
             parallelism: self.parallelism,
             top_k: Some(k),
         };
         let out = rank_why_so_parallel(self.db, &grounded, &cfg, Some(&self.cache))?;
+        let conjuncts = out.stats.lineage_conjuncts;
         Ok((
-            self.build(ExplanationKind::WhySo, answer, out.causes),
+            self.build(ExplanationKind::WhySo, answer, out.causes, tag, conjuncts),
             out.stats,
         ))
     }
@@ -163,9 +220,28 @@ impl<'a> Explainer<'a> {
     /// tuples are interpreted as candidate insertions (Sect. 2's Why-No
     /// setting).
     pub fn why_not(&self, answer: &[Value]) -> Result<Explanation, CoreError> {
+        self.why_not_timed(answer)
+            .map(|(explanation, _)| explanation)
+    }
+
+    /// [`Explainer::why_not`] plus an [`ExplainTiming`]. Why-No is
+    /// always PTIME (Theorem 4.17), so the dichotomy tag is fixed.
+    pub fn why_not_timed(
+        &self,
+        answer: &[Value],
+    ) -> Result<(Explanation, ExplainTiming), CoreError> {
         let grounded = self.query.try_ground(answer)?;
-        let ranked = rank_why_no_cached(self.db, &grounded, Some(&self.cache))?;
-        Ok(self.build(ExplanationKind::WhyNo, answer, ranked))
+        let (ranked, meta) = rank_why_no_metered(self.db, &grounded, Some(&self.cache))?;
+        Ok((
+            self.build(
+                ExplanationKind::WhyNo,
+                answer,
+                ranked,
+                DichotomyTag::PTime,
+                meta.lineage_conjuncts,
+            ),
+            ExplainTiming::of(&meta),
+        ))
     }
 
     fn build(
@@ -173,6 +249,8 @@ impl<'a> Explainer<'a> {
         kind: ExplanationKind,
         answer: &[Value],
         ranked: Vec<RankedCause>,
+        dichotomy: DichotomyTag,
+        lineage_conjuncts: usize,
     ) -> Explanation {
         let causes = ranked
             .into_iter()
@@ -199,6 +277,8 @@ impl<'a> Explainer<'a> {
             kind,
             answer: answer.to_vec(),
             causes,
+            dichotomy,
+            lineage_conjuncts,
         }
     }
 
@@ -345,6 +425,53 @@ mod tests {
         assert_eq!(top2.causes.len(), 2);
         assert_eq!(top2.causes, sequential.causes[..2].to_vec());
         assert_eq!(stats.candidates, sequential.causes.len());
+    }
+
+    #[test]
+    fn explanations_carry_the_dichotomy_and_lineage_size() {
+        let db = example_2_2();
+        let query = q("q(x) :- R(x, y), S(y)");
+        let (explanation, timing) = Explainer::new(&db, &query)
+            .why_timed(&[Value::str("a4")])
+            .unwrap();
+        assert_eq!(explanation.dichotomy, DichotomyTag::PTime);
+        assert_eq!(explanation.dichotomy.label(), "PTIME");
+        assert!(explanation.lineage_conjuncts > 0);
+        assert!((explanation.rho_max() - 0.5).abs() < 1e-12);
+        // The timed and untimed calls agree on the explanation itself.
+        let untimed = Explainer::new(&db, &query)
+            .why(&[Value::str("a4")])
+            .unwrap();
+        assert_eq!(explanation, untimed);
+        let _ = timing; // timings are environment-dependent; no assertion
+
+        // The triangle h2* is NP-hard, and the tag says so.
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        db.insert_endo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2, 3]);
+        db.insert_endo(t, tup![3, 1]);
+        let hard = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        let explanation = Explainer::new(&db, &hard).why(&[]).unwrap();
+        assert_eq!(explanation.dichotomy, DichotomyTag::NpHard);
+        assert_eq!(explanation.rho_max(), 1.0);
+    }
+
+    #[test]
+    fn why_not_is_tagged_ptime_per_theorem_4_17() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        db.insert_exo(r, tup![1, 2]);
+        db.insert_endo(s, tup![2]);
+        let query = q("q(x) :- R(x, y), S(y)");
+        let (explanation, _timing) = Explainer::new(&db, &query)
+            .why_not_timed(&[Value::int(1)])
+            .unwrap();
+        assert_eq!(explanation.dichotomy, DichotomyTag::PTime);
+        assert!(explanation.lineage_conjuncts > 0);
     }
 
     #[test]

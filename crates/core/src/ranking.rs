@@ -17,6 +17,25 @@ use causality_lineage::{n_lineage_cached, non_answer_lineage_cached, LineageAren
 
 pub use parallel::{rank_why_so_parallel, RankConfig, RankStats, RankedTopK};
 
+use std::time::Instant;
+
+/// Per-ranking cost attributes surfaced to the observability layer:
+/// how big the minimized lineage was and where the time went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankMeta {
+    /// Conjunct count of the minimized lineage (`Φ^n` for Why-So, the
+    /// non-answer lineage for Why-No).
+    pub lineage_conjuncts: usize,
+    /// µs spent computing, interning, and minimizing the lineage.
+    pub lineage_us: u64,
+    /// µs spent in the per-cause responsibility solves (incl. ranking).
+    pub solve_us: u64,
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// Which responsibility algorithm to use while ranking.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Method {
@@ -65,10 +84,24 @@ pub fn rank_why_so_cached(
     method: Method,
     cache: Option<&SharedIndexCache>,
 ) -> Result<Vec<RankedCause>, CoreError> {
+    rank_why_so_metered(db, q, method, cache).map(|(ranked, _)| ranked)
+}
+
+/// [`rank_why_so_cached`] that also reports lineage size and stage
+/// timings ([`RankMeta`]) for tracing and the slow-log.
+pub fn rank_why_so_metered(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    method: Method,
+    cache: Option<&SharedIndexCache>,
+) -> Result<(Vec<RankedCause>, RankMeta), CoreError> {
+    let lineage_started = Instant::now();
     let phi = n_lineage_cached(db, q, cache)?;
     let (arena, bits) = LineageArena::from_dnf(&phi);
     let phin = bits.minimized();
     let causes = causes_from_minimized_whyso(&arena, &phin);
+    let lineage_us = elapsed_us(lineage_started);
+    let solve_started = Instant::now();
     let mut ranked = Vec::with_capacity(causes.actual.len());
     for &t in &causes.actual {
         let responsibility = match method {
@@ -86,7 +119,12 @@ pub fn rank_why_so_cached(
         });
     }
     sort_ranked(&mut ranked);
-    Ok(ranked)
+    let meta = RankMeta {
+        lineage_conjuncts: phin.conjuncts().len(),
+        lineage_us,
+        solve_us: elapsed_us(solve_started),
+    };
+    Ok((ranked, meta))
 }
 
 /// Rank the Why-No causes of a Boolean non-answer (always PTIME,
@@ -105,13 +143,31 @@ pub fn rank_why_no_cached(
     q: &ConjunctiveQuery,
     cache: Option<&SharedIndexCache>,
 ) -> Result<Vec<RankedCause>, CoreError> {
+    rank_why_no_metered(db, q, cache).map(|(ranked, _)| ranked)
+}
+
+/// [`rank_why_no_cached`] that also reports lineage size and stage
+/// timings ([`RankMeta`]) for tracing and the slow-log.
+pub fn rank_why_no_metered(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    cache: Option<&SharedIndexCache>,
+) -> Result<(Vec<RankedCause>, RankMeta), CoreError> {
+    let lineage_started = Instant::now();
     let phi = non_answer_lineage_cached(db, q, cache)?;
     let (arena, bits) = LineageArena::from_dnf(&phi);
     let phin = bits.minimized();
+    let lineage_us = elapsed_us(lineage_started);
+    let mut meta = RankMeta {
+        lineage_conjuncts: phin.conjuncts().len(),
+        lineage_us,
+        solve_us: 0,
+    };
     if phin.is_tautology() {
         // Already an answer on Dx: no Why-No causes to rank.
-        return Ok(Vec::new());
+        return Ok((Vec::new(), meta));
     }
+    let solve_started = Instant::now();
     let mut ranked = Vec::new();
     for t in arena.tuples_of(&phin.variables()) {
         let responsibility = resp::whyno::why_no_responsibility_from_bits(&arena, &phin, t);
@@ -121,7 +177,8 @@ pub fn rank_why_no_cached(
         });
     }
     sort_ranked(&mut ranked);
-    Ok(ranked)
+    meta.solve_us = elapsed_us(solve_started);
+    Ok((ranked, meta))
 }
 
 /// Descending by ρ, ties broken by tuple identity. `f64::total_cmp`

@@ -102,6 +102,14 @@ pub struct RankStats {
     pub pruned: usize,
     /// Threads that ran the fan-out (after clamping).
     pub threads: usize,
+    /// Conjunct count of the minimized lineage the run was screened
+    /// against.
+    pub lineage_conjuncts: usize,
+    /// µs spent computing, interning, and minimizing the lineage.
+    pub lineage_us: u64,
+    /// µs spent screening, solving, and merging (everything after the
+    /// lineage).
+    pub solve_us: u64,
 }
 
 /// A ranked (and possibly truncated) explanation with its run stats.
@@ -136,10 +144,16 @@ pub fn rank_why_so_parallel(
     // form, feeds the candidate screen, the upper bounds, and (for the
     // exact method) every per-cause solve. Workers borrow the same
     // `BitDnf` conjunct slice — zero per-candidate cloning.
+    let lineage_started = std::time::Instant::now();
     let phi = n_lineage_cached(db, q, cache)?;
     let (arena, bits) = LineageArena::from_dnf(&phi);
     let phin = bits.minimized();
     let causes = causes_from_minimized_whyso(&arena, &phin);
+    let lineage_us = lineage_started
+        .elapsed()
+        .as_micros()
+        .min(u128::from(u64::MAX)) as u64;
+    let solve_started = std::time::Instant::now();
 
     let mut packing_scratch = VarSet::new();
     let mut candidates: Vec<Candidate> = causes
@@ -230,6 +244,12 @@ pub fn rank_why_so_parallel(
             computed,
             pruned: shared.pruned.load(Ordering::Relaxed),
             threads,
+            lineage_conjuncts: phin.conjuncts().len(),
+            lineage_us,
+            solve_us: solve_started
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
         },
     })
 }

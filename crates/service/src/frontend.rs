@@ -29,6 +29,7 @@ use crate::shard::{lock_unpoisoned, validate, ServiceConfig, Shard};
 use crate::stats::ServiceStats;
 use crate::worker::Job;
 use causality_engine::{Database, Snapshot};
+use causality_telemetry::{metrics_jsonl, prometheus_text, traces_jsonl, RequestTrace, Stage};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -75,10 +76,11 @@ impl TierStats {
     /// The tier-wide roll-up: counters, queue depths, and latency
     /// histograms summed across shards (so `p50_us`/`p99_us` on the
     /// result are tier-wide percentiles, not averages of per-shard ones).
+    /// An empty shard list aggregates to the all-zero identity rather
+    /// than panicking.
     pub fn aggregate(&self) -> ServiceStats {
-        let mut iter = self.shards.iter();
-        let mut total = *iter.next().expect("at least one shard");
-        for shard in iter {
+        let mut total = ServiceStats::empty();
+        for shard in &self.shards {
             total.merge(shard);
         }
         total
@@ -168,6 +170,7 @@ impl ShardedService {
                 deadline: deadline.map(|budget| enqueued + budget),
                 enqueued,
                 tx,
+                trace: None,
             },
             PendingExplain { rx },
         )
@@ -204,12 +207,33 @@ impl ShardedService {
         request: ExplainRequest,
         deadline: Option<Duration>,
     ) -> Result<PendingExplain, ServiceError> {
+        let t0 = Instant::now();
         validate(&request)?;
         let shard = self
             .shards
             .get(tenant.shard())
             .ok_or_else(|| ServiceError::InvalidRequest("foreign tenant id".to_string()))?;
-        let (job, pending) = Self::job(tenant, request, deadline);
+        // The sampling decision (and the trace's Admission stage) belong
+        // to the target shard; an invalid request never reaches one and
+        // is never traced.
+        let mut trace = shard.core.telemetry.start(t0);
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.set_request(
+                tenant.shard(),
+                tenant.key(),
+                request.kind.label(),
+                request.query.atoms().len(),
+            );
+            tb.begin(Stage::Dispatch);
+        }
+        let (mut job, pending) = Self::job(tenant, request, deadline);
+        if let Some(tb) = trace.as_deref_mut() {
+            if let Some(deadline) = job.deadline {
+                tb.set_deadline(deadline);
+            }
+            tb.begin(Stage::ShardQueue);
+        }
+        job.trace = trace;
         shard.submit_admitted(job)?;
         Ok(pending)
     }
@@ -328,6 +352,59 @@ impl ShardedService {
                 })
                 .collect(),
         }
+    }
+
+    /// Prometheus text exposition of every shard's metrics registry:
+    /// one `# TYPE` line per metric, per-shard series labelled
+    /// `shard="i"`, histograms with cumulative `_bucket` / `_sum` /
+    /// `_count` series.
+    pub fn export_metrics(&self) -> String {
+        let registries: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.core.registry.as_ref())
+            .collect();
+        prometheus_text(&registries, "causality_")
+    }
+
+    /// The same metric samples as [`ShardedService::export_metrics`],
+    /// rendered as JSONL (one `{"shard":…,"metric":…}` object per line).
+    pub fn export_metrics_jsonl(&self) -> String {
+        let registries: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.core.registry.as_ref())
+            .collect();
+        metrics_jsonl(&registries)
+    }
+
+    /// The sampled traces currently retained across all shard rings,
+    /// oldest-first within each shard. Non-draining: exporting twice
+    /// returns the same traces.
+    pub fn recent_traces(&self) -> Vec<RequestTrace> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.core.telemetry.traces())
+            .collect()
+    }
+
+    /// [`ShardedService::recent_traces`] rendered as JSONL.
+    pub fn export_traces(&self) -> String {
+        traces_jsonl(&self.recent_traces())
+    }
+
+    /// The explanation slow-log across all shards: traces whose total
+    /// latency or deadline slack crossed the configured thresholds.
+    pub fn slow_log_records(&self) -> Vec<RequestTrace> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.core.telemetry.slow_log())
+            .collect()
+    }
+
+    /// [`ShardedService::slow_log_records`] rendered as JSONL.
+    pub fn export_slow_log(&self) -> String {
+        traces_jsonl(&self.slow_log_records())
     }
 
     /// Stop accepting work, drain every shard's queue, and join all
@@ -544,5 +621,29 @@ mod tests {
         let reset = tier.snapshot_and_reset();
         assert_eq!(reset.aggregate().requests, 2);
         assert_eq!(tier.stats().aggregate().requests, 0);
+    }
+
+    #[test]
+    fn aggregate_of_no_shards_is_the_zero_identity() {
+        let stats = TierStats { shards: Vec::new() };
+        let total = stats.aggregate();
+        assert_eq!(total.requests, 0);
+        assert_eq!(total.workers, 0);
+        assert_eq!(total.p99_us(), 0);
+    }
+
+    #[test]
+    fn aggregate_merges_two_nonempty_latency_histograms() {
+        let mut a = ServiceStats::empty();
+        let mut b = ServiceStats::empty();
+        // Two samples on one shard, one on the other: the merged
+        // histogram must preserve the total count, not average it away.
+        a.latency_buckets[3] = 2;
+        b.latency_buckets[7] = 1;
+        let stats = TierStats { shards: vec![a, b] };
+        let total = stats.aggregate();
+        assert_eq!(total.latency_samples(), 3);
+        assert_eq!(total.p50_us(), 8, "p50 comes from the two-sample bucket");
+        assert_eq!(total.p99_us(), 128, "p99 reaches the other shard's bucket");
     }
 }

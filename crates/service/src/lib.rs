@@ -71,7 +71,21 @@
 //!   gauge, and a fixed-bucket submit→response latency histogram
 //!   ([`ServiceStats::p50_us`]/[`ServiceStats::p99_us`]);
 //!   `snapshot_and_reset` separates measurement phases without
-//!   restarting the tier.
+//!   restarting the tier. Since PR 7 every counter lives in a per-shard
+//!   [`causality_telemetry`] registry exported verbatim — full histogram
+//!   buckets included — via
+//!   [`ShardedService::export_metrics`] (Prometheus text) and
+//!   [`ShardedService::export_metrics_jsonl`];
+//! * request tracing — sampled requests (rate set by
+//!   [`TelemetryConfig::sample_rate`]) carry a span builder through
+//!   admission → dispatch → shard queue → worker dequeue → snapshot pin
+//!   → lineage/intern → kernel solve → respond, stamped with causal
+//!   attributes (dichotomy class, minimized lineage size, ρ_max, cache
+//!   hit/coalesce flags, deadline slack). Finished traces land in a
+//!   bounded per-shard ring ([`ShardedService::recent_traces`] /
+//!   [`ShardedService::export_traces`]), and requests crossing the
+//!   configured latency or slack thresholds are duplicated into an
+//!   explanation slow-log ([`ShardedService::slow_log_records`]).
 //!
 //! # Example
 //!
@@ -113,6 +127,10 @@ pub use request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, 
 pub use service::CausalityService;
 pub use shard::ServiceConfig;
 pub use stats::ServiceStats;
+
+// The telemetry vocabulary a service embedder needs: the config knob on
+// [`ServiceConfig`] plus the trace types the export APIs return.
+pub use causality_telemetry::{RequestTrace, Stage, StageSpan, TelemetryConfig};
 
 #[cfg(test)]
 mod tests {

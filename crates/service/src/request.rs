@@ -75,6 +75,17 @@ impl ExplainRequest {
     }
 }
 
+impl ExplainKind {
+    /// Stable label used as the `kind` attribute of request traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExplainKind::WhySo => "why_so",
+            ExplainKind::WhyNo => "why_no",
+            ExplainKind::RankTopK(_) => "rank_top_k",
+        }
+    }
+}
+
 /// A served explanation with its provenance metadata.
 #[derive(Clone, Debug)]
 pub struct ExplainResponse {
@@ -144,6 +155,22 @@ impl fmt::Display for ServiceError {
             ServiceError::Panicked(why) => {
                 write!(f, "explanation computation panicked: {why}")
             }
+        }
+    }
+}
+
+impl ServiceError {
+    /// Stable label used as the `outcome` attribute of request traces.
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            ServiceError::Disconnected => "disconnected",
+            ServiceError::QueueFull => "queue_full",
+            ServiceError::Overloaded => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
+            ServiceError::Timeout => "timeout",
+            ServiceError::InvalidRequest(_) => "invalid_request",
+            ServiceError::Core(_) => "error",
+            ServiceError::Panicked(_) => "panicked",
         }
     }
 }

@@ -14,8 +14,9 @@ use crate::shard::{lock_unpoisoned, validate, Shard, TenantKey};
 use crate::stats::ServiceStats;
 use crate::worker::Job;
 use causality_engine::{Database, Snapshot, SnapshotStore};
+use causality_telemetry::{metrics_jsonl, prometheus_text, traces_jsonl, RequestTrace, Stage};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use crate::shard::ServiceConfig;
 
@@ -53,24 +54,50 @@ impl CausalityService {
         CausalityService { shard, store }
     }
 
-    fn job(request: ExplainRequest) -> (Job, PendingExplain) {
+    /// Validate, build the job, and (when sampled) open its trace through
+    /// the Admission → Dispatch → ShardQueue stages.
+    fn prepare(
+        &self,
+        request: ExplainRequest,
+        budget: Option<Duration>,
+    ) -> Result<(Job, PendingExplain), ServiceError> {
+        let t0 = Instant::now();
+        validate(&request)?;
+        let mut trace = self.shard.core.telemetry.start(t0);
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.set_request(
+                0,
+                SOLE_TENANT,
+                request.kind.label(),
+                request.query.atoms().len(),
+            );
+            tb.begin(Stage::Dispatch);
+        }
         let (tx, rx) = mpsc::channel();
-        (
+        let enqueued = Instant::now();
+        let deadline = budget.map(|budget| enqueued + budget);
+        if let Some(tb) = trace.as_deref_mut() {
+            if let Some(deadline) = deadline {
+                tb.set_deadline(deadline);
+            }
+            tb.begin(Stage::ShardQueue);
+        }
+        Ok((
             Job {
                 tenant: SOLE_TENANT,
                 request,
-                deadline: None,
-                enqueued: std::time::Instant::now(),
+                deadline,
+                enqueued,
                 tx,
+                trace,
             },
             PendingExplain { rx },
-        )
+        ))
     }
 
     /// Enqueue a request, blocking while the queue is full (backpressure).
     pub fn submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
-        validate(&request)?;
-        let (job, pending) = Self::job(request);
+        let (job, pending) = self.prepare(request, None)?;
         self.shard.submit_blocking(job)?;
         Ok(pending)
     }
@@ -78,8 +105,7 @@ impl CausalityService {
     /// Enqueue a request without blocking; [`ServiceError::QueueFull`]
     /// when the bounded queue has no room.
     pub fn try_submit(&self, request: ExplainRequest) -> Result<PendingExplain, ServiceError> {
-        validate(&request)?;
-        let (job, pending) = Self::job(request);
+        let (job, pending) = self.prepare(request, None)?;
         self.shard.try_submit(job)?;
         Ok(pending)
     }
@@ -93,9 +119,7 @@ impl CausalityService {
         request: ExplainRequest,
         budget: Duration,
     ) -> Result<PendingExplain, ServiceError> {
-        validate(&request)?;
-        let (mut job, pending) = Self::job(request);
-        job.deadline = Some(job.enqueued + budget);
+        let (job, pending) = self.prepare(request, Some(budget))?;
         self.shard.submit_blocking(job)?;
         Ok(pending)
     }
@@ -169,6 +193,40 @@ impl CausalityService {
             self.store.version(),
             self.shard.core.index_cache.len() as u64,
         )
+    }
+
+    /// Prometheus text exposition of the service's metrics registry
+    /// (single shard, labelled `shard="0"`).
+    pub fn export_metrics(&self) -> String {
+        prometheus_text(&[self.shard.core.registry.as_ref()], "causality_")
+    }
+
+    /// The same metric samples as [`CausalityService::export_metrics`],
+    /// rendered as JSONL.
+    pub fn export_metrics_jsonl(&self) -> String {
+        metrics_jsonl(&[self.shard.core.registry.as_ref()])
+    }
+
+    /// The sampled traces currently retained in the ring, oldest first.
+    /// Non-draining: exporting twice returns the same traces.
+    pub fn recent_traces(&self) -> Vec<RequestTrace> {
+        self.shard.core.telemetry.traces()
+    }
+
+    /// [`CausalityService::recent_traces`] rendered as JSONL.
+    pub fn export_traces(&self) -> String {
+        traces_jsonl(&self.recent_traces())
+    }
+
+    /// The explanation slow-log: traces whose total latency or deadline
+    /// slack crossed the configured thresholds.
+    pub fn slow_log_records(&self) -> Vec<RequestTrace> {
+        self.shard.core.telemetry.slow_log()
+    }
+
+    /// [`CausalityService::slow_log_records`] rendered as JSONL.
+    pub fn export_slow_log(&self) -> String {
+        traces_jsonl(&self.slow_log_records())
     }
 
     /// Stop accepting work, drain the queue, and join the workers.

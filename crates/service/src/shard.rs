@@ -24,6 +24,7 @@ use crate::stats::StatsCounters;
 use crate::worker::{worker_loop, Job, Msg};
 use causality_core::explain::Explanation;
 use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
+use causality_telemetry::{MetricsRegistry, Telemetry, TelemetryConfig};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -82,6 +83,11 @@ pub struct ServiceConfig {
     /// `workers × rank_parallelism`, so size the two together against
     /// the machine.
     pub rank_parallelism: usize,
+    /// Request tracing and slow-log configuration (sampling rate, ring
+    /// capacities, slow thresholds). Sampling defaults to 1.0 — every
+    /// request traced; set `sample_rate: 0.0` to disable tracing
+    /// entirely (no per-request allocation).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +99,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cached_versions: 4,
             rank_parallelism: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -106,6 +113,7 @@ impl ServiceConfig {
             batch_max: self.batch_max.max(1),
             cached_versions: self.cached_versions.max(1),
             rank_parallelism: self.rank_parallelism.max(1),
+            telemetry: self.telemetry.sanitized(),
             ..self
         }
     }
@@ -121,6 +129,11 @@ pub(crate) struct ShardCore {
     /// Snapshot stores of the tenants routed to this shard.
     pub(crate) tenants: RwLock<HashMap<TenantKey, Arc<SnapshotStore>>>,
     pub(crate) stats: StatsCounters,
+    /// The shard's metric registry: every [`StatsCounters`] entry and the
+    /// telemetry bookkeeping counters live here, named, for export.
+    pub(crate) registry: Arc<MetricsRegistry>,
+    /// Request tracing hub: sampler, trace ring, and slow-log.
+    pub(crate) telemetry: Telemetry,
     /// Memoized explanations: (query's relation fingerprint, request) →
     /// explanation. Keyed on relation content, not snapshot version, so
     /// entries survive writes to unrelated relations — including every
@@ -196,11 +209,7 @@ impl ShardCore {
         // the next version arrives (forever, if the write stream stops).
         // The cadence keeps the steady read-only path free of the index
         // cache's write lock.
-        let periodic = self
-            .stats
-            .batches
-            .load(std::sync::atomic::Ordering::Relaxed)
-            .is_multiple_of(64);
+        let periodic = self.stats.batches.get().is_multiple_of(64);
         if window_changed || periodic {
             let mut retained: RelFingerprint = live
                 .values()
@@ -210,9 +219,19 @@ impl ShardCore {
             retained.sort();
             retained.dedup();
             let evicted = self.index_cache.retain_versions(&retained);
-            StatsCounters::add(&self.stats.index_evictions, evicted as u64);
+            self.stats.index_evictions.add(evicted as u64);
         }
         Arc::clone(&self.index_cache)
+    }
+
+    /// Finalize the trace of a job that never made it into the queue
+    /// (admission reject, full queue, or disconnected shard), so rejected
+    /// requests show up in the trace ring and slow-log too.
+    pub(crate) fn finalize_unqueued(&self, job: Job, outcome: &'static str) {
+        if let Some(mut tb) = job.trace {
+            tb.set_outcome(outcome);
+            self.telemetry.record(tb.finish());
+        }
     }
 }
 
@@ -258,11 +277,14 @@ impl Shard {
     /// threads.
     pub(crate) fn spawn(cfg: ServiceConfig, admission_limit: usize, name: &str) -> Self {
         let cfg = cfg.sanitized();
+        let registry = Arc::new(MetricsRegistry::new());
         let core = Arc::new(ShardCore {
             cfg,
             admission_limit,
             tenants: RwLock::new(HashMap::new()),
-            stats: StatsCounters::default(),
+            stats: StatsCounters::new(&registry),
+            telemetry: Telemetry::new(cfg.telemetry, &registry),
+            registry,
             resp_cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             index_cache: Arc::new(SharedIndexCache::new()),
             live_snapshots: Mutex::new(HashMap::new()),
@@ -298,15 +320,55 @@ impl Shard {
     /// Enqueue blocking while the queue is full (backpressure; the PR 2
     /// `submit` semantics). No admission control.
     pub(crate) fn submit_blocking(&self, job: Job) -> Result<(), ServiceError> {
-        StatsCounters::bump(&self.core.stats.queue_depth);
+        self.core.stats.queue_depth.inc();
         match self.tx.send(Msg::Job(Box::new(job))) {
             Ok(()) => {
-                StatsCounters::bump(&self.core.stats.requests);
+                self.core.stats.requests.inc();
                 Ok(())
             }
-            Err(_) => {
-                StatsCounters::gauge_dec(&self.core.stats.queue_depth, 1);
+            Err(returned) => {
+                self.core.stats.queue_depth.dec(1);
+                if let Msg::Job(job) = returned.0 {
+                    self.core
+                        .finalize_unqueued(*job, ServiceError::Disconnected.outcome_label());
+                }
                 Err(ServiceError::Disconnected)
+            }
+        }
+    }
+
+    /// Enqueue without blocking. On failure the channel hands the job
+    /// back, so its trace is finalized with the error's outcome label.
+    /// `remap_full` turns a full queue into the admission-control
+    /// rejection ([`ServiceError::Overloaded`], counted).
+    fn try_enqueue(&self, job: Job, remap_full: bool) -> Result<(), ServiceError> {
+        self.core.stats.queue_depth.inc();
+        match self.tx.try_send(Msg::Job(Box::new(job))) {
+            Ok(()) => {
+                self.core.stats.requests.inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.core.stats.queue_depth.dec(1);
+                let (err, returned) = match e {
+                    TrySendError::Full(msg) => {
+                        // With admission on, the channel filling between
+                        // the depth check and the send is still "past the
+                        // queue-depth limit" to a caller.
+                        let err = if remap_full {
+                            self.core.stats.admission_rejects.inc();
+                            ServiceError::Overloaded
+                        } else {
+                            ServiceError::QueueFull
+                        };
+                        (err, msg)
+                    }
+                    TrySendError::Disconnected(msg) => (ServiceError::Disconnected, msg),
+                };
+                if let Msg::Job(job) = returned {
+                    self.core.finalize_unqueued(*job, err.outcome_label());
+                }
+                Err(err)
             }
         }
     }
@@ -314,20 +376,7 @@ impl Shard {
     /// Enqueue without blocking; [`ServiceError::QueueFull`] when the
     /// bounded queue has no room. No admission control.
     pub(crate) fn try_submit(&self, job: Job) -> Result<(), ServiceError> {
-        StatsCounters::bump(&self.core.stats.queue_depth);
-        match self.tx.try_send(Msg::Job(Box::new(job))) {
-            Ok(()) => {
-                StatsCounters::bump(&self.core.stats.requests);
-                Ok(())
-            }
-            Err(e) => {
-                StatsCounters::gauge_dec(&self.core.stats.queue_depth, 1);
-                Err(match e {
-                    TrySendError::Full(_) => ServiceError::QueueFull,
-                    TrySendError::Disconnected(_) => ServiceError::Disconnected,
-                })
-            }
-        }
+        self.try_enqueue(job, false)
     }
 
     /// Front-end enqueue with **bounded admission**: when the shard's
@@ -336,24 +385,14 @@ impl Shard {
     /// caller, never dropped — and counted in
     /// [`ServiceStats::admission_rejects`](crate::ServiceStats::admission_rejects).
     pub(crate) fn submit_admitted(&self, job: Job) -> Result<(), ServiceError> {
-        let depth = self
-            .core
-            .stats
-            .queue_depth
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let depth = self.core.stats.queue_depth.get();
         if depth as usize >= self.core.admission_limit {
-            StatsCounters::bump(&self.core.stats.admission_rejects);
+            self.core.stats.admission_rejects.inc();
+            self.core
+                .finalize_unqueued(job, ServiceError::Overloaded.outcome_label());
             return Err(ServiceError::Overloaded);
         }
-        self.try_submit(job).map_err(|e| match e {
-            // The channel filled between the depth check and the send:
-            // that is still "past the queue-depth limit" to a caller.
-            ServiceError::QueueFull => {
-                StatsCounters::bump(&self.core.stats.admission_rejects);
-                ServiceError::Overloaded
-            }
-            other => other,
-        })
+        self.try_enqueue(job, true)
     }
 
     /// Stop accepting work, drain the queue, and join the workers.

@@ -1,123 +1,94 @@
-//! Service observability: cheap atomic counters plus a fixed-bucket
-//! latency histogram, snapshotted (and optionally reset) on demand.
+//! Service observability: the per-shard metric set, snapshotted (and
+//! optionally reset) on demand.
 //!
-//! Everything here is std-only and lock-free on the record path: workers
-//! bump relaxed atomics, and `StatsCounters::snapshot` /
-//! `StatsCounters::snapshot_and_reset` assemble a [`ServiceStats`]
-//! point-in-time view. The histogram uses power-of-two microsecond
-//! buckets, so p50/p99 are exact to within a factor of two — plenty for
-//! spotting a queueing collapse, and cheap enough to keep on 24/7.
+//! Since PR 7 the counters live in a [`causality_telemetry`]
+//! [`MetricsRegistry`]: every counter, gauge, and histogram is a named
+//! registry entry, so the same atomics that feed [`ServiceStats`] are
+//! exported — full histogram buckets included — through
+//! [`ShardedService::export_metrics`](crate::ShardedService::export_metrics)
+//! in Prometheus text or JSONL form. Recording stays lock-free: workers
+//! bump relaxed atomics through shared handles; the registry is only
+//! locked at registration and export time.
+//!
+//! `snapshot_and_reset` reads each counter with a single atomic `swap`,
+//! so a concurrent in-flight increment lands either in the returned
+//! snapshot or in the next epoch — never both, never neither (see the
+//! conservation test below).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use causality_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
 
-/// Number of latency buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds, so the histogram spans 1 µs up to
-/// ~2.2 minutes (`2^27` µs) with the last bucket absorbing the tail.
-pub const LATENCY_BUCKETS: usize = 28;
+pub use causality_telemetry::{quantile_us, LATENCY_BUCKETS};
 
-/// A fixed-bucket, atomically-updated latency histogram (microseconds,
-/// power-of-two buckets). Recording is one relaxed `fetch_add`.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
+/// The canonical metric names a shard registers, in registration order.
+/// `trace-report` and dashboards key off these.
+const COUNTER_NAMES: [&str; 12] = [
+    "requests_total",
+    "batches_total",
+    "batched_requests_total",
+    "coalesced_total",
+    "cache_hits_total",
+    "cache_misses_total",
+    "index_evictions_total",
+    "rank_tasks_total",
+    "topk_pruned_total",
+    "panics_caught_total",
+    "admission_rejects_total",
+    "deadline_misses_total",
+];
 
-impl LatencyHistogram {
-    /// Bucket index of a duration: `floor(log2(µs))`, clamped.
-    fn bucket_of(d: Duration) -> usize {
-        let us = d.as_micros().max(1) as u64;
-        (us.ilog2() as usize).min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Record one sample.
-    pub fn record(&self, d: Duration) {
-        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Load all bucket counts (optionally swapping them back to zero).
-    fn counts(&self, reset: bool) -> [u64; LATENCY_BUCKETS] {
-        let mut out = [0u64; LATENCY_BUCKETS];
-        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
-            *slot = if reset {
-                bucket.swap(0, Ordering::Relaxed)
-            } else {
-                bucket.load(Ordering::Relaxed)
-            };
-        }
-        out
-    }
-}
-
-/// The quantile `q` (in `[0, 1]`) of a bucket-count array, reported as
-/// the lower bound of the bucket holding that rank — exact to within the
-/// bucket's factor-of-two width, and monotone in `q` by construction
-/// (so p99 ≥ p50 always holds). `0` when no samples were recorded.
-pub fn quantile_us(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return 1u64 << i;
-        }
-    }
-    1u64 << (LATENCY_BUCKETS - 1)
-}
-
-/// Internal counters bumped by workers and the submit path.
+/// Internal counters bumped by workers and the submit path — shared
+/// handles into the shard's [`MetricsRegistry`].
 ///
-/// All fields except `queue_depth` are monotone counters;
+/// All entries except `queue_depth` are monotone counters;
 /// `queue_depth` is a live gauge (incremented on admission, decremented
 /// when a worker drains the job) and is therefore never reset.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StatsCounters {
-    pub requests: AtomicU64,
-    pub batches: AtomicU64,
-    pub batched_requests: AtomicU64,
-    pub coalesced: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub index_evictions: AtomicU64,
-    pub rank_tasks: AtomicU64,
-    pub topk_pruned: AtomicU64,
-    pub panics_caught: AtomicU64,
-    pub admission_rejects: AtomicU64,
-    pub deadline_misses: AtomicU64,
-    pub queue_depth: AtomicU64,
-    pub latency: LatencyHistogram,
+    pub requests: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub batched_requests: Arc<Counter>,
+    pub coalesced: Arc<Counter>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
+    pub index_evictions: Arc<Counter>,
+    pub rank_tasks: Arc<Counter>,
+    pub topk_pruned: Arc<Counter>,
+    pub panics_caught: Arc<Counter>,
+    pub admission_rejects: Arc<Counter>,
+    pub deadline_misses: Arc<Counter>,
+    pub queue_depth: Arc<Gauge>,
+    pub latency: Arc<Histogram>,
 }
 
 impl StatsCounters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Decrement a gauge, saturating at zero.
-    pub(crate) fn gauge_dec(gauge: &AtomicU64, n: u64) {
-        let mut cur = gauge.load(Ordering::Relaxed);
-        loop {
-            let next = cur.saturating_sub(n);
-            match gauge.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
-            }
+    /// Registers the canonical service metrics in `registry` and keeps
+    /// shared handles for the hot path.
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        let c = |i: usize| registry.counter(COUNTER_NAMES[i]);
+        StatsCounters {
+            requests: c(0),
+            batches: c(1),
+            batched_requests: c(2),
+            coalesced: c(3),
+            cache_hits: c(4),
+            cache_misses: c(5),
+            index_evictions: c(6),
+            rank_tasks: c(7),
+            topk_pruned: c(8),
+            panics_caught: c(9),
+            admission_rejects: c(10),
+            deadline_misses: c(11),
+            queue_depth: registry.gauge("queue_depth"),
+            latency: registry.histogram("latency_us"),
         }
     }
 
-    fn read(counter: &AtomicU64, reset: bool) -> u64 {
+    fn read(counter: &Counter, reset: bool) -> u64 {
         if reset {
-            counter.swap(0, Ordering::Relaxed)
+            counter.take()
         } else {
-            counter.load(Ordering::Relaxed)
+            counter.get()
         }
     }
 
@@ -146,7 +117,7 @@ impl StatsCounters {
             deadline_misses: Self::read(&self.deadline_misses, reset),
             // A gauge, not a counter: resetting it would lie about the
             // jobs still sitting in the queue.
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.get(),
             latency_buckets: self.latency.counts(reset),
         }
     }
@@ -165,6 +136,14 @@ impl StatsCounters {
     /// the latency histogram (the `queue_depth` gauge is left live), so
     /// successive measurement phases — e.g. the load harness's warmup vs
     /// timed window — never bleed into each other.
+    ///
+    /// Each counter is reset with one atomic `swap(0)`, so per counter a
+    /// concurrent increment is either observed in this snapshot or
+    /// carried into the next phase — jobs are never double-counted or
+    /// lost across the boundary. (Different counters are swapped at
+    /// slightly different instants, so *cross*-counter invariants like
+    /// `hits + misses == requests` may be off by in-flight requests in
+    /// any single snapshot; summing phases restores them.)
     pub(crate) fn snapshot_and_reset(
         &self,
         workers: usize,
@@ -236,6 +215,30 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// The all-zero stats view (0 workers, no samples) — the identity
+    /// element of [`ServiceStats::merge`].
+    pub fn empty() -> Self {
+        ServiceStats {
+            workers: 0,
+            snapshot_version: 0,
+            requests: 0,
+            batches: 0,
+            batched_requests: 0,
+            coalesced: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            index_entries: 0,
+            index_evictions: 0,
+            rank_tasks: 0,
+            topk_pruned: 0,
+            panics_caught: 0,
+            admission_rejects: 0,
+            deadline_misses: 0,
+            queue_depth: 0,
+            latency_buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+
     /// Responsibility-cache hit rate in `[0, 1]` (0 when nothing was looked
     /// up yet).
     pub fn hit_rate(&self) -> f64 {
@@ -311,19 +314,24 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn counters() -> StatsCounters {
+        StatsCounters::new(&MetricsRegistry::new())
+    }
 
     #[test]
     fn snapshot_reflects_counters() {
-        let c = StatsCounters::default();
-        StatsCounters::bump(&c.requests);
-        StatsCounters::add(&c.cache_hits, 3);
-        StatsCounters::bump(&c.cache_misses);
-        StatsCounters::add(&c.index_evictions, 2);
-        StatsCounters::bump(&c.rank_tasks);
-        StatsCounters::add(&c.topk_pruned, 7);
-        StatsCounters::bump(&c.panics_caught);
-        StatsCounters::bump(&c.admission_rejects);
-        StatsCounters::add(&c.deadline_misses, 4);
+        let c = counters();
+        c.requests.inc();
+        c.cache_hits.add(3);
+        c.cache_misses.inc();
+        c.index_evictions.add(2);
+        c.rank_tasks.inc();
+        c.topk_pruned.add(7);
+        c.panics_caught.inc();
+        c.admission_rejects.inc();
+        c.deadline_misses.add(4);
         let s = c.snapshot(4, 7, 5);
         assert_eq!(s.workers, 4);
         assert_eq!(s.snapshot_version, 7);
@@ -341,7 +349,7 @@ mod tests {
 
     #[test]
     fn rates_handle_zero_denominators() {
-        let s = StatsCounters::default().snapshot(1, 1, 0);
+        let s = counters().snapshot(1, 1, 0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
         assert_eq!(s.p50_us(), 0);
@@ -350,9 +358,9 @@ mod tests {
 
     #[test]
     fn snapshot_and_reset_zeroes_counters_but_not_the_gauge() {
-        let c = StatsCounters::default();
-        StatsCounters::add(&c.requests, 10);
-        StatsCounters::add(&c.queue_depth, 3);
+        let c = counters();
+        c.requests.add(10);
+        c.queue_depth.add(3);
         c.latency.record(Duration::from_micros(100));
         let phase1 = c.snapshot_and_reset(1, 1, 0);
         assert_eq!(phase1.requests, 10);
@@ -365,15 +373,54 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_and_reset_conserves_concurrent_increments() {
+        // Regression for the reset-atomicity audit: with writers bumping
+        // a counter and the histogram while a reader repeatedly calls
+        // snapshot_and_reset, every increment must appear in exactly one
+        // phase — the sum of the phase snapshots plus the final snapshot
+        // equals the number of increments, with no loss or double count.
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 20_000;
+        let c = std::sync::Arc::new(counters());
+        let mut phase_requests = 0u64;
+        let mut phase_samples = 0u64;
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        c.requests.inc();
+                        c.latency.record_us(100);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let phase = c.snapshot_and_reset(1, 0, 0);
+                phase_requests += phase.requests;
+                phase_samples += phase.latency_samples();
+                std::thread::yield_now();
+            }
+        });
+        let last = c.snapshot_and_reset(1, 0, 0);
+        phase_requests += last.requests;
+        phase_samples += last.latency_samples();
+        let expected = WRITERS as u64 * PER_WRITER;
+        assert_eq!(phase_requests, expected, "requests conserved");
+        assert_eq!(phase_samples, expected, "histogram samples conserved");
+    }
+
+    #[test]
     fn gauge_dec_saturates() {
-        let g = AtomicU64::new(2);
-        StatsCounters::gauge_dec(&g, 5);
-        assert_eq!(g.load(Ordering::Relaxed), 0);
+        let c = counters();
+        c.queue_depth.add(2);
+        c.queue_depth.dec(5);
+        assert_eq!(c.queue_depth.get(), 0);
     }
 
     #[test]
     fn histogram_buckets_by_powers_of_two() {
-        let h = LatencyHistogram::default();
+        let c = counters();
+        let h = &c.latency;
         h.record(Duration::from_micros(0)); // clamps into bucket 0
         h.record(Duration::from_micros(1));
         h.record(Duration::from_micros(3));
@@ -384,6 +431,25 @@ mod tests {
         assert_eq!(counts[1], 1);
         assert_eq!(counts[9], 1, "1000 µs lands in [512, 1024)");
         assert_eq!(counts[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_split_at_powers_of_two() {
+        let c = counters();
+        c.latency.record(Duration::from_micros(1023));
+        c.latency.record(Duration::from_micros(1024));
+        let counts = c.latency.counts(false);
+        assert_eq!(counts[9], 1, "1023 µs stays in [512, 1024)");
+        assert_eq!(counts[10], 1, "1024 µs opens [1024, 2048)");
+    }
+
+    #[test]
+    fn single_sample_p50_equals_p99() {
+        let c = counters();
+        c.latency.record(Duration::from_micros(300));
+        let s = c.snapshot(1, 0, 0);
+        assert_eq!(s.p50_us(), s.p99_us());
+        assert_eq!(s.p50_us(), 256, "bucket lower bound of [256, 512)");
     }
 
     #[test]
@@ -405,12 +471,12 @@ mod tests {
 
     #[test]
     fn merge_adds_counters_and_histograms() {
-        let a = StatsCounters::default();
-        StatsCounters::add(&a.requests, 5);
+        let a = counters();
+        a.requests.add(5);
         a.latency.record(Duration::from_micros(10));
-        let b = StatsCounters::default();
-        StatsCounters::add(&b.requests, 7);
-        StatsCounters::add(&b.queue_depth, 2);
+        let b = counters();
+        b.requests.add(7);
+        b.queue_depth.add(2);
         b.latency.record(Duration::from_micros(5000));
         let mut m = a.snapshot(2, 3, 1);
         m.merge(&b.snapshot(4, 9, 2));
@@ -419,6 +485,6 @@ mod tests {
         assert_eq!(m.requests, 12);
         assert_eq!(m.index_entries, 3);
         assert_eq!(m.queue_depth, 2);
-        assert_eq!(m.latency_samples(), 2);
+        assert_eq!(m.latency_samples(), 2, "merge preserves total count");
     }
 }

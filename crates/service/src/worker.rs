@@ -7,18 +7,21 @@
 //! batch, jobs are grouped by `(tenant, request)` and each distinct
 //! group is evaluated exactly once against a single pinned snapshot of
 //! that tenant's store. Every response — success, error, deadline miss —
-//! is recorded in the shard's submit→response latency histogram.
+//! is recorded in the shard's submit→response latency histogram, and a
+//! sampled job's [`TraceBuilder`] is carried through the batch so the
+//! worker-side stages (dequeue, snapshot pin, lineage, kernel solve,
+//! respond) land in the same trace the frontend started.
 
 use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, ServiceError};
 use crate::shard::{lock_unpoisoned, resp_fingerprint, ShardCore, TenantKey};
-use crate::stats::StatsCounters;
-use causality_core::explain::{Explainer, Explanation};
+use causality_core::explain::{ExplainTiming, Explainer, Explanation};
 use causality_engine::{SharedIndexCache, Snapshot};
+use causality_telemetry::{Stage, TraceBuilder};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One queued unit of work: a request bound to a tenant, carrying its
 /// enqueue instant (for the latency histogram) and an optional deadline.
@@ -37,6 +40,17 @@ pub(crate) struct Job {
     pub enqueued: Instant,
     /// Where the response goes.
     pub tx: Sender<ExplainResponse>,
+    /// The trace under construction when the request was sampled;
+    /// unsampled requests carry `None` and pay nothing further.
+    pub trace: Option<Box<TraceBuilder>>,
+}
+
+/// The per-waiter remainder of a [`Job`] after coalescing detaches the
+/// shared `(tenant, request)` group key.
+struct JobTail {
+    enqueued: Instant,
+    tx: Sender<ExplainResponse>,
+    trace: Option<Box<TraceBuilder>>,
 }
 
 /// What travels on a shard's queue.
@@ -48,16 +62,30 @@ pub(crate) enum Msg {
 }
 
 /// Send `response` for a job accepted at `enqueued`, recording the
-/// submit→response latency. A requester that dropped its handle is not
-/// an error.
-fn respond(
-    core: &ShardCore,
-    enqueued: Instant,
-    tx: &Sender<ExplainResponse>,
-    response: ExplainResponse,
-) {
-    core.stats.latency.record(enqueued.elapsed());
-    let _ = tx.send(response);
+/// submit→response latency and finishing the job's trace (outcome label,
+/// respond stage, explanation attributes). A requester that dropped its
+/// handle is not an error.
+fn respond(core: &ShardCore, tail: JobTail, response: ExplainResponse) {
+    if let Some(mut tb) = tail.trace {
+        tb.begin(Stage::Respond);
+        let outcome = match &response.result {
+            Ok(_) => "ok",
+            Err(e) => e.outcome_label(),
+        };
+        tb.set_outcome(outcome);
+        tb.set_cache_hit(response.cache_hit);
+        tb.set_snapshot_version(response.snapshot_version);
+        if let Ok(explanation) = &response.result {
+            tb.set_explanation(
+                explanation.dichotomy.label(),
+                explanation.lineage_conjuncts as u64,
+                explanation.rho_max(),
+            );
+        }
+        core.telemetry.record(tb.finish());
+    }
+    core.stats.latency.record(tail.enqueued.elapsed());
+    let _ = tail.tx.send(response);
 }
 
 pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore) {
@@ -81,7 +109,7 @@ pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore) {
                 }
             }
         }
-        StatsCounters::gauge_dec(&core.stats.queue_depth, batch.len() as u64);
+        core.stats.queue_depth.dec(batch.len() as u64);
         process_batch(core, batch);
         if saw_shutdown {
             return;
@@ -94,22 +122,29 @@ pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore) {
 /// when possible, and compute each distinct miss exactly once against a
 /// snapshot pinned per group.
 fn process_batch(core: &ShardCore, batch: Vec<Job>) {
-    StatsCounters::bump(&core.stats.batches);
-    StatsCounters::add(&core.stats.batched_requests, batch.len() as u64);
+    core.stats.batches.inc();
+    core.stats.batched_requests.add(batch.len() as u64);
 
     // Deadline gate at dequeue: an expired job costs a response, never a
     // computation — the worker's budget is spent on requests that can
-    // still meet theirs.
+    // still meet theirs. Beginning `WorkerDequeue` here closes the
+    // cross-thread `ShardQueue` stage the frontend opened.
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(batch.len());
-    for job in batch {
+    for mut job in batch {
+        if let Some(tb) = job.trace.as_deref_mut() {
+            tb.begin(Stage::WorkerDequeue);
+        }
         match job.deadline {
             Some(deadline) if deadline <= now => {
-                StatsCounters::bump(&core.stats.deadline_misses);
+                core.stats.deadline_misses.inc();
                 respond(
                     core,
-                    job.enqueued,
-                    &job.tx,
+                    JobTail {
+                        enqueued: job.enqueued,
+                        tx: job.tx,
+                        trace: job.trace,
+                    },
                     ExplainResponse {
                         result: Err(ServiceError::DeadlineExceeded),
                         snapshot_version: 0,
@@ -124,16 +159,19 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
     // Coalesce identical (tenant, request) pairs, preserving first-seen
     // order. Tenants never coalesce with each other: identical queries
     // over different tenants' databases are different computations.
-    type Waiters = Vec<(Instant, Sender<ExplainResponse>)>;
     let mut order: Vec<(TenantKey, ExplainRequest)> = Vec::new();
-    let mut groups: HashMap<(TenantKey, ExplainRequest), Waiters> = HashMap::new();
+    let mut groups: HashMap<(TenantKey, ExplainRequest), Vec<JobTail>> = HashMap::new();
     for job in live {
         let key = (job.tenant, job.request);
         let entry = groups.entry(key.clone()).or_default();
         if entry.is_empty() {
             order.push(key);
         }
-        entry.push((job.enqueued, job.tx));
+        entry.push(JobTail {
+            enqueued: job.enqueued,
+            tx: job.tx,
+            trace: job.trace,
+        });
     }
 
     for (tenant, request) in order {
@@ -144,11 +182,10 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
             // Unreachable through the public API (tenants are registered
             // before their id is handed out and never removed), but a
             // stale id must get an error, not a hang.
-            for (enqueued, tx) in senders {
+            for tail in senders {
                 respond(
                     core,
-                    enqueued,
-                    &tx,
+                    tail,
                     ExplainResponse {
                         result: Err(ServiceError::InvalidRequest(
                             "unknown tenant for this shard".to_string(),
@@ -160,6 +197,10 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
             }
             continue;
         };
+        // The pin block — snapshot pin, index-cache attach, fingerprint,
+        // cache probe — runs once per group; its one measurement is
+        // charged to every waiter's trace below.
+        let pin_started = Instant::now();
         let snapshot = store.current();
         let version = snapshot.version();
         let index_cache = core.index_cache_for(tenant, &snapshot);
@@ -171,28 +212,58 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
             let mut cache = lock_unpoisoned(&core.resp_cache);
             cache.get(key).cloned()
         });
+        let pin_dur = pin_started.elapsed();
         // Per-request accounting: a hit group is all hits; a miss group is
         // one fresh computation plus coalesced riders.
-        let (result, cache_hit) = match cached {
+        let (result, timing, cache_hit) = match cached {
             Some(explanation) => {
-                StatsCounters::add(&core.stats.cache_hits, senders.len() as u64);
-                (Ok(explanation), true)
+                core.stats.cache_hits.add(senders.len() as u64);
+                (Ok(explanation), None, true)
             }
             None => {
-                StatsCounters::bump(&core.stats.cache_misses);
-                StatsCounters::add(&core.stats.coalesced, senders.len() as u64 - 1);
+                core.stats.cache_misses.inc();
+                core.stats.coalesced.add(senders.len() as u64 - 1);
                 let computed = compute_isolated(core, &snapshot, &index_cache, &request);
-                if let (Some(key), Ok(explanation)) = (key, &computed) {
-                    lock_unpoisoned(&core.resp_cache).insert(key, explanation.clone());
-                }
-                (computed, false)
+                let compute_end = Instant::now();
+                let (computed, timing) = match computed {
+                    Ok((explanation, timing)) => {
+                        if let Some(key) = key {
+                            lock_unpoisoned(&core.resp_cache).insert(key, explanation.clone());
+                        }
+                        (Ok(explanation), Some((compute_end, timing)))
+                    }
+                    Err(e) => (Err(e), None),
+                };
+                (computed, timing, false)
             }
         };
-        for (enqueued, tx) in senders {
+        for (i, mut tail) in senders.into_iter().enumerate() {
+            if let Some(tb) = tail.trace.as_deref_mut() {
+                if !cache_hit && i > 0 {
+                    tb.mark_coalesced();
+                }
+                tb.record_span(Stage::SnapshotPin, pin_started, pin_dur);
+                // The explainer reports where its time went; anchor the
+                // lineage and solve spans back from the computation's end
+                // so any untimed overhead (chaos-hook delays, panic
+                // recovery) falls in the gap before them and offsets stay
+                // monotone.
+                if let Some((compute_end, timing)) = timing {
+                    let ExplainTiming {
+                        lineage_us,
+                        solve_us,
+                    } = timing;
+                    let solve_dur = Duration::from_micros(solve_us);
+                    let lineage_dur = Duration::from_micros(lineage_us);
+                    let solve_start = compute_end.checked_sub(solve_dur).unwrap_or(compute_end);
+                    let lineage_start = solve_start.checked_sub(lineage_dur).unwrap_or(solve_start);
+                    tb.record_span(Stage::LineageIntern, lineage_start, lineage_dur);
+                    tb.record_span(Stage::KernelSolve, solve_start, solve_dur);
+                }
+            }
             respond(
                 core,
-                enqueued,
-                &tx,
+                tail,
                 ExplainResponse {
                     result: result.clone(),
                     snapshot_version: version,
@@ -213,7 +284,7 @@ fn compute_isolated(
     snapshot: &Snapshot,
     index_cache: &Arc<SharedIndexCache>,
     request: &ExplainRequest,
-) -> Result<Explanation, ServiceError> {
+) -> Result<(Explanation, ExplainTiming), ServiceError> {
     let guarded = catch_unwind(AssertUnwindSafe(|| {
         // Evaluate the chaos hooks before panicking so their locks are
         // released by the time an unwind starts.
@@ -232,7 +303,7 @@ fn compute_isolated(
         compute(core, snapshot, index_cache, request)
     }));
     guarded.unwrap_or_else(|payload| {
-        StatsCounters::bump(&core.stats.panics_caught);
+        core.stats.panics_caught.inc();
         Err(ServiceError::Panicked(panic_message(payload.as_ref())))
     })
 }
@@ -254,13 +325,13 @@ fn compute(
     snapshot: &Snapshot,
     index_cache: &Arc<SharedIndexCache>,
     request: &ExplainRequest,
-) -> Result<Explanation, ServiceError> {
+) -> Result<(Explanation, ExplainTiming), ServiceError> {
     let explainer = Explainer::new(snapshot.database(), &request.query)
         .with_method(request.method)
         .with_index_cache(Arc::clone(index_cache));
     match request.kind {
-        ExplainKind::WhySo => Ok(explainer.why(&request.answer)?),
-        ExplainKind::WhyNo => Ok(explainer.why_not(&request.answer)?),
+        ExplainKind::WhySo => Ok(explainer.why_timed(&request.answer)?),
+        ExplainKind::WhyNo => Ok(explainer.why_not_timed(&request.answer)?),
         ExplainKind::RankTopK(k) => {
             // The top-k path: upper-bound screening skips candidates
             // that can no longer enter the top k, and the surviving
@@ -268,9 +339,15 @@ fn compute(
             let (explanation, rank_stats) = explainer
                 .with_parallelism(core.cfg.rank_parallelism)
                 .why_top_k(&request.answer, k)?;
-            StatsCounters::bump(&core.stats.rank_tasks);
-            StatsCounters::add(&core.stats.topk_pruned, rank_stats.pruned as u64);
-            Ok(explanation)
+            core.stats.rank_tasks.inc();
+            core.stats.topk_pruned.add(rank_stats.pruned as u64);
+            Ok((
+                explanation,
+                ExplainTiming {
+                    lineage_us: rank_stats.lineage_us,
+                    solve_us: rank_stats.solve_us,
+                },
+            ))
         }
     }
 }

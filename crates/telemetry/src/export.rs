@@ -1,0 +1,66 @@
+//! Small JSON rendering helpers shared by the exporters.
+//!
+//! The repo deliberately avoids serde (offline build, std-only crates),
+//! so exporters hand-render their fixed schemas. These helpers keep the
+//! string escaping and float formatting consistent across them.
+
+/// Renders `s` as a quoted JSON string, escaping quotes, backslashes,
+/// and control characters.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number; non-finite values become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a slice of traces as JSONL (one object per line, trailing
+/// newline after each).
+pub fn traces_jsonl(traces: &[crate::trace::RequestTrace]) -> String {
+    let mut out = String::new();
+    for trace in traces {
+        out.push_str(&trace.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape_json("plain"), "\"plain\"");
+        assert_eq!(escape_json("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape_json("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_json("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape_json("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -9,18 +9,25 @@
 //!   the same bench. `--latest` additionally compares a
 //!   freshly-generated manifest against the newest committed one of the
 //!   same bench.
+//! * `trace-report FILE [FILE...]` — validate request-trace JSONL dumps
+//!   (`traces.jsonl` / `slowlog.jsonl`, as written by the load harness
+//!   or `export_traces`) against the `RequestTrace` schema and print a
+//!   per-stage latency breakdown (count / p50 / p99 / max) per file.
+//!   Any schema violation fails the run after listing every offending
+//!   line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gate;
 mod json;
+mod trace_report;
 
 use gate::DEFAULT_TOLERANCE;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cargo run -p xtask -- bench-gate [--root DIR] [--tolerance FRACTION] [--latest FILE]"
+        "usage: cargo run -p xtask -- bench-gate [--root DIR] [--tolerance FRACTION] [--latest FILE]\n       cargo run -p xtask -- trace-report FILE [FILE...]"
     );
     std::process::exit(2);
 }
@@ -29,7 +36,30 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
+        Some("trace-report") => trace_report_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn trace_report_cmd(paths: &[String]) {
+    if paths.is_empty() {
+        usage();
+    }
+    let mut failed = false;
+    for path in paths {
+        match trace_report::run_report(path) {
+            Ok(report) => println!("{report}"),
+            Err(violations) => {
+                failed = true;
+                eprintln!("trace-report: {path}: FAILED");
+                for v in violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,354 @@
+//! `trace-report` — validate a request-trace JSONL dump (as written by
+//! the load harness / `export_traces`) and render a per-stage latency
+//! breakdown.
+//!
+//! Every line must be one JSON object matching the `RequestTrace`
+//! schema: required scalar fields with the right types, a known request
+//! kind and outcome, and a non-empty `stages` array whose entries name
+//! known stages with non-negative integer timings and non-decreasing
+//! start offsets. All violations are collected (with line numbers)
+//! before failing, so one bad record doesn't mask the rest.
+//!
+//! The report aggregates `dur_us` per stage across every valid record
+//! and prints count / p50 / p99 / max per stage plus an end-to-end
+//! total row.
+
+use crate::json::{parse, Json};
+
+/// The serving-path stages, in pipeline order.
+///
+/// Keep in sync with `Stage::ALL` in `crates/telemetry/src/trace.rs`
+/// (xtask stays dependency-free on purpose, so the names are duplicated
+/// here; `tests/telemetry_tracing.rs` pins the same list end-to-end).
+pub const STAGES: [&str; 8] = [
+    "admission",
+    "dispatch",
+    "shard_queue",
+    "worker_dequeue",
+    "snapshot_pin",
+    "lineage_intern",
+    "kernel_solve",
+    "respond",
+];
+
+const KINDS: [&str; 3] = ["why_so", "why_no", "rank_top_k"];
+
+const OUTCOMES: [&str; 9] = [
+    "ok",
+    "disconnected",
+    "queue_full",
+    "overloaded",
+    "deadline_exceeded",
+    "timeout",
+    "invalid_request",
+    "error",
+    "panicked",
+];
+
+/// Per-stage duration samples plus the end-to-end totals.
+#[derive(Debug, Default)]
+struct Aggregate {
+    /// `durations[i]` collects `dur_us` for `STAGES[i]`.
+    durations: Vec<Vec<u64>>,
+    totals: Vec<u64>,
+    records: usize,
+}
+
+/// Validate `text` (JSONL) and aggregate it. Returns the aggregate or
+/// every violation found, each prefixed with its 1-based line number.
+fn validate(text: &str) -> Result<Aggregate, Vec<String>> {
+    let mut agg = Aggregate {
+        durations: vec![Vec::new(); STAGES.len()],
+        ..Aggregate::default()
+    };
+    let mut violations = Vec::new();
+    let mut saw_line = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        saw_line = true;
+        let n = idx + 1;
+        match parse(line) {
+            Err(e) => violations.push(format!("line {n}: not JSON: {e}")),
+            Ok(doc) => {
+                let before = violations.len();
+                check_record(&doc, n, &mut violations);
+                if violations.len() == before {
+                    aggregate_record(&doc, &mut agg);
+                }
+            }
+        }
+    }
+    if !saw_line {
+        violations.push("no records: the file is empty".to_string());
+    }
+    if violations.is_empty() {
+        Ok(agg)
+    } else {
+        Err(violations)
+    }
+}
+
+/// A non-negative integer (JSON numbers arrive as `f64`).
+fn as_uint(value: &Json) -> Option<u64> {
+    value
+        .as_f64()
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64)
+        .map(|n| n as u64)
+}
+
+fn check_record(doc: &Json, n: usize, out: &mut Vec<String>) {
+    let mut fail = |msg: String| out.push(format!("line {n}: {msg}"));
+
+    for key in [
+        "seq",
+        "shard",
+        "tenant",
+        "relations",
+        "lineage_conjuncts",
+        "snapshot_version",
+        "total_us",
+    ] {
+        match doc.get(key) {
+            None => fail(format!("missing required field {key:?}")),
+            Some(v) if as_uint(v).is_none() => {
+                fail(format!("{key:?} must be a non-negative integer"))
+            }
+            Some(_) => {}
+        }
+    }
+    for key in ["cache_hit", "coalesced"] {
+        match doc.get(key) {
+            Some(Json::Bool(_)) => {}
+            _ => fail(format!("{key:?} must be a boolean")),
+        }
+    }
+    match doc.get("kind").and_then(Json::as_str) {
+        Some(kind) if KINDS.contains(&kind) => {}
+        Some(kind) => fail(format!("unknown kind {kind:?}")),
+        None => fail("missing or non-string \"kind\"".to_string()),
+    }
+    match doc.get("outcome").and_then(Json::as_str) {
+        Some(outcome) if OUTCOMES.contains(&outcome) => {}
+        Some(outcome) => fail(format!("unknown outcome {outcome:?}")),
+        None => fail("missing or non-string \"outcome\"".to_string()),
+    }
+    match doc.get("dichotomy") {
+        Some(Json::Str(_)) => {}
+        _ => fail("\"dichotomy\" must be a string".to_string()),
+    }
+    match doc.get("rho_max").and_then(Json::as_f64) {
+        Some(rho) if rho >= 0.0 => {}
+        _ => fail("\"rho_max\" must be a non-negative number".to_string()),
+    }
+    match doc.get("deadline_slack_us") {
+        Some(Json::Null) => {}
+        // Slack is signed: a missed deadline reports how far over it went.
+        Some(Json::Num(slack)) if slack.fract() == 0.0 => {}
+        _ => fail("\"deadline_slack_us\" must be null or an integer".to_string()),
+    }
+
+    let Some(stages) = doc.get("stages").and_then(Json::as_arr) else {
+        fail("\"stages\" must be an array".to_string());
+        return;
+    };
+    if stages.is_empty() {
+        fail("\"stages\" must not be empty".to_string());
+    }
+    let mut prev_start: Option<u64> = None;
+    for (i, span) in stages.iter().enumerate() {
+        match span.get("stage").and_then(Json::as_str) {
+            Some(name) if STAGES.contains(&name) => {}
+            Some(name) => fail(format!("stages[{i}]: unknown stage {name:?}")),
+            None => fail(format!("stages[{i}]: missing stage name")),
+        }
+        let start = span.get("start_us").and_then(as_uint);
+        if start.is_none() {
+            fail(format!(
+                "stages[{i}]: \"start_us\" must be a non-negative integer"
+            ));
+        }
+        if span.get("dur_us").and_then(as_uint).is_none() {
+            fail(format!(
+                "stages[{i}]: \"dur_us\" must be a non-negative integer"
+            ));
+        }
+        if let (Some(prev), Some(cur)) = (prev_start, start) {
+            if cur < prev {
+                fail(format!(
+                    "stages[{i}]: start_us {cur} goes backwards (previous stage started at {prev})"
+                ));
+            }
+        }
+        prev_start = start.or(prev_start);
+    }
+}
+
+/// Fold one already-validated record into the aggregate.
+fn aggregate_record(doc: &Json, agg: &mut Aggregate) {
+    agg.records += 1;
+    if let Some(total) = doc.get("total_us").and_then(as_uint) {
+        agg.totals.push(total);
+    }
+    let Some(stages) = doc.get("stages").and_then(Json::as_arr) else {
+        return;
+    };
+    for span in stages {
+        let (Some(name), Some(dur)) = (
+            span.get("stage").and_then(Json::as_str),
+            span.get("dur_us").and_then(as_uint),
+        ) else {
+            continue;
+        };
+        if let Some(slot) = STAGES.iter().position(|s| *s == name) {
+            agg.durations[slot].push(dur);
+        }
+    }
+}
+
+/// Exact quantile over a sorted sample (nearest-rank).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn render(path: &str, agg: &Aggregate) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace-report: {path} — {} records, schema ok\n\n",
+        agg.records
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>10} {:>10} {:>10}\n",
+        "stage", "count", "p50_us", "p99_us", "max_us"
+    ));
+    for (i, name) in STAGES.iter().enumerate() {
+        let mut durs = agg.durations[i].clone();
+        durs.sort_unstable();
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>10} {:>10} {:>10}\n",
+            name,
+            durs.len(),
+            quantile(&durs, 0.50),
+            quantile(&durs, 0.99),
+            durs.last().copied().unwrap_or(0),
+        ));
+    }
+    let mut totals = agg.totals.clone();
+    totals.sort_unstable();
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>10} {:>10} {:>10}\n",
+        "total (e2e)",
+        totals.len(),
+        quantile(&totals, 0.50),
+        quantile(&totals, 0.99),
+        totals.last().copied().unwrap_or(0),
+    ));
+    out
+}
+
+/// Validate one JSONL file and return the rendered report, or every
+/// violation found.
+pub fn run_report(path: &str) -> Result<String, Vec<String>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+    let agg = validate(&text)?;
+    Ok(render(path, &agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(extra: &str) -> String {
+        format!(
+            r#"{{"seq":1,"shard":0,"tenant":0,"kind":"why_so","outcome":"ok","cache_hit":false,"coalesced":false,"relations":2,"dichotomy":"PTIME","lineage_conjuncts":1,"rho_max":0.5,"snapshot_version":1,"deadline_slack_us":null,"total_us":42,"stages":[{{"stage":"admission","start_us":0,"dur_us":1}},{{"stage":"respond","start_us":40,"dur_us":2}}]{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn a_valid_record_aggregates() {
+        let agg = validate(&record("")).expect("valid");
+        assert_eq!(agg.records, 1);
+        assert_eq!(agg.totals, vec![42]);
+        assert_eq!(agg.durations[0], vec![1]);
+        assert_eq!(agg.durations[7], vec![2]);
+    }
+
+    #[test]
+    fn violations_carry_line_numbers_and_accumulate() {
+        let text = format!(
+            "{}\n{}\n{}",
+            record(""),
+            record("").replace("\"why_so\"", "\"maybe_so\""),
+            record("").replace("\"outcome\":\"ok\"", "\"outcome\":\"shrug\"")
+        );
+        let errs = validate(&text).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs[0].starts_with("line 2:") && errs[0].contains("maybe_so"));
+        assert!(errs[1].starts_with("line 3:") && errs[1].contains("shrug"));
+    }
+
+    #[test]
+    fn unknown_stage_names_are_rejected() {
+        let bad = record("").replace("\"admission\"", "\"teleport\"");
+        let errs = validate(&bad).unwrap_err();
+        assert!(errs[0].contains("unknown stage \"teleport\""), "{errs:?}");
+    }
+
+    #[test]
+    fn backwards_stage_starts_are_rejected() {
+        let bad = record("")
+            .replace("\"start_us\":40", "\"start_us\":0")
+            .replace(
+                "\"stage\":\"admission\",\"start_us\":0",
+                "\"stage\":\"admission\",\"start_us\":9",
+            );
+        let errs = validate(&bad).unwrap_err();
+        assert!(errs[0].contains("goes backwards"), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_fields_and_bad_types_are_rejected() {
+        let missing = record("").replace("\"seq\":1,", "");
+        assert!(validate(&missing).unwrap_err()[0].contains("\"seq\""));
+        let negative = record("").replace("\"total_us\":42", "\"total_us\":-3");
+        assert!(validate(&negative).unwrap_err()[0].contains("total_us"));
+        let fractional = record("").replace("\"shard\":0", "\"shard\":0.5");
+        assert!(validate(&fractional).unwrap_err()[0].contains("shard"));
+        assert!(validate("")
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("empty")));
+    }
+
+    #[test]
+    fn signed_slack_is_accepted() {
+        let over = record("").replace("\"deadline_slack_us\":null", "\"deadline_slack_us\":-120");
+        assert!(validate(&over).is_ok());
+    }
+
+    #[test]
+    fn report_renders_every_stage_row() {
+        let agg = validate(&record("")).unwrap();
+        let table = render("x.jsonl", &agg);
+        for stage in STAGES {
+            assert!(table.contains(stage), "missing {stage} in:\n{table}");
+        }
+        assert!(table.contains("total (e2e)"));
+        assert!(table.contains("1 records, schema ok"));
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        assert_eq!(quantile(&[7], 0.99), 7);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.5), 2);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.99), 4);
+    }
+}

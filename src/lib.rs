@@ -25,6 +25,7 @@
 //! | [`reductions`] | executable hardness proofs: 3SAT rings, vertex cover, the LOGSPACE chain |
 //! | [`datagen`] | IMDB-schema synthesis (Fig. 1/2), chain/triangle workloads, Zipf |
 //! | [`service`] | sharded explanation serving: admission control, deadlines, per-shard worker pools and caches, latency histograms |
+//! | [`telemetry`] | std-only observability: request-trace spans, a named metrics registry (Prometheus-text/JSONL exporters), trace rings, slow-log |
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,7 @@ pub use causality_graph as graph;
 pub use causality_lineage as lineage;
 pub use causality_reductions as reductions;
 pub use causality_service as service;
+pub use causality_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -79,6 +81,7 @@ pub mod prelude {
         CausalityService, ExplainKind, ExplainRequest, ExplainResponse, ServiceConfig,
         ServiceError, ServiceStats, ShardedService, TenantId, TierConfig, TierStats,
     };
+    pub use causality_telemetry::{RequestTrace, Stage, TelemetryConfig};
 }
 
 #[cfg(test)]

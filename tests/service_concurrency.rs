@@ -66,6 +66,7 @@ fn writers_and_readers_make_progress_without_deadlock() {
                 cache_capacity: 256,
                 cached_versions: 3,
                 rank_parallelism: 2,
+                ..ServiceConfig::default()
             },
         ));
         let query = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();

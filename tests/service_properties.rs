@@ -41,6 +41,7 @@ fn small_service(db: Database) -> CausalityService {
             cache_capacity: 64,
             cached_versions: 2,
             rank_parallelism: 1,
+            ..ServiceConfig::default()
         },
     )
 }
