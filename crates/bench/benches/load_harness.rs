@@ -26,12 +26,17 @@
 //! 4. **slow-log outlier** — a non-weakly-linear (NP-hard) triangle
 //!    query served next to a stalled worker must land in the
 //!    explanation slow-log with its dichotomy class and a
-//!    `kernel_solve` span attached.
+//!    `kernel_solve` span attached;
+//! 5. **hard mix** (PR 8) — deadline-bound NP-hard triangle requests
+//!    interleaved with deadline-free PTIME traffic: the hardness router
+//!    must answer every hard request approximately within its budget
+//!    (zero `DeadlineExceeded`, zero worker stalls), and the mixed
+//!    stream's p99 is recorded as the headline tail-latency number.
 //!
 //! The timed replays run with **full trace sampling on** (ring of 128
 //! per shard), so the throughput numbers the bench gate compares across
 //! PRs already include the tracing overhead — that is the release-mode
-//! overhead guard. A full run writes `BENCH_7.json` (shared manifest
+//! overhead guard. A full run writes `BENCH_8.json` (shared manifest
 //! schema, see `causality_bench::manifest`) plus the telemetry
 //! artifacts `traces.jsonl`, `metrics.prom`, and `slowlog.jsonl` at the
 //! repo root; `--test`/`--list` runs a miniature of all phases with the
@@ -39,10 +44,12 @@
 //! `load_harness_{traces.jsonl,metrics.prom,slowlog.jsonl}` instead.
 
 use causality_bench::{BenchManifest, Direction};
+use causality_datagen::hard_instances::dense_triangles;
 use causality_datagen::tenants::{tenant_workload, TenantOp, TenantWorkload, TenantWorkloadConfig};
 use causality_engine::{Database, Schema, Value};
 use causality_service::{
-    ExplainRequest, PendingExplain, ServiceConfig, ShardedService, TenantId, TierConfig,
+    ExplainMode, ExplainRequest, PendingExplain, ServiceConfig, ShardedService, TenantId,
+    TierConfig,
 };
 use causality_telemetry::{Stage, TelemetryConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -333,6 +340,105 @@ fn assert_slow_log_outlier(workload: &TenantWorkload) -> String {
     jsonl
 }
 
+/// Mixed easy/hard traffic through the hardness router (PR 8): one
+/// tenant serves a dense NP-hard triangle database and submits every
+/// request with a tight deadline, interleaved with an easy tenant's
+/// deadline-free PTIME stream. The router must answer *every* hard
+/// request approximately within its budget — zero `DeadlineExceeded`,
+/// zero stalls — and the mixed-stream p99 is the headline tail number.
+struct HardMixNumbers {
+    p50_us: u64,
+    p99_us: u64,
+    hard_requests: u64,
+    approx_requests: u64,
+}
+
+fn measure_hard_mix(workload: &TenantWorkload, quick: bool) -> HardMixNumbers {
+    let (nodes, tuples, hard_every, rounds) = if quick {
+        (5, 40, 4, 60)
+    } else {
+        (6, 150, 4, 600)
+    };
+    let inst = dense_triangles(nodes, tuples, workload.ops.len() as u64);
+    let tier = ShardedService::new(TierConfig {
+        shards: 2,
+        admission_limit: 4 * rounds as usize,
+        default_deadline: None,
+        shard: ServiceConfig {
+            workers: 1,
+            queue_capacity: 4 * rounds as usize,
+            ..ServiceConfig::default()
+        },
+    });
+    let easy_spec = &workload.tenants[0];
+    let easy = tier
+        .add_tenant(&easy_spec.name, easy_spec.db.clone())
+        .expect("fresh tier");
+    let hard = tier
+        .add_tenant("hard-triangles", inst.db.clone())
+        .expect("fresh tier");
+    let easy_req =
+        ExplainRequest::why_so(easy_spec.query.clone(), vec![easy_spec.answers[0].clone()]);
+    let hard_req = ExplainRequest::why_so(inst.query.clone(), vec![]);
+
+    let mut pending: Vec<(bool, PendingExplain)> = Vec::new();
+    for i in 0..rounds {
+        let is_hard = i % hard_every == 0;
+        let handle = if is_hard {
+            tier.submit_with_deadline(hard, hard_req.clone(), Duration::from_millis(2))
+                .expect("sized for zero rejects")
+        } else {
+            tier.submit(easy, easy_req.clone())
+                .expect("sized for zero rejects")
+        };
+        pending.push((is_hard, handle));
+    }
+
+    let mut hard_requests = 0u64;
+    let mut approx_requests = 0u64;
+    for (is_hard, handle) in pending {
+        let response = handle.wait().expect("service stays up");
+        let explanation = response
+            .result
+            .expect("every request is answered — hard ones approximately");
+        if is_hard {
+            hard_requests += 1;
+            if matches!(explanation.mode, ExplainMode::Approximate { .. }) {
+                approx_requests += 1;
+            }
+        } else {
+            assert_eq!(
+                explanation.mode,
+                ExplainMode::Exact,
+                "deadline-free PTIME traffic never degrades"
+            );
+        }
+    }
+    let stats = tier.stats().aggregate();
+    assert_eq!(
+        stats.deadline_misses, 0,
+        "the anytime tier turns every would-be miss into a bounded answer"
+    );
+    assert_eq!(hard_requests, approx_requests, "every hard request routed");
+    // Identical in-flight hard requests coalesce into one computation,
+    // so the counter tracks computations, not responses.
+    assert!(
+        stats.approx_requests >= 1 && stats.approx_requests <= approx_requests,
+        "approx computations: {} for {} approximate answers",
+        stats.approx_requests,
+        approx_requests
+    );
+    assert_eq!(stats.queue_depth, 0, "mixed stream fully drained");
+    let numbers = HardMixNumbers {
+        p50_us: stats.p50_us(),
+        p99_us: stats.p99_us(),
+        hard_requests,
+        approx_requests,
+    };
+    tier.shutdown();
+    numbers
+}
+
 /// Dump the telemetry artifacts next to the manifest (full run) or
 /// under `target/` with a `load_harness_` prefix (quick run).
 fn write_artifacts(quick: bool, telemetry: &TierTelemetry, slowlog: &str) {
@@ -459,17 +565,23 @@ fn assert_admission_control(workload: &TenantWorkload) {
     tier.shutdown();
 }
 
-fn write_manifest(cfg: &HarnessConfig, single: &PhaseNumbers, sharded: &PhaseNumbers) {
+fn write_manifest(
+    cfg: &HarnessConfig,
+    single: &PhaseNumbers,
+    sharded: &PhaseNumbers,
+    hard_mix: &HardMixNumbers,
+) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_7.json");
+    let path = format!("{root}/BENCH_8.json");
     let mut manifest = BenchManifest::new(
         "load_harness",
-        7,
+        8,
         "ops/s",
         cfg.workload.seed,
         "open-loop multi-tenant replay (Zipf-hot tenants, mixed why-so/why-no/top-k reads \
          with interleaved writes) against the sharded serving tier; single_shard uses the \
-         same workers per shard",
+         same workers per shard; hard_mix interleaves deadline-bound NP-hard triangle \
+         requests answered by the anytime tier",
     );
     manifest.push(
         "throughput_sharded",
@@ -513,12 +625,29 @@ fn write_manifest(cfg: &HarnessConfig, single: &PhaseNumbers, sharded: &PhaseNum
         "requests",
         Direction::LowerIsBetter,
     );
+    manifest.push(
+        "hard_mix_p99_us",
+        hard_mix.p99_us as f64,
+        "us",
+        Direction::LowerIsBetter,
+    );
+    manifest.push(
+        "hard_mix_p50_us",
+        hard_mix.p50_us as f64,
+        "us",
+        Direction::LowerIsBetter,
+    );
     manifest.extra("shards", &cfg.shards.to_string());
     manifest.extra("workers_per_shard", &cfg.workers_per_shard.to_string());
     manifest.extra("clients", &CLIENTS.to_string());
     manifest.extra("ops", &cfg.workload.ops.to_string());
     manifest.extra("tenants", &cfg.workload.tenants.to_string());
     manifest.extra("single_shard_p99_us", &single.p99_us.to_string());
+    manifest.extra("hard_mix_requests", &hard_mix.hard_requests.to_string());
+    manifest.extra(
+        "hard_mix_approx_answers",
+        &hard_mix.approx_requests.to_string(),
+    );
     match manifest.write(&path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -541,6 +670,11 @@ fn main() {
     assert_shard_isolation(&workload, cfg.shards.max(2));
     assert_admission_control(&workload);
     let slowlog = assert_slow_log_outlier(&workload);
+    let hard_mix = measure_hard_mix(&workload, quick);
+    println!(
+        "hard mix     : p50 {:>6} us  p99 {:>6} us  {} hard requests, {} answered approximately, 0 deadline misses",
+        hard_mix.p50_us, hard_mix.p99_us, hard_mix.hard_requests, hard_mix.approx_requests
+    );
 
     let (single, _) = measure_tier(&workload, 1, cfg.workers_per_shard);
     let (sharded, telemetry) = measure_tier(&workload, cfg.shards, cfg.workers_per_shard);
@@ -569,5 +703,5 @@ fn main() {
         );
         return;
     }
-    write_manifest(&cfg, &single, &sharded);
+    write_manifest(&cfg, &single, &sharded, &hard_mix);
 }

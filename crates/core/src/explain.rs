@@ -6,15 +6,19 @@
 //! grounds an answer, computes its causes and responsibilities, and
 //! returns a ranked, renderable [`Explanation`] — the Fig. 2b table.
 
+use crate::causes::causes_from_minimized_whyso;
 use crate::dichotomy::classify::DichotomyTag;
 use crate::error::CoreError;
 use crate::ranking::{
     rank_why_no_metered, rank_why_so_metered, rank_why_so_parallel, Method, RankConfig, RankMeta,
     RankStats, RankedCause,
 };
+use crate::resp::approx::{anytime_min_contingency, ApproxBudget, RhoBounds};
 use causality_engine::{ConjunctiveQuery, Database, SharedIndexCache, Tuple, TupleRef, Value};
+use causality_lineage::{n_lineage_cached, LineageArena};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why-So or Why-No.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -23,6 +27,29 @@ pub enum ExplanationKind {
     WhySo,
     /// Why is this tuple *not* an answer?
     WhyNo,
+}
+
+/// How an explanation's responsibilities were computed.
+///
+/// The serving tier's hardness router produces [`ExplainMode::Approximate`]
+/// when an NP-hard instance runs under a deadline: every ρ then carries a
+/// certified `[lower, upper]` bracket instead of an exact value (the
+/// reported `rho` is the certified lower bound).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExplainMode {
+    /// Every ρ is exact (the flow/bitset kernels ran to completion).
+    Exact,
+    /// ρ values are certified anytime bounds from
+    /// [`crate::resp::approx`].
+    Approximate {
+        /// Bracket on the explanation's ρ_max (the per-cause brackets
+        /// live on [`ExplainedCause::bounds`]).
+        bounds: RhoBounds,
+        /// Wall-clock µs the anytime solves consumed.
+        budget_spent_us: u64,
+        /// Completed refinement levels across all causes.
+        refinements: u32,
+    },
 }
 
 /// One ranked cause, resolved to displayable tuple values.
@@ -34,12 +61,18 @@ pub struct ExplainedCause {
     pub relation: String,
     /// The tuple's values.
     pub values: Tuple,
-    /// Responsibility ρ.
+    /// Responsibility ρ. Under [`ExplainMode::Approximate`] this is the
+    /// certified *lower* bound (`bounds.lower`).
     pub rho: f64,
     /// Whether the cause is counterfactual (ρ = 1).
     pub counterfactual: bool,
     /// A witnessing minimum contingency, rendered as `Rel(values)` strings.
+    /// Under [`ExplainMode::Approximate`] it is the best *feasible*
+    /// contingency found (witnessing `bounds.lower`, not necessarily
+    /// minimum).
     pub contingency: Vec<String>,
+    /// Certified `[lower, upper]` bracket on ρ; `None` on exact paths.
+    pub bounds: Option<RhoBounds>,
 }
 
 /// A ranked explanation of one (non-)answer.
@@ -57,6 +90,10 @@ pub struct Explanation {
     /// Conjunct count of the minimized lineage the causes were ranked
     /// against — the paper's per-request cost driver.
     pub lineage_conjuncts: usize,
+    /// Exact or anytime-approximate responsibilities (the hardness
+    /// router's verdict; always [`ExplainMode::Exact`] off the anytime
+    /// path).
+    pub mode: ExplainMode,
 }
 
 impl Explanation {
@@ -189,6 +226,106 @@ impl<'a> Explainer<'a> {
         ))
     }
 
+    /// [`Explainer::why`] with certified anytime bounds instead of exact
+    /// responsibilities: the NP-hard escape hatch of the dichotomy-aware
+    /// serving tier.
+    ///
+    /// The cause *set* is exact (Theorem 3.2 is PTIME); only the ρ
+    /// values are bracketed. Each cause carries a
+    /// [`RhoBounds`] with `lower ≤ ρ ≤ upper`, its `rho` field is the
+    /// certified lower bound, and causes are ranked by that bound. The
+    /// step budget is split evenly across the candidate causes; the
+    /// deadline (if any) is shared. With [`ApproxBudget::zero`] the
+    /// result is the polynomial greedy bracket; with
+    /// [`ApproxBudget::unlimited`] every bracket collapses to the exact
+    /// ρ.
+    pub fn why_anytime(
+        &self,
+        answer: &[Value],
+        budget: ApproxBudget,
+    ) -> Result<(Explanation, ExplainTiming), CoreError> {
+        let grounded = self.query.try_ground(answer)?;
+        let tag = DichotomyTag::of_why_so(&grounded);
+        let lineage_started = Instant::now();
+        let phi = n_lineage_cached(self.db, &grounded, Some(&self.cache))?;
+        let (arena, bits) = LineageArena::from_dnf(&phi);
+        let phin = bits.minimized();
+        let causes = causes_from_minimized_whyso(&arena, &phin);
+        let lineage_us = lineage_started.elapsed().as_micros() as u64;
+
+        let solve_started = Instant::now();
+        let per_cause = ApproxBudget {
+            max_steps: budget.max_steps / causes.actual.len().max(1) as u64,
+            deadline: budget.deadline,
+        };
+        let mut refinements = 0u32;
+        let mut explained: Vec<ExplainedCause> = Vec::with_capacity(causes.actual.len());
+        for &t in &causes.actual {
+            let v = arena.id(t).expect("actual cause is interned");
+            let out = anytime_min_contingency(&phin, v, per_cause);
+            refinements += out.refinements;
+            let contingency = out
+                .contingency
+                .as_deref()
+                .unwrap_or_default()
+                .iter()
+                .map(|&id| self.render_tuple(arena.resolve(id)))
+                .collect();
+            explained.push(ExplainedCause {
+                tuple: t,
+                relation: self.db.relation(t.rel).name().to_string(),
+                values: self.db.tuple(t).clone(),
+                rho: out.bounds.lower,
+                counterfactual: out.is_exact() && out.bounds.lower == 1.0,
+                contingency,
+                bounds: Some(out.bounds),
+            });
+        }
+        // Rank by certified lower bound, then tighter upper bound, then
+        // tuple id — deterministic like the exact ranker's order.
+        explained.sort_by(|a, b| {
+            b.rho
+                .total_cmp(&a.rho)
+                .then(
+                    b.bounds
+                        .expect("anytime cause")
+                        .upper
+                        .total_cmp(&a.bounds.expect("anytime cause").upper),
+                )
+                .then(a.tuple.cmp(&b.tuple))
+        });
+        let solve_us = solve_started.elapsed().as_micros() as u64;
+
+        // Bracket on ρ_max: the max of the per-cause brackets.
+        let bounds =
+            explained
+                .iter()
+                .filter_map(|c| c.bounds)
+                .fold(RhoBounds::exact(0.0), |acc, b| RhoBounds {
+                    lower: acc.lower.max(b.lower),
+                    upper: acc.upper.max(b.upper),
+                });
+        let explanation = Explanation {
+            kind: ExplanationKind::WhySo,
+            answer: answer.to_vec(),
+            causes: explained,
+            dichotomy: tag,
+            lineage_conjuncts: phin.conjuncts().len(),
+            mode: ExplainMode::Approximate {
+                bounds,
+                budget_spent_us: solve_us,
+                refinements,
+            },
+        };
+        Ok((
+            explanation,
+            ExplainTiming {
+                lineage_us,
+                solve_us,
+            },
+        ))
+    }
+
     /// Like [`Explainer::why`], but computes (and returns) only the `k`
     /// most responsible causes: candidates are screened with a cheap
     /// upper bound and full responsibility is only solved while it can
@@ -270,6 +407,7 @@ impl<'a> Explainer<'a> {
                     rho: rc.responsibility.rho,
                     counterfactual: rc.responsibility.is_counterfactual(),
                     contingency,
+                    bounds: None,
                 }
             })
             .collect();
@@ -279,6 +417,7 @@ impl<'a> Explainer<'a> {
             causes,
             dichotomy,
             lineage_conjuncts,
+            mode: ExplainMode::Exact,
         }
     }
 
@@ -298,6 +437,18 @@ impl fmt::Display for Explanation {
         match self.kind {
             ExplanationKind::WhySo => writeln!(f, "Why is ({answer}) an answer?")?,
             ExplanationKind::WhyNo => writeln!(f, "Why is ({answer}) not an answer?")?,
+        }
+        if let ExplainMode::Approximate {
+            bounds,
+            refinements,
+            ..
+        } = self.mode
+        {
+            writeln!(
+                f,
+                "(anytime: ρ_max ∈ [{:.3}, {:.3}] after {refinements} refinements)",
+                bounds.lower, bounds.upper
+            )?;
         }
         writeln!(f, "{:>6}  cause", "ρ")?;
         for c in &self.causes {
@@ -472,6 +623,50 @@ mod tests {
             .unwrap();
         assert_eq!(explanation.dichotomy, DichotomyTag::PTime);
         assert!(explanation.lineage_conjuncts > 0);
+    }
+
+    #[test]
+    fn why_anytime_brackets_and_collapses_on_the_triangle() {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y", "z"]));
+        let t = db.add_relation(Schema::new("T", &["z", "x"]));
+        // A fan of 3 triangles sharing R(1,2): Γ_min for S(2,3) is the
+        // 2 off-fan triangles, so ρ = 1/3; R(1,2) is counterfactual.
+        db.insert_endo(r, tup![1, 2]);
+        for i in 0..3 {
+            db.insert_endo(s, tup![2, 10 + i]);
+            db.insert_endo(t, tup![10 + i, 1]);
+        }
+        let hard = q("h2 :- R(x, y), S(y, z), T(z, x)");
+        let explainer = Explainer::new(&db, &hard);
+
+        let exact = explainer.why(&[]).unwrap();
+        assert_eq!(exact.mode, ExplainMode::Exact);
+
+        let (greedy, _) = explainer.why_anytime(&[], ApproxBudget::zero()).unwrap();
+        let ExplainMode::Approximate { bounds, .. } = greedy.mode else {
+            panic!("anytime path reports Approximate");
+        };
+        assert_eq!(greedy.dichotomy, DichotomyTag::NpHard);
+        assert!(bounds.contains(exact.rho_max()), "{bounds:?}");
+        // Same cause set, every cause bracketing its exact ρ.
+        assert_eq!(greedy.causes.len(), exact.causes.len());
+        for c in &greedy.causes {
+            let e = exact.causes.iter().find(|e| e.tuple == c.tuple).unwrap();
+            assert!(c.bounds.unwrap().contains(e.rho), "{:?}", c.bounds);
+        }
+
+        let (full, _) = explainer
+            .why_anytime(&[], ApproxBudget::unlimited())
+            .unwrap();
+        for c in &full.causes {
+            let e = exact.causes.iter().find(|e| e.tuple == c.tuple).unwrap();
+            assert!(c.bounds.unwrap().is_exact());
+            assert!((c.rho - e.rho).abs() < 1e-12, "collapsed to exact ρ");
+            assert_eq!(c.counterfactual, e.counterfactual);
+        }
+        assert_eq!(full.rho_max(), 1.0, "R(1,2) is counterfactual");
     }
 
     #[test]

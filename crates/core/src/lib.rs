@@ -53,8 +53,9 @@ pub mod whyno_candidates;
 pub use causes::{why_no_causes, why_so_causes, CauseSet};
 pub use dichotomy::classify::{classify_why_so, Complexity, DichotomyTag};
 pub use error::CoreError;
-pub use explain::{ExplainTiming, Explainer};
+pub use explain::{ExplainMode, ExplainTiming, Explainer};
 pub use ranking::{rank_why_so_parallel, RankConfig, RankMeta, RankStats, RankedTopK};
+pub use resp::approx::{anytime_min_contingency, AnytimeOutcome, ApproxBudget, RhoBounds};
 pub use resp::{why_no_responsibility, why_so_responsibility, Responsibility};
 pub use whyno_candidates::{
     install_candidates, screen_candidates, suggest_candidates, CandidateConfig,

@@ -9,11 +9,15 @@
 //!   queries via repeated max-flow/min-cut (Example 4.2, Theorem 4.5).
 //! * [`whyno`] — Theorem 4.17: Why-No responsibility in PTIME (contingency
 //!   sets are bounded by the number of subgoals).
+//! * [`approx`] — anytime certified `[lower, upper]` bounds on ρ for the
+//!   NP-hard side: greedy hitting set with the ln(n)+1 guarantee plus a
+//!   budgeted iterative-deepening refinement.
 //!
 //! [`why_so_responsibility`] picks the right algorithm automatically:
 //! flow when the query (with natures derived from the database partition)
 //! is self-join-free and weakly linear, exact otherwise.
 
+pub mod approx;
 pub mod exact;
 pub mod flow;
 pub mod whyno;

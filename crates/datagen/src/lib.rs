@@ -12,6 +12,10 @@
 //! * [`workloads`] — parameterized instance families for the benches:
 //!   layered chain-join databases (Algorithm 1's PTIME scaling), random
 //!   triangle databases (h2*'s hard shape), and random graphs.
+//! * [`hard_instances`] — NP-hard responsibility instances with *known*
+//!   exact answers by construction (triangle fans, self-join stars) plus
+//!   a dense random family for the load harness's hard tenant — the
+//!   shared ground truth for the anytime-approximation test layer.
 //! * [`tenants`] — multi-tenant serving workloads for the load harness:
 //!   per-tenant databases plus a seeded, Zipf-skewed op stream mixing
 //!   Why-So / Why-No / rank-top-k reads with cache-invalidating writes.
@@ -20,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hard_instances;
 pub mod imdb;
 pub mod tenants;
 pub mod workloads;
 pub mod zipf;
 
+pub use hard_instances::{dense_triangles, selfjoin_star, triangle_fan, HardInstance};
 pub use imdb::{fig2a_instance, Fig2aRefs};
 pub use tenants::{tenant_workload, TenantOp, TenantSpec, TenantWorkload, TenantWorkloadConfig};
 pub use zipf::Zipf;

@@ -1,25 +1,144 @@
-//! A complete DPLL SAT solver.
+//! A complete DPLL SAT solver, with an optional work budget.
 //!
 //! The oracle for the ring reduction's correctness (Lemma C.3: `φ`
 //! satisfiable ⟺ `Gφ` has a contingency of size `Σ mᵢ`). Classic DPLL
 //! with unit propagation and pure-literal elimination — complete, and fast
 //! at the formula sizes the reductions produce.
+//!
+//! DPLL is worst-case exponential (pigeonhole formulas force it), so
+//! callers that cannot afford an unbounded search use
+//! [`solve_budgeted`]: the recursion charges one step per decision node
+//! and aborts with [`BudgetExhausted`] once the step cap or the
+//! wall-clock deadline is hit, preserving the best partial trail seen
+//! so far in the error. [`solve`] stays total by running with
+//! [`Budget::unlimited`].
 
 use crate::cnf::{Cnf, Literal};
+use std::time::Instant;
+
+/// Work budget for [`solve_budgeted`]: a decision-node cap plus an
+/// optional wall-clock deadline (polled every 64 nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum number of decision nodes the search may expand.
+    pub max_steps: u64,
+    /// Hard wall-clock cutoff.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No cap at all — [`solve`] in budget clothing.
+    pub fn unlimited() -> Budget {
+        Budget {
+            max_steps: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// A pure step budget (deterministic, clock-free).
+    pub fn steps(max_steps: u64) -> Budget {
+        Budget {
+            max_steps,
+            deadline: None,
+        }
+    }
+
+    /// A pure wall-clock budget.
+    pub fn until(deadline: Instant) -> Budget {
+        Budget {
+            max_steps: u64::MAX,
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// The search ran out of budget before reaching a verdict.
+///
+/// Carries the best-so-far state: how many steps were spent and the
+/// deepest partial assignment reached (variables the search had pinned
+/// when the budget expired — a warm-start hint, *not* a model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Decision nodes expanded before the cutoff.
+    pub steps_used: u64,
+    /// Number of variables assigned on the deepest trail seen.
+    pub deepest_trail: usize,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DPLL budget exhausted after {} steps (deepest trail: {} vars)",
+            self.steps_used, self.deepest_trail
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
 
 /// Solve a CNF formula. Returns a satisfying assignment or `None`.
+/// Total: worst-case exponential time. Use [`solve_budgeted`] on
+/// untrusted instance sizes.
 pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_budgeted(cnf, Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// [`solve`] under a step/deadline budget: `Ok(Some(model))`,
+/// `Ok(None)` (proven UNSAT), or `Err(BudgetExhausted)` when the search
+/// was cut off before reaching either verdict.
+pub fn solve_budgeted(cnf: &Cnf, budget: Budget) -> Result<Option<Vec<bool>>, BudgetExhausted> {
     let mut assignment: Vec<Option<bool>> = vec![None; cnf.var_count];
-    if dpll(cnf, &mut assignment) {
-        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
-    } else {
-        None
+    let mut tracker = Tracker::new(budget);
+    match dpll(cnf, &mut assignment, &mut tracker) {
+        Ok(true) => Ok(Some(
+            assignment.into_iter().map(|v| v.unwrap_or(false)).collect(),
+        )),
+        Ok(false) => Ok(None),
+        Err(()) => Err(BudgetExhausted {
+            steps_used: tracker.steps,
+            deepest_trail: tracker.deepest_trail,
+        }),
     }
 }
 
 /// Whether the formula is satisfiable.
 pub fn is_satisfiable(cnf: &Cnf) -> bool {
     solve(cnf).is_some()
+}
+
+struct Tracker {
+    max_steps: u64,
+    deadline: Option<Instant>,
+    steps: u64,
+    deepest_trail: usize,
+}
+
+impl Tracker {
+    fn new(budget: Budget) -> Tracker {
+        Tracker {
+            max_steps: budget.max_steps,
+            deadline: budget.deadline,
+            steps: 0,
+            deepest_trail: 0,
+        }
+    }
+
+    /// Charge one decision node; `false` once the budget is gone.
+    fn step(&mut self) -> bool {
+        if self.steps >= self.max_steps {
+            return false;
+        }
+        self.steps += 1;
+        if self.steps.is_multiple_of(64) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 #[derive(PartialEq)]
@@ -50,7 +169,12 @@ fn clause_state(lits: &[Literal], assignment: &[Option<bool>]) -> ClauseState {
     }
 }
 
-fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+/// `Ok(sat?)` on a completed search, `Err(())` on budget exhaustion
+/// (the caller reads the tally out of the tracker).
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>, tracker: &mut Tracker) -> Result<bool, ()> {
+    if !tracker.step() {
+        return Err(());
+    }
     // Unit propagation.
     let mut trail: Vec<usize> = Vec::new();
     loop {
@@ -61,7 +185,7 @@ fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
                     for v in trail {
                         assignment[v] = None;
                     }
-                    return false;
+                    return Ok(false);
                 }
                 ClauseState::Unit(lit) => {
                     assignment[lit.var] = Some(lit.positive);
@@ -106,6 +230,9 @@ fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
             }
         }
     }
+    tracker.deepest_trail = tracker
+        .deepest_trail
+        .max(assignment.iter().filter(|v| v.is_some()).count());
     // Pick a branching variable.
     let branch = (0..cnf.var_count).find(|&v| assignment[v].is_none());
     let result = match branch {
@@ -117,11 +244,22 @@ fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
             let mut ok = false;
             for value in [true, false] {
                 assignment[v] = Some(value);
-                if dpll(cnf, assignment) {
-                    ok = true;
-                    break;
+                match dpll(cnf, assignment, tracker) {
+                    Ok(true) => {
+                        ok = true;
+                        break;
+                    }
+                    Ok(false) => assignment[v] = None,
+                    Err(()) => {
+                        // Unwind this frame's trail so the caller sees a
+                        // consistent assignment even on abort.
+                        assignment[v] = None;
+                        for v in trail {
+                            assignment[v] = None;
+                        }
+                        return Err(());
+                    }
                 }
-                assignment[v] = None;
             }
             ok
         }
@@ -131,7 +269,7 @@ fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
             assignment[v] = None;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -150,6 +288,27 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    /// PHP(p pigeons, h holes): every pigeon gets a hole, no hole gets
+    /// two pigeons. UNSAT for p > h, and exponentially hard for
+    /// resolution-style search — the canonical DPLL killer.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+        let var = |p: usize, h: usize| p * holes + h;
+        let mut clauses = Vec::new();
+        for p in 0..pigeons {
+            clauses.push(Clause(
+                (0..holes).map(|h| Literal::pos(var(p, h))).collect(),
+            ));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    clauses.push(clause(&[(var(p1, h), false), (var(p2, h), false)]));
+                }
+            }
+        }
+        Cnf::new(pigeons * holes, clauses)
     }
 
     #[test]
@@ -203,6 +362,37 @@ mod tests {
             ],
         );
         assert!(!is_satisfiable(&cnf));
+    }
+
+    /// Satellite fix: a crafted exponential instance (PHP(13, 12), far
+    /// beyond what an uncapped DPLL finishes in test time) returns
+    /// `BudgetExhausted` instead of hanging.
+    #[test]
+    fn exponential_instance_exhausts_budget_instead_of_hanging() {
+        let cnf = pigeonhole(13, 12);
+        let err = solve_budgeted(&cnf, Budget::steps(10_000))
+            .expect_err("PHP(13,12) cannot be refuted in 10k decision nodes");
+        assert_eq!(err.steps_used, 10_000);
+        assert!(err.deepest_trail > 0, "best-so-far trail is reported");
+        // An expired deadline aborts immediately too.
+        let err = solve_budgeted(&cnf, Budget::until(Instant::now()))
+            .map_err(|e| e.steps_used)
+            .expect_err("expired deadline");
+        assert!(err <= 64, "deadline polled within the first poll window");
+    }
+
+    /// The budgeted solver with room to spare agrees with `solve` on
+    /// instances both can finish.
+    #[test]
+    fn budgeted_matches_total_solver_within_budget() {
+        let small = pigeonhole(4, 3);
+        assert_eq!(solve_budgeted(&small, Budget::steps(100_000)), Ok(None));
+        assert!(!is_satisfiable(&small));
+        let sat = pigeonhole(3, 3);
+        let model = solve_budgeted(&sat, Budget::steps(100_000))
+            .expect("within budget")
+            .expect("satisfiable");
+        assert!(sat.satisfied(&model));
     }
 
     /// Brute-force cross-validation on random 3-CNFs.

@@ -32,3 +32,4 @@ pub mod selfjoin;
 
 pub use cnf::{Clause, Cnf, Literal};
 pub use dpll::solve as dpll_solve;
+pub use dpll::{solve_budgeted as dpll_solve_budgeted, Budget, BudgetExhausted};

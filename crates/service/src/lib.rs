@@ -85,7 +85,20 @@
 //!   bounded per-shard ring ([`ShardedService::recent_traces`] /
 //!   [`ShardedService::export_traces`]), and requests crossing the
 //!   configured latency or slack thresholds are duplicated into an
-//!   explanation slow-log ([`ShardedService::slow_log_records`]).
+//!   explanation slow-log ([`ShardedService::slow_log_records`]);
+//! * hardness-aware routing (PR 8) — workers classify each Why-So
+//!   request with the dichotomy tag before solving: PTIME instances run
+//!   the exact kernels exactly as before, while NP-hard instances that
+//!   carry a deadline are routed to the anytime responsibility kernel
+//!   (`causality_core::resp::approx`). The anytime path spends the
+//!   remaining deadline slack refining certified `[lower, upper]`
+//!   responsibility bounds and always returns an
+//!   [`ExplainMode::Approximate`] answer with sound [`RhoBounds`] — a
+//!   hard instance under a tight deadline degrades to a coarser bracket
+//!   instead of a [`ServiceError::DeadlineExceeded`] error. Approximate
+//!   answers are never cached, and the route is visible in telemetry
+//!   ([`ServiceStats::approx_requests`], the `bound_width_ppm`
+//!   histogram, and the `approx_refine` trace stage).
 //!
 //! # Example
 //!
@@ -127,6 +140,12 @@ pub use request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, 
 pub use service::CausalityService;
 pub use shard::ServiceConfig;
 pub use stats::ServiceStats;
+
+// The anytime-answer vocabulary (PR 8): NP-hard Why-So requests carrying a
+// deadline are routed to the anytime kernel and come back with
+// `ExplainMode::Approximate` and certified `RhoBounds` instead of timing out.
+pub use causality_core::explain::ExplainMode;
+pub use causality_core::resp::approx::{ApproxBudget, RhoBounds};
 
 // The telemetry vocabulary a service embedder needs: the config knob on
 // [`ServiceConfig`] plus the trace types the export APIs return.

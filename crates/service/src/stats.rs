@@ -22,7 +22,7 @@ pub use causality_telemetry::{quantile_us, LATENCY_BUCKETS};
 
 /// The canonical metric names a shard registers, in registration order.
 /// `trace-report` and dashboards key off these.
-const COUNTER_NAMES: [&str; 12] = [
+const COUNTER_NAMES: [&str; 14] = [
     "requests_total",
     "batches_total",
     "batched_requests_total",
@@ -35,6 +35,8 @@ const COUNTER_NAMES: [&str; 12] = [
     "panics_caught_total",
     "admission_rejects_total",
     "deadline_misses_total",
+    "approx_requests_total",
+    "approx_refinements_total",
 ];
 
 /// Internal counters bumped by workers and the submit path — shared
@@ -57,8 +59,14 @@ pub(crate) struct StatsCounters {
     pub panics_caught: Arc<Counter>,
     pub admission_rejects: Arc<Counter>,
     pub deadline_misses: Arc<Counter>,
+    pub approx_requests: Arc<Counter>,
+    pub approx_refinements: Arc<Counter>,
     pub queue_depth: Arc<Gauge>,
     pub latency: Arc<Histogram>,
+    /// Width of the certified ρ bracket each anytime answer shipped
+    /// with, in parts-per-million of the full `[0, 1]` range (0 = the
+    /// bounds collapsed to the exact ρ within budget).
+    pub bound_width: Arc<Histogram>,
 }
 
 impl StatsCounters {
@@ -79,8 +87,11 @@ impl StatsCounters {
             panics_caught: c(9),
             admission_rejects: c(10),
             deadline_misses: c(11),
+            approx_requests: c(12),
+            approx_refinements: c(13),
             queue_depth: registry.gauge("queue_depth"),
             latency: registry.histogram("latency_us"),
+            bound_width: registry.histogram("bound_width_ppm"),
         }
     }
 
@@ -99,6 +110,11 @@ impl StatsCounters {
         index_entries: u64,
         reset: bool,
     ) -> ServiceStats {
+        if reset {
+            // Not surfaced in `ServiceStats` (it is exported through the
+            // registry), but phase-isolated like every other histogram.
+            let _ = self.bound_width.counts(true);
+        }
         ServiceStats {
             workers,
             snapshot_version,
@@ -115,6 +131,8 @@ impl StatsCounters {
             panics_caught: Self::read(&self.panics_caught, reset),
             admission_rejects: Self::read(&self.admission_rejects, reset),
             deadline_misses: Self::read(&self.deadline_misses, reset),
+            approx_requests: Self::read(&self.approx_requests, reset),
+            approx_refinements: Self::read(&self.approx_refinements, reset),
             // A gauge, not a counter: resetting it would lie about the
             // jobs still sitting in the queue.
             queue_depth: self.queue_depth.get(),
@@ -205,6 +223,15 @@ pub struct ServiceStats {
     /// [`ServiceError::DeadlineExceeded`](crate::ServiceError::DeadlineExceeded)
     /// without occupying the worker.
     pub deadline_misses: u64,
+    /// Fresh computations the hardness router sent down the anytime
+    /// approximation path (NP-hard Why-So under a deadline); their
+    /// responses carry [`ExplainMode::Approximate`](crate::ExplainMode)
+    /// with certified `[lower, upper]` ρ bounds.
+    pub approx_requests: u64,
+    /// Completed anytime refinement levels across all approx requests —
+    /// each one provably tightened a ρ bracket before the budget ran
+    /// out.
+    pub approx_refinements: u64,
     /// Jobs currently admitted but not yet drained by a worker (a live
     /// gauge — not reset by `snapshot_and_reset`).
     pub queue_depth: u64,
@@ -234,6 +261,8 @@ impl ServiceStats {
             panics_caught: 0,
             admission_rejects: 0,
             deadline_misses: 0,
+            approx_requests: 0,
+            approx_refinements: 0,
             queue_depth: 0,
             latency_buckets: [0; LATENCY_BUCKETS],
         }
@@ -300,6 +329,8 @@ impl ServiceStats {
         self.panics_caught += other.panics_caught;
         self.admission_rejects += other.admission_rejects;
         self.deadline_misses += other.deadline_misses;
+        self.approx_requests += other.approx_requests;
+        self.approx_refinements += other.approx_refinements;
         self.queue_depth += other.queue_depth;
         for (mine, theirs) in self
             .latency_buckets
@@ -332,6 +363,8 @@ mod tests {
         c.panics_caught.inc();
         c.admission_rejects.inc();
         c.deadline_misses.add(4);
+        c.approx_requests.add(2);
+        c.approx_refinements.add(6);
         let s = c.snapshot(4, 7, 5);
         assert_eq!(s.workers, 4);
         assert_eq!(s.snapshot_version, 7);
@@ -344,6 +377,8 @@ mod tests {
         assert_eq!(s.panics_caught, 1);
         assert_eq!(s.admission_rejects, 1);
         assert_eq!(s.deadline_misses, 4);
+        assert_eq!(s.approx_requests, 2);
+        assert_eq!(s.approx_refinements, 6);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 

@@ -14,7 +14,10 @@
 
 use crate::request::{ExplainKind, ExplainRequest, ExplainResponse, ServiceError};
 use crate::shard::{lock_unpoisoned, resp_fingerprint, ShardCore, TenantKey};
-use causality_core::explain::{ExplainTiming, Explainer, Explanation};
+use causality_core::explain::{ExplainMode, ExplainTiming, Explainer, Explanation};
+use causality_core::ranking::Method;
+use causality_core::resp::approx::ApproxBudget;
+use causality_core::DichotomyTag;
 use causality_engine::{SharedIndexCache, Snapshot};
 use causality_telemetry::{Stage, TraceBuilder};
 use std::collections::HashMap;
@@ -49,8 +52,27 @@ pub(crate) struct Job {
 /// shared `(tenant, request)` group key.
 struct JobTail {
     enqueued: Instant,
+    deadline: Option<Instant>,
     tx: Sender<ExplainResponse>,
     trace: Option<Box<TraceBuilder>>,
+}
+
+/// Whether the hardness router may send this request down the anytime
+/// path: a Why-So request with automatic method choice whose grounded
+/// query the dichotomy classifier (Cor. 4.14 / Prop. 4.16) marks
+/// NP-hard. Everything else — PTIME queries, explicit methods, Why-No,
+/// top-k — keeps the exact kernels, bit-identical to a deadline-free
+/// submission.
+fn anytime_routable(request: &ExplainRequest) -> bool {
+    matches!(request.kind, ExplainKind::WhySo)
+        && matches!(request.method, Method::Auto)
+        && matches!(
+            request
+                .query
+                .try_ground(&request.answer)
+                .map(|g| DichotomyTag::of_why_so(&g)),
+            Ok(DichotomyTag::NpHard | DichotomyTag::HardSelfJoin)
+        )
 }
 
 /// What travels on a shard's queue.
@@ -136,12 +158,19 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
             tb.begin(Stage::WorkerDequeue);
         }
         match job.deadline {
-            Some(deadline) if deadline <= now => {
+            // An expired *hard* instance is rescued rather than failed:
+            // the anytime path degrades gracefully to its zero-budget
+            // greedy bounds, so a routable request never turns into
+            // `DeadlineExceeded` once admitted. PTIME instances keep the
+            // strict gate — their exact compute is the whole request, so
+            // past the deadline there is nothing useful left to return.
+            Some(deadline) if deadline <= now && !anytime_routable(&job.request) => {
                 core.stats.deadline_misses.inc();
                 respond(
                     core,
                     JobTail {
                         enqueued: job.enqueued,
+                        deadline: job.deadline,
                         tx: job.tx,
                         trace: job.trace,
                     },
@@ -169,6 +198,7 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
         }
         entry.push(JobTail {
             enqueued: job.enqueued,
+            deadline: job.deadline,
             tx: job.tx,
             trace: job.trace,
         });
@@ -223,11 +253,25 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
             None => {
                 core.stats.cache_misses.inc();
                 core.stats.coalesced.add(senders.len() as u64 - 1);
-                let computed = compute_isolated(core, &snapshot, &index_cache, &request);
+                // The anytime budget is the *tightest* waiter's remaining
+                // slack; a single deadline-free rider keeps the group on
+                // the exact path (it was promised an exact answer).
+                let deadline = senders
+                    .iter()
+                    .map(|t| t.deadline)
+                    .try_fold(None::<Instant>, |acc, d| {
+                        d.map(|d| Some(acc.map_or(d, |a| a.min(d))))
+                    })
+                    .flatten();
+                let computed = compute_isolated(core, &snapshot, &index_cache, &request, deadline);
                 let compute_end = Instant::now();
                 let (computed, timing) = match computed {
                     Ok((explanation, timing)) => {
-                        if let Some(key) = key {
+                        // Approximate explanations are never cached: a
+                        // later deadline-free request must not inherit a
+                        // bracket, and a cached exact entry is strictly
+                        // better for everyone.
+                        if let (Some(key), ExplainMode::Exact) = (key, explanation.mode) {
                             lock_unpoisoned(&core.resp_cache).insert(key, explanation.clone());
                         }
                         (Ok(explanation), Some((compute_end, timing)))
@@ -253,12 +297,26 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
                         lineage_us,
                         solve_us,
                     } = timing;
-                    let solve_dur = Duration::from_micros(solve_us);
+                    // On the anytime path the refinement's share of the
+                    // solve time gets its own `approx_refine` span at the
+                    // tail of the compute window.
+                    let approx_us = match result.as_ref().ok().map(|e| e.mode) {
+                        Some(ExplainMode::Approximate {
+                            budget_spent_us, ..
+                        }) => Some(budget_spent_us.min(solve_us)),
+                        _ => None,
+                    };
+                    let refine_dur = Duration::from_micros(approx_us.unwrap_or(0));
+                    let solve_dur = Duration::from_micros(solve_us - approx_us.unwrap_or(0));
                     let lineage_dur = Duration::from_micros(lineage_us);
-                    let solve_start = compute_end.checked_sub(solve_dur).unwrap_or(compute_end);
+                    let refine_start = compute_end.checked_sub(refine_dur).unwrap_or(compute_end);
+                    let solve_start = refine_start.checked_sub(solve_dur).unwrap_or(refine_start);
                     let lineage_start = solve_start.checked_sub(lineage_dur).unwrap_or(solve_start);
                     tb.record_span(Stage::LineageIntern, lineage_start, lineage_dur);
                     tb.record_span(Stage::KernelSolve, solve_start, solve_dur);
+                    if approx_us.is_some() {
+                        tb.record_span(Stage::ApproxRefine, refine_start, refine_dur);
+                    }
                 }
             }
             respond(
@@ -284,6 +342,7 @@ fn compute_isolated(
     snapshot: &Snapshot,
     index_cache: &Arc<SharedIndexCache>,
     request: &ExplainRequest,
+    deadline: Option<Instant>,
 ) -> Result<(Explanation, ExplainTiming), ServiceError> {
     let guarded = catch_unwind(AssertUnwindSafe(|| {
         // Evaluate the chaos hooks before panicking so their locks are
@@ -300,7 +359,7 @@ fn compute_isolated(
         if inject {
             panic!("fault injected by chaos hook");
         }
-        compute(core, snapshot, index_cache, request)
+        compute(core, snapshot, index_cache, request, deadline)
     }));
     guarded.unwrap_or_else(|payload| {
         core.stats.panics_caught.inc();
@@ -325,11 +384,36 @@ fn compute(
     snapshot: &Snapshot,
     index_cache: &Arc<SharedIndexCache>,
     request: &ExplainRequest,
+    deadline: Option<Instant>,
 ) -> Result<(Explanation, ExplainTiming), ServiceError> {
     let explainer = Explainer::new(snapshot.database(), &request.query)
         .with_method(request.method)
         .with_index_cache(Arc::clone(index_cache));
     match request.kind {
+        // The hardness router: an NP-hard Why-So under a deadline takes
+        // the anytime path, with the request's remaining slack as its
+        // whole budget (an already-expired deadline degrades to the
+        // zero-budget greedy bracket — still sound, never an error).
+        ExplainKind::WhySo if deadline.is_some() && anytime_routable(request) => {
+            let budget = ApproxBudget {
+                max_steps: u64::MAX,
+                deadline,
+            };
+            let (explanation, timing) = explainer.why_anytime(&request.answer, budget)?;
+            core.stats.approx_requests.inc();
+            if let ExplainMode::Approximate {
+                bounds,
+                refinements,
+                ..
+            } = explanation.mode
+            {
+                core.stats.approx_refinements.add(refinements as u64);
+                core.stats
+                    .bound_width
+                    .record_us((bounds.width() * 1_000_000.0) as u64);
+            }
+            Ok((explanation, timing))
+        }
         ExplainKind::WhySo => Ok(explainer.why_timed(&request.answer)?),
         ExplainKind::WhyNo => Ok(explainer.why_not_timed(&request.answer)?),
         ExplainKind::RankTopK(k) => {

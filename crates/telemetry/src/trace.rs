@@ -30,13 +30,16 @@ pub enum Stage {
     LineageIntern,
     /// Responsibility kernel solve (per-cause Exact/Flow computation).
     KernelSolve,
+    /// Anytime bound refinement on the approximation path (NP-hard
+    /// requests routed under a deadline); absent on exact routes.
+    ApproxRefine,
     /// Response assembly and channel send.
     Respond,
 }
 
 impl Stage {
     /// All stages, in serving-path order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Admission,
         Stage::Dispatch,
         Stage::ShardQueue,
@@ -44,6 +47,7 @@ impl Stage {
         Stage::SnapshotPin,
         Stage::LineageIntern,
         Stage::KernelSolve,
+        Stage::ApproxRefine,
         Stage::Respond,
     ];
 
@@ -57,6 +61,7 @@ impl Stage {
             Stage::SnapshotPin => "snapshot_pin",
             Stage::LineageIntern => "lineage_intern",
             Stage::KernelSolve => "kernel_solve",
+            Stage::ApproxRefine => "approx_refine",
             Stage::Respond => "respond",
         }
     }

@@ -20,7 +20,7 @@ use crate::json::{parse, Json};
 /// Keep in sync with `Stage::ALL` in `crates/telemetry/src/trace.rs`
 /// (xtask stays dependency-free on purpose, so the names are duplicated
 /// here; `tests/telemetry_tracing.rs` pins the same list end-to-end).
-pub const STAGES: [&str; 8] = [
+pub const STAGES: [&str; 9] = [
     "admission",
     "dispatch",
     "shard_queue",
@@ -28,6 +28,7 @@ pub const STAGES: [&str; 8] = [
     "snapshot_pin",
     "lineage_intern",
     "kernel_solve",
+    "approx_refine",
     "respond",
 ];
 
@@ -276,7 +277,18 @@ mod tests {
         assert_eq!(agg.records, 1);
         assert_eq!(agg.totals, vec![42]);
         assert_eq!(agg.durations[0], vec![1]);
-        assert_eq!(agg.durations[7], vec![2]);
+        assert_eq!(agg.durations[8], vec![2]);
+    }
+
+    #[test]
+    fn approx_refine_stage_is_accepted_and_aggregated() {
+        let with_refine = record("").replace(
+            r#"{"stage":"respond","start_us":40,"dur_us":2}"#,
+            r#"{"stage":"approx_refine","start_us":30,"dur_us":9},{"stage":"respond","start_us":40,"dur_us":2}"#,
+        );
+        let agg = validate(&with_refine).expect("approx_refine is schema-valid");
+        let slot = STAGES.iter().position(|s| *s == "approx_refine").unwrap();
+        assert_eq!(agg.durations[slot], vec![9]);
     }
 
     #[test]

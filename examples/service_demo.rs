@@ -10,10 +10,13 @@
 //! several client threads, shows the responsibility cache warming up,
 //! then publishes a new snapshot (Tim Burton's *Sweeney Todd* removed)
 //! and shows the explanation tracking the new version while the old one
-//! keeps serving pinned readers. A final section turns on the
+//! keeps serving pinned readers. A later section turns on the
 //! explanation slow-log and contrasts the per-stage trace of an easy
 //! (weakly linear, PTIME) request with a hard (non-weakly-linear,
-//! NP-hard) triangle request.
+//! NP-hard) triangle request. The final section shows the hardness
+//! router in action: a dense NP-hard instance under a 1 ms deadline is
+//! answered approximately, with certified `[lower, upper]` brackets on
+//! every cause's responsibility instead of a deadline error.
 
 use causality::prelude::*;
 use causality_datagen::imdb::{burton_genre_query, fig2a_instance};
@@ -198,4 +201,66 @@ fn main() {
             rec.seq, rec.outcome, rec.dichotomy, rec.total_us, solve
         );
     }
+
+    // --- 5. Hardness-aware routing: NP-hard under a 1 ms deadline. -----
+    // A dense non-weakly-linear triangle instance whose exact min
+    // hitting set would blow any interactive budget. With a deadline on
+    // the request, the router sends it to the anytime tier: the answer
+    // arrives inside the budget as certified [lower, upper] brackets on
+    // ρ instead of a DeadlineExceeded error.
+    println!("\n== Hardness-aware routing: NP-hard request, 1 ms deadline ==\n");
+    let inst = causality_datagen::hard_instances::dense_triangles(6, 150, 42);
+    let anytime = CausalityService::with_config(
+        inst.db.clone(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let answer = anytime
+        .submit_with_deadline(
+            ExplainRequest::why_so(inst.query.clone(), vec![]),
+            Duration::from_millis(1),
+        )
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect_explanation();
+    match answer.mode {
+        ExplainMode::Approximate {
+            bounds,
+            budget_spent_us,
+            refinements,
+        } => println!(
+            "answered approximately: anytime solves spent {budget_spent_us} µs \
+             across {} cause(s), {refinements} refinement level(s); max-ρ \
+             cause certified in [{:.4}, {:.4}]",
+            answer.causes.len(),
+            bounds.lower,
+            bounds.upper
+        ),
+        ExplainMode::Exact => unreachable!("hard + deadline routes to the anytime tier"),
+    }
+    for cause in answer.causes.iter().take(3) {
+        let bounds = cause.bounds.expect("approximate causes carry bounds");
+        println!(
+            "    {}{:?} · ρ ∈ [{:.4}, {:.4}]{}",
+            cause.relation,
+            cause.tuple,
+            bounds.lower,
+            bounds.upper,
+            if bounds.is_exact() {
+                " (collapsed)"
+            } else {
+                ""
+            }
+        );
+    }
+    let stats = anytime.stats();
+    println!(
+        "\nstats: {} approximate answer(s), {} deadline miss(es) — the \
+         anytime tier absorbs what would otherwise be a timeout",
+        stats.approx_requests, stats.deadline_misses
+    );
+    anytime.shutdown();
 }

@@ -38,6 +38,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count the runner actually uses: the `PROPTEST_CASES`
+    /// environment variable when set and parseable, else the configured
+    /// count. Upstream proptest reads the variable only in
+    /// `Config::default()`; this shim lets it override explicit
+    /// `with_cases` too, so CI can dial every property up or down with
+    /// one knob.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 /// The deterministic RNG driving case generation.
@@ -265,8 +278,9 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
+                let __cases = __config.resolved_cases();
                 let mut __rng = $crate::TestRng::from_name(stringify!($name));
-                for __case in 0..__config.cases {
+                for __case in 0..__cases {
                     $(
                         let $arg = $crate::Strategy::generate(&($strat), &mut __rng);
                     )+
@@ -287,7 +301,7 @@ macro_rules! __proptest_tests {
                         eprintln!(
                             "proptest case {}/{} of `{}` failed with inputs:\n{}",
                             __case + 1,
-                            __config.cases,
+                            __cases,
                             stringify!($name),
                             __case_desc,
                         );
@@ -331,6 +345,18 @@ mod tests {
             let s = Strategy::generate(&prop::collection::btree_set(0u32..100, 2..5), &mut rng);
             assert!(s.len() < 5);
         }
+    }
+
+    #[test]
+    fn env_knob_overrides_configured_cases() {
+        let cfg = ProptestConfig::with_cases(7);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.resolved_cases(), 7);
+        std::env::set_var("PROPTEST_CASES", "3");
+        assert_eq!(cfg.resolved_cases(), 3);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(cfg.resolved_cases(), 7);
+        std::env::remove_var("PROPTEST_CASES");
     }
 
     #[test]

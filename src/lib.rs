@@ -67,9 +67,12 @@ pub use causality_telemetry as telemetry;
 pub mod prelude {
     pub use causality_core::causes::{why_no_causes, why_so_causes, CauseSet};
     pub use causality_core::dichotomy::classify::{classify_why_so, Complexity};
-    pub use causality_core::explain::{Explainer, Explanation};
+    pub use causality_core::explain::{ExplainMode, Explainer, Explanation};
     pub use causality_core::ranking::{
         rank_why_no, rank_why_so, rank_why_so_parallel, Method, RankConfig, RankStats, RankedTopK,
+    };
+    pub use causality_core::resp::approx::{
+        anytime_min_contingency, AnytimeOutcome, ApproxBudget, RhoBounds,
     };
     pub use causality_core::resp::{why_no_responsibility, why_so_responsibility, Responsibility};
     pub use causality_engine::{

@@ -1,0 +1,247 @@
+//! The hardness router under deadline pressure, end to end through the
+//! serving tier: NP-hard Why-So requests carrying a deadline must come
+//! back `Ok` with `ExplainMode::Approximate` and certified bounds —
+//! never `DeadlineExceeded`, never a stalled worker — while PTIME
+//! traffic stays bit-identical to the deadline-free exact path. Runs
+//! under a hard timeout (and in CI's timeout-guarded matrix), so a
+//! routing bug that stalls a worker fails fast instead of hanging.
+
+use causality::datagen::hard_instances::{dense_triangles, triangle_fan};
+use causality::prelude::*;
+use causality_core::explain::ExplainMode;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const HARD_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Run `scenario` on a helper thread; panic if it exceeds the timeout.
+fn with_timeout(scenario: impl FnOnce() + Send + 'static) {
+    use std::sync::mpsc::RecvTimeoutError;
+    let (done_tx, done_rx) = mpsc::channel();
+    let runner = std::thread::spawn(move || {
+        scenario();
+        let _ = done_tx.send(());
+    });
+    match done_rx.recv_timeout(HARD_TIMEOUT) {
+        Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+            if let Err(payload) = runner.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("deadline scenario exceeded {HARD_TIMEOUT:?} — worker stall?")
+        }
+    }
+}
+
+/// Every cause of an approximate explanation must carry a sane bracket.
+fn assert_sound_brackets(explanation: &Explanation) {
+    assert!(matches!(explanation.mode, ExplainMode::Approximate { .. }));
+    if let ExplainMode::Approximate { bounds, .. } = explanation.mode {
+        assert!(bounds.lower <= bounds.upper, "{bounds:?}");
+        assert!(bounds.upper <= 1.0 + 1e-12, "{bounds:?}");
+    }
+    for cause in &explanation.causes {
+        let bounds = cause.bounds.expect("approximate causes carry bounds");
+        assert!(
+            0.0 < bounds.lower && bounds.lower <= bounds.upper && bounds.upper <= 1.0 + 1e-12,
+            "{:?} for {}",
+            bounds,
+            cause.relation
+        );
+        assert_eq!(cause.rho, bounds.lower, "ρ reports the certified lower");
+    }
+}
+
+/// Tentpole: a dense NP-hard instance under a tight deadline is
+/// answered approximately within budget — `Ok` every time, zero
+/// `DeadlineExceeded`, and the route is counted.
+#[test]
+fn hard_instance_under_tight_deadline_is_answered_approximately() {
+    with_timeout(|| {
+        let inst = dense_triangles(6, 150, 42);
+        let svc = CausalityService::with_config(
+            inst.db.clone(),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            let req = ExplainRequest::why_so(inst.query.clone(), vec![]);
+            let response = svc
+                .submit_with_deadline(req, Duration::from_millis(2))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let explanation = response
+                .result
+                .expect("hard + deadline ⇒ anytime, not error");
+            assert_sound_brackets(&explanation);
+            assert!(!explanation.causes.is_empty());
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_misses, 0, "the anytime tier absorbs them");
+        assert_eq!(stats.approx_requests, 4);
+        svc.shutdown();
+    });
+}
+
+/// Budget zero is still sound: a deadline that expires while the job is
+/// queued behind a stalled worker degrades to the greedy bracket — not
+/// to `DeadlineExceeded` — and the known-ρ probe stays inside it.
+#[test]
+fn expired_deadline_still_yields_sound_greedy_bounds() {
+    with_timeout(|| {
+        let k = 5;
+        let inst = triangle_fan(k);
+        let svc = CausalityService::with_config(
+            inst.db.clone(),
+            ServiceConfig {
+                workers: 1,
+                batch_max: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Stall the worker on a deadline-free blocker so the hard job's
+        // budget expires before it is even dequeued.
+        let blocker_query = ConjunctiveQuery::parse("blocker :- R(x, y)").unwrap();
+        let blocker_req = ExplainRequest::why_so(blocker_query, vec![]);
+        svc.inject_delay({
+            let marker = blocker_req.clone();
+            move |req| (*req == marker).then_some(Duration::from_millis(120))
+        });
+
+        let blocker = svc.submit(blocker_req).unwrap();
+        let doomed = svc
+            .submit_with_deadline(
+                ExplainRequest::why_so(inst.query.clone(), vec![]),
+                Duration::from_millis(5),
+            )
+            .unwrap();
+
+        let explanation = doomed
+            .wait()
+            .unwrap()
+            .result
+            .expect("expired hard job is rescued, not errored");
+        assert_sound_brackets(&explanation);
+        let probe = explanation
+            .causes
+            .iter()
+            .find(|c| c.tuple == inst.probe)
+            .expect("probe is a cause");
+        let bounds = probe.bounds.unwrap();
+        assert!(
+            bounds.contains(inst.rho),
+            "known ρ {} outside {bounds:?}",
+            inst.rho
+        );
+        blocker.wait().unwrap().result.unwrap();
+
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_misses, 0, "rescued, not missed");
+        assert_eq!(stats.approx_requests, 1);
+        svc.shutdown();
+    });
+}
+
+/// PTIME traffic is untouched by the router: with or without a
+/// deadline, the answer is the exact explanation, bit for bit.
+#[test]
+fn ptime_route_with_deadline_is_bit_identical_to_exact() {
+    with_timeout(|| {
+        let mut db = Database::new();
+        let r = db.add_relation(Schema::new("R", &["x", "y"]));
+        let s = db.add_relation(Schema::new("S", &["y"]));
+        for (x, y) in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3")] {
+            db.insert_endo(r, vec![Value::str(x), Value::str(y)]);
+        }
+        for y in ["a1", "a3"] {
+            db.insert_endo(s, vec![Value::str(y)]);
+        }
+        let svc = CausalityService::with_config(
+            db,
+            ServiceConfig {
+                workers: 1,
+                // No caching between the two submissions: both compute.
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let query = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap();
+        let req = ExplainRequest::why_so(query, vec![Value::str("a2")]);
+
+        let exact = svc.explain(req.clone()).unwrap().expect_explanation();
+        let deadlined = svc
+            .submit_with_deadline(req, Duration::from_secs(5))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .expect_explanation();
+
+        assert_eq!(exact.mode, ExplainMode::Exact);
+        assert_eq!(exact, deadlined, "PTIME route ignores the deadline");
+        assert!(deadlined.causes.iter().all(|c| c.bounds.is_none()));
+        let stats = svc.stats();
+        assert_eq!(
+            stats.approx_requests, 0,
+            "no PTIME request took the anytime path"
+        );
+        assert_eq!(stats.deadline_misses, 0);
+        svc.shutdown();
+    });
+}
+
+/// The anytime route is observable: the trace grows an `approx_refine`
+/// stage, and the approx counters/export surface the route.
+#[test]
+fn approx_route_is_visible_in_telemetry() {
+    with_timeout(|| {
+        let inst = triangle_fan(4);
+        let svc = CausalityService::with_config(
+            inst.db.clone(),
+            ServiceConfig {
+                workers: 1,
+                telemetry: TelemetryConfig::default(), // sample everything
+                ..ServiceConfig::default()
+            },
+        );
+        let explanation = svc
+            .submit_with_deadline(
+                ExplainRequest::why_so(inst.query.clone(), vec![]),
+                Duration::from_secs(5),
+            )
+            .unwrap()
+            .wait()
+            .unwrap()
+            .expect_explanation();
+        assert!(matches!(explanation.mode, ExplainMode::Approximate { .. }));
+
+        let traces = svc.recent_traces();
+        assert_eq!(traces.len(), 1);
+        let chain: Vec<&str> = traces[0].stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "admission",
+                "dispatch",
+                "shard_queue",
+                "worker_dequeue",
+                "snapshot_pin",
+                "lineage_intern",
+                "kernel_solve",
+                "approx_refine",
+                "respond",
+            ],
+            "the anytime route records its refinement stage in order"
+        );
+        assert_eq!(svc.stats().approx_requests, 1);
+        let prom = svc.export_metrics();
+        assert!(
+            prom.contains("approx_requests_total"),
+            "approx counters exported:\n{prom}"
+        );
+        svc.shutdown();
+    });
+}

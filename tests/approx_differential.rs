@@ -1,0 +1,216 @@
+//! Differential property tests for the anytime responsibility layer
+//! (`causality_core::resp::approx`) against the exact kernels:
+//!
+//! * **bracketing** — on every instance small enough for the exact
+//!   solver, the certified `RhoBounds` satisfy `lower ≤ ρ_exact ≤ upper`
+//!   at *every* budget, including zero;
+//! * **greedy guarantee** — the budget-free feasible contingency never
+//!   exceeds `(ln n + 1) · |Γ_min|` (the classic set-cover bound);
+//! * **monotone tightening** — along the refinement history the lower
+//!   bound never decreases and the upper bound never increases;
+//! * **collapse** — unlimited budget ends with `lower == upper` equal
+//!   to the exact ρ, and the returned contingency is a true minimum;
+//! * **known-ρ end to end** — the `datagen::hard_instances` families
+//!   (triangle fan, self-join star) route through `Explainer::why_anytime`
+//!   and bracket/collapse onto their by-construction responsibilities.
+//!
+//! Same discipline as `tests/lineage_bitset_differential.rs`: random
+//! DNFs drawn small, seed oracle retained as ground truth.
+
+use causality::prelude::*;
+use causality_core::explain::ExplainMode;
+use causality_core::resp::approx::harmonic_bound;
+use causality_core::resp::exact;
+use causality_lineage::{BitDnf, Conjunct, Dnf, LineageArena};
+use proptest::prelude::*;
+
+/// Build a DNF from raw `(rel, row)` conjunct descriptions.
+fn dnf_of(raw: &[Vec<(u32, u32)>]) -> Dnf {
+    Dnf::new(
+        raw.iter()
+            .map(|c| Conjunct::new(c.iter().map(|&(r, w)| TupleRef::new(r, w))))
+            .collect(),
+    )
+}
+
+/// Exact ρ for arena variable `v`: 0 when not a cause, else
+/// `1/(1 + |Γ_min|)` via the exact branch-and-bound.
+fn exact_rho(phin: &BitDnf, v: u32) -> f64 {
+    match exact::min_contingency_bits(phin, v) {
+        Some(gamma) => 1.0 / (1.0 + gamma.len() as f64),
+        None => 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness at every budget: the bracket always contains the exact
+    /// responsibility, and budget zero spends no search steps.
+    #[test]
+    fn bounds_bracket_exact_rho_at_every_budget(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..3, 0u32..10), 0..4), 0..20),
+    ) {
+        let (arena, bits) = LineageArena::from_dnf(&dnf_of(&raw));
+        let phin = bits.minimized();
+        for v in 0..arena.len() as u32 {
+            let rho = exact_rho(&phin, v);
+            for budget in [
+                ApproxBudget::zero(),
+                ApproxBudget::steps(1),
+                ApproxBudget::steps(7),
+                ApproxBudget::steps(100),
+                ApproxBudget::unlimited(),
+            ] {
+                let out = anytime_min_contingency(&phin, v, budget);
+                prop_assert!(
+                    out.bounds.contains(rho),
+                    "v={v} budget={budget:?}: exact {rho} outside {:?}",
+                    out.bounds
+                );
+                prop_assert!(out.steps_used <= budget.max_steps);
+                if budget.max_steps == 0 {
+                    prop_assert_eq!(out.steps_used, 0);
+                }
+            }
+        }
+    }
+
+    /// The budget-free greedy contingency respects the ln(n)+1 set-cover
+    /// guarantee against the true minimum (n = residual-set count, upper
+    /// bounded here by the minimized conjunct count).
+    #[test]
+    fn greedy_respects_harmonic_guarantee(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..3, 0u32..10), 0..4), 0..20),
+    ) {
+        let (arena, bits) = LineageArena::from_dnf(&dnf_of(&raw));
+        let phin = bits.minimized();
+        let n = phin.conjuncts().len();
+        for v in 0..arena.len() as u32 {
+            let Some(gamma) = exact::min_contingency_bits(&phin, v) else {
+                continue;
+            };
+            let out = anytime_min_contingency(&phin, v, ApproxBudget::zero());
+            let greedy = out.contingency.expect("cause ⇒ feasible greedy set");
+            prop_assert!(
+                greedy.len() as f64 <= harmonic_bound(n) * gamma.len() as f64 + 1e-9,
+                "v={v}: greedy {} vs (ln {n}+1)·{}",
+                greedy.len(),
+                gamma.len()
+            );
+        }
+    }
+
+    /// Refinement only ever tightens: along the history the lower bound
+    /// is non-decreasing and the upper bound non-increasing, under
+    /// truncated budgets too.
+    #[test]
+    fn history_tightens_monotonically_under_any_budget(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..3, 0u32..10), 0..4), 0..20),
+        steps in 0u64..60,
+    ) {
+        let (arena, bits) = LineageArena::from_dnf(&dnf_of(&raw));
+        let phin = bits.minimized();
+        for v in 0..arena.len() as u32 {
+            for budget in [ApproxBudget::steps(steps), ApproxBudget::unlimited()] {
+                let out = anytime_min_contingency(&phin, v, budget);
+                prop_assert!(!out.history.is_empty());
+                for pair in out.history.windows(2) {
+                    prop_assert!(
+                        pair[1].lower >= pair[0].lower && pair[1].upper <= pair[0].upper,
+                        "v={v}: history widens: {:?}",
+                        out.history
+                    );
+                }
+                prop_assert_eq!(out.history.last().copied(), Some(out.bounds));
+            }
+        }
+    }
+
+    /// Unlimited budget collapses the bracket onto the exact answer and
+    /// returns a genuine minimum contingency (feasibility is implied by
+    /// construction; minimality checked against the exact kernel).
+    #[test]
+    fn unlimited_budget_collapses_to_exact(
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..3, 0u32..10), 0..4), 0..20),
+    ) {
+        let (arena, bits) = LineageArena::from_dnf(&dnf_of(&raw));
+        let phin = bits.minimized();
+        for v in 0..arena.len() as u32 {
+            let out = anytime_min_contingency(&phin, v, ApproxBudget::unlimited());
+            prop_assert!(out.is_exact(), "v={v}: {:?}", out.bounds);
+            let rho = exact_rho(&phin, v);
+            prop_assert!(
+                (out.bounds.lower - rho).abs() < 1e-12,
+                "v={v}: collapsed to {} but exact is {rho}",
+                out.bounds.lower
+            );
+            if let Some(gamma) = exact::min_contingency_bits(&phin, v) {
+                let mine = out.contingency.expect("cause ⇒ contingency");
+                prop_assert_eq!(mine.len(), gamma.len(), "v={v}");
+            } else {
+                prop_assert!(out.contingency.is_none(), "v={v}");
+            }
+        }
+    }
+}
+
+/// The datagen known-ρ families, end to end through `why_anytime`: the
+/// probe's bracket always contains the by-construction ρ, collapses to
+/// it at unlimited budget, and the shared tuple stays counterfactual.
+#[test]
+fn known_rho_families_bracket_and_collapse_end_to_end() {
+    for inst in [
+        causality::datagen::hard_instances::triangle_fan(5),
+        causality::datagen::hard_instances::selfjoin_star(6),
+    ] {
+        let explainer = Explainer::new(&inst.db, &inst.query);
+        let exact_expl = explainer.why(&[]).unwrap();
+        assert_eq!(exact_expl.mode, ExplainMode::Exact);
+
+        for budget in [ApproxBudget::zero(), ApproxBudget::steps(5)] {
+            let (expl, _) = explainer.why_anytime(&[], budget).unwrap();
+            assert!(matches!(expl.mode, ExplainMode::Approximate { .. }));
+            let probe = expl
+                .causes
+                .iter()
+                .find(|c| c.tuple == inst.probe)
+                .expect("probe is a cause");
+            let bounds = probe.bounds.expect("approximate causes carry bounds");
+            assert!(
+                bounds.contains(inst.rho),
+                "known ρ {} outside {:?} at {budget:?}",
+                inst.rho,
+                bounds
+            );
+        }
+
+        let (full, _) = explainer
+            .why_anytime(&[], ApproxBudget::unlimited())
+            .unwrap();
+        let probe = full.causes.iter().find(|c| c.tuple == inst.probe).unwrap();
+        let bounds = probe.bounds.unwrap();
+        assert!(bounds.is_exact(), "{bounds:?}");
+        assert!((probe.rho - inst.rho).abs() < 1e-12);
+        let shared = full
+            .causes
+            .iter()
+            .find(|c| c.tuple == inst.counterfactual)
+            .expect("shared tuple is a cause");
+        assert!(shared.counterfactual && shared.rho == 1.0);
+    }
+}
+
+/// Exact-path answers carry no bounds and keep `ExplainMode::Exact` —
+/// the approximate machinery must be invisible unless asked for.
+#[test]
+fn exact_paths_carry_no_bounds() {
+    let inst = causality::datagen::hard_instances::triangle_fan(3);
+    let expl = Explainer::new(&inst.db, &inst.query).why(&[]).unwrap();
+    assert_eq!(expl.mode, ExplainMode::Exact);
+    assert!(expl.causes.iter().all(|c| c.bounds.is_none()));
+}
