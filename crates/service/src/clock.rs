@@ -1,0 +1,115 @@
+//! Injectable time for the self-healing state machines (PR 9).
+//!
+//! The circuit breakers and the shard supervisor make decisions that
+//! depend on *elapsed* time (how long a breaker stays open, when a
+//! half-open probe is due). Testing those transitions against the real
+//! clock means sleeping, which makes the exhaustive transition suites
+//! slow and flaky; injecting time through the [`Clock`] trait lets a
+//! test advance a [`ManualClock`] by exact amounts and observe every
+//! edge deterministically — including the clock-*skew* chaos case,
+//! where time jumps backwards ([`ManualClock::rewind`]) and the state
+//! machines must degrade to a sane answer instead of panicking.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A source of "now". Production code uses [`SystemClock`]; tests use
+/// [`ManualClock`] to drive breaker and supervisor transitions without
+/// sleeping.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real monotonic clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A test clock that only moves when told to — and can be skewed
+/// backwards to model a misbehaving time source.
+#[derive(Debug)]
+pub struct ManualClock {
+    now: Mutex<Instant>,
+}
+
+impl ManualClock {
+    /// A manual clock anchored at the real "now" (the anchor itself is
+    /// irrelevant; only the advances matter).
+    pub fn new() -> Self {
+        ManualClock {
+            now: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Move the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        let mut now = self
+            .now
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *now += by;
+    }
+
+    /// Skew the clock *backwards* by `by` (saturating at the anchor's
+    /// epoch): the chaos case a time-dependent state machine must
+    /// survive without wrapping or panicking.
+    pub fn rewind(&self, by: Duration) {
+        let mut now = self
+            .now
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *now = now.checked_sub(by).unwrap_or(*now);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        *self
+            .now
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_when_told() {
+        let clock = ManualClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0);
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(clock.now() - t0, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn manual_clock_rewind_models_skew() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::from_secs(10));
+        let t1 = clock.now();
+        clock.rewind(Duration::from_secs(3));
+        assert_eq!(t1 - clock.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

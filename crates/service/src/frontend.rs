@@ -1,18 +1,21 @@
 //! The front end of the sharded serving tier: bounded admission,
-//! per-request deadline budgets, and tenant-routed dispatch over N
-//! independent [`shard`](crate::shard)s.
+//! per-request deadline budgets, tenant-routed dispatch over N
+//! independent [`shard`](crate::shard)s — and, since PR 9, the tier's
+//! self-healing machinery (supervision, retries, circuit breakers, and
+//! brownout degradation).
 //!
 //! ```text
 //!        submit(tenant, request [, deadline budget])
 //!                        │
 //!              ┌─────────▼─────────┐
-//!              │     front end     │  validate · deadline stamp ·
+//!              │     front end     │  validate · breaker admit ·
+//!              │                   │  brownout check · deadline stamp ·
 //!              │                   │  admission (queue depth < limit,
 //!              │                   │  else ServiceError::Overloaded)
 //!              └─────────┬─────────┘
-//!              ┌─────────▼─────────┐
-//!              │     dispatch      │  tenant name ──FNV-1a──▶ shard
-//!              └──┬───────┬───────┬┘
+//!              ┌─────────▼─────────┐     ┌──────────────┐
+//!              │     dispatch      │◀────│  supervisor  │ health ticks,
+//!              └──┬───────┬───────┬┘     └──────────────┘ pool restarts
 //!            ┌────▼──┐ ┌──▼────┐ ┌▼──────┐
 //!            │shard 0│ │shard 1│ │shard N│   each: snapshot stores,
 //!            │       │ │       │ │       │   worker pool, index cache,
@@ -21,16 +24,34 @@
 //!
 //! Every shard is failure- and performance-isolated: a write burst, a
 //! cache-evicting workload, or even a panicking job on one shard cannot
-//! queue ahead of, evict, or crash another shard's traffic.
+//! queue ahead of, evict, or crash another shard's traffic. The
+//! supervisor closes the recovery loop on top of that isolation: a shard
+//! whose workers wedge is quarantined, its pool restarted on the same
+//! queue (loss-free by construction), and probed back to
+//! [`HealthState::Healthy`]; retries and hedges route around it in the
+//! meantime.
 
+use crate::breaker::{Admit, BreakerConfig, BreakerRegistry};
+use crate::chaos::FaultPlan;
+use crate::clock::{Clock, SystemClock};
 use crate::dispatch::{Dispatcher, TenantId};
 use crate::request::{ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+use crate::retry::{backoff, JitterRng, RetryPolicy};
 use crate::shard::{lock_unpoisoned, validate, ServiceConfig, Shard};
-use crate::stats::ServiceStats;
-use crate::worker::Job;
+use crate::stats::{FrontendStats, ServiceStats};
+use crate::supervisor::{
+    assess, HealthState, ShardSignals, ShardTracker, SupervisorConfig, Verdict,
+};
+use crate::worker::{anytime_routable, Job};
+use causality_core::explain::Explainer;
+use causality_core::resp::approx::ApproxBudget;
 use causality_engine::{Database, Snapshot};
-use causality_telemetry::{metrics_jsonl, prometheus_text, traces_jsonl, RequestTrace, Stage};
-use std::sync::mpsc;
+use causality_telemetry::{
+    metrics_jsonl, prometheus_text, traces_jsonl, Counter, MetricsRegistry, RequestTrace, Stage,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of the sharded tier.
@@ -49,6 +70,27 @@ pub struct TierConfig {
     /// Deadline budget stamped on every request submitted without an
     /// explicit one ([`None`] = no deadline).
     pub default_deadline: Option<Duration>,
+    /// Retry/backoff/hedging policy used by
+    /// [`ShardedService::explain_with_retry`]. Plain
+    /// [`ShardedService::submit`]/[`ShardedService::explain`] never
+    /// retry, so existing single-shot semantics are unchanged.
+    pub retry: RetryPolicy,
+    /// Per-tenant circuit breakers, shared across the tier's shards.
+    /// [`BreakerConfig::disabled`] switches them off.
+    pub breaker: BreakerConfig,
+    /// Supervision-loop thresholds; `supervisor.tick == 0` disables the
+    /// background health thread entirely.
+    pub supervisor: SupervisorConfig,
+    /// Tier-wide queued-request count at (or above) which the tier
+    /// enters **brownout**: routable NP-hard requests are served inline
+    /// with the zero-budget greedy bracket instead of queueing — a
+    /// certified (if coarse) answer, never [`ServiceError::Overloaded`].
+    /// `usize::MAX` (the default) disables brownout.
+    pub brownout_high_water: usize,
+    /// Tier-wide queued-request count at (or below) which an active
+    /// brownout ends. Must sit below `brownout_high_water`; the gap is
+    /// the hysteresis band that keeps the mode from flapping.
+    pub brownout_low_water: usize,
     /// Per-shard tuning (worker count, queue bound, batch size, caches).
     pub shard: ServiceConfig,
 }
@@ -60,6 +102,11 @@ impl Default for TierConfig {
             shards: 4,
             admission_limit: shard.queue_capacity,
             default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            brownout_high_water: usize::MAX,
+            brownout_low_water: 0,
             shard,
         }
     }
@@ -70,6 +117,9 @@ impl Default for TierConfig {
 pub struct TierStats {
     /// One [`ServiceStats`] per shard, indexed by shard number.
     pub shards: Vec<ServiceStats>,
+    /// Tier-level resilience counters (retries, hedges, breaker and
+    /// brownout activity) that live in the front end, not in any shard.
+    pub frontend: FrontendStats,
 }
 
 impl TierStats {
@@ -84,6 +134,28 @@ impl TierStats {
             total.merge(shard);
         }
         total
+    }
+}
+
+/// The front end's own metric counters, registered in the tier-level
+/// registry (shard registries hold per-shard serving metrics only).
+struct FrontendCounters {
+    retries: Arc<Counter>,
+    hedges: Arc<Counter>,
+    reroutes: Arc<Counter>,
+    brownout_served: Arc<Counter>,
+    brownout_us: Arc<Counter>,
+}
+
+impl FrontendCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        FrontendCounters {
+            retries: registry.counter("frontend_retries_total"),
+            hedges: registry.counter("frontend_hedges_total"),
+            reroutes: registry.counter("frontend_reroutes_total"),
+            brownout_served: registry.counter("brownout_served_total"),
+            brownout_us: registry.counter("brownout_us_total"),
+        }
     }
 }
 
@@ -107,26 +179,62 @@ impl TierStats {
 /// assert_eq!(resp.expect_explanation().causes.len(), 2);
 /// ```
 pub struct ShardedService {
-    shards: Vec<Shard>,
+    shards: Arc<Vec<Shard>>,
     dispatcher: Dispatcher,
     cfg: TierConfig,
+    breakers: Arc<BreakerRegistry>,
+    tier_registry: Arc<MetricsRegistry>,
+    fe: FrontendCounters,
+    brownout: AtomicBool,
+    brownout_entered: Mutex<Option<Instant>>,
+    supervisor: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl ShardedService {
     /// Start a tier with `cfg.shards` shards (each a full worker pool).
     pub fn new(cfg: TierConfig) -> Self {
-        let shards = cfg.shards.max(1);
+        Self::with_clock(cfg, Arc::new(SystemClock))
+    }
+
+    /// [`ShardedService::new`] with an injected [`Clock`] driving the
+    /// circuit breakers' open-window timing — the hook the transition
+    /// tests use to step time manually instead of sleeping.
+    pub fn with_clock(cfg: TierConfig, clock: Arc<dyn Clock>) -> Self {
+        let shard_count = cfg.shards.max(1);
         let cfg = TierConfig {
-            shards,
+            shards: shard_count,
             admission_limit: cfg.admission_limit.max(1),
             ..cfg
         };
-        ShardedService {
-            shards: (0..shards)
-                .map(|i| Shard::spawn(cfg.shard, cfg.admission_limit, &format!("shard{i}")))
+        let tier_registry = Arc::new(MetricsRegistry::new());
+        let breakers = Arc::new(BreakerRegistry::new(cfg.breaker, clock, &tier_registry));
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..shard_count)
+                .map(|i| {
+                    Shard::spawn(
+                        cfg.shard,
+                        cfg.admission_limit,
+                        &format!("shard{i}"),
+                        Some(Arc::clone(&breakers)),
+                    )
+                })
                 .collect(),
-            dispatcher: Dispatcher::new(shards),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = (cfg.supervisor.tick > Duration::ZERO)
+            .then(|| spawn_supervisor(Arc::clone(&shards), cfg.supervisor, Arc::clone(&stop)));
+        ShardedService {
+            shards,
+            dispatcher: Dispatcher::new(shard_count),
             cfg,
+            breakers,
+            fe: FrontendCounters::new(&tier_registry),
+            tier_registry,
+            brownout: AtomicBool::new(false),
+            brownout_entered: Mutex::new(None),
+            supervisor,
+            stop,
         }
     }
 
@@ -156,31 +264,20 @@ impl ShardedService {
         self.dispatcher.tenant_count()
     }
 
-    fn job(
-        tenant: TenantId,
-        request: ExplainRequest,
-        deadline: Option<Duration>,
-    ) -> (Job, PendingExplain) {
-        let (tx, rx) = mpsc::channel();
-        let enqueued = Instant::now();
-        (
-            Job {
-                tenant: tenant.key(),
-                request,
-                deadline: deadline.map(|budget| enqueued + budget),
-                enqueued,
-                tx,
-                trace: None,
-            },
-            PendingExplain { rx },
-        )
+    /// Live health classification of shard `i` (as last written by the
+    /// supervisor), or `None` for an out-of-range index.
+    pub fn shard_health(&self, shard: usize) -> Option<HealthState> {
+        self.shards.get(shard).map(|s| s.core.health.get())
     }
 
     /// Submit through admission control with the tier's default deadline.
     ///
     /// Never blocks: past the shard's queue-depth limit the request is
     /// rejected with [`ServiceError::Overloaded`] (and counted), which
-    /// is the backpressure signal of an open-loop front end.
+    /// is the backpressure signal of an open-loop front end. No retries:
+    /// transient rejects surface to the caller, who can use
+    /// [`ServiceError::retry_after_hint`] or switch to
+    /// [`ShardedService::explain_with_retry`].
     pub fn submit(
         &self,
         tenant: TenantId,
@@ -207,26 +304,72 @@ impl ShardedService {
         request: ExplainRequest,
         deadline: Option<Duration>,
     ) -> Result<PendingExplain, ServiceError> {
-        let t0 = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        self.submit_routed(tenant, request, deadline, tenant.shard(), tx, None)?;
+        Ok(PendingExplain { rx })
+    }
+
+    /// The one submission path every entry point funnels through:
+    /// validation, breaker admission, the brownout check, trace start
+    /// (with the PR 9 `retry` span when this is a backed-off retry), and
+    /// the admitted enqueue onto shard `shard_idx`.
+    fn submit_routed(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+        deadline: Option<Duration>,
+        shard_idx: usize,
+        tx: mpsc::Sender<ExplainResponse>,
+        retry_span: Option<(Instant, Duration)>,
+    ) -> Result<(), ServiceError> {
         validate(&request)?;
         let shard = self
             .shards
-            .get(tenant.shard())
+            .get(shard_idx)
             .ok_or_else(|| ServiceError::InvalidRequest("foreign tenant id".to_string()))?;
+        // Per-tenant circuit breaker: an open breaker sheds the request
+        // before it can touch a queue (and before tracing — like an
+        // invalid request, it never reaches a shard).
+        if let Admit::No(retry_after) = self.breakers.admit(tenant.key()) {
+            return Err(ServiceError::CircuitOpen { retry_after });
+        }
+        // Brownout: with the tier past its high-water mark, a routable
+        // NP-hard request takes the certified zero-budget bracket inline
+        // instead of joining a backlogged queue. The caller still gets a
+        // response through its normal channel.
+        if self.brownout_active() && anytime_routable(&request) {
+            let response = self.brownout_response(shard, tenant, &request)?;
+            let _ = tx.send(response);
+            return Ok(());
+        }
+        // A retried submission's trace starts at the backoff wait so the
+        // `retry` span (the wait itself) fits inside the trace window.
+        let t0 = retry_span.map_or_else(Instant::now, |(start, _)| start);
         // The sampling decision (and the trace's Admission stage) belong
         // to the target shard; an invalid request never reaches one and
         // is never traced.
         let mut trace = shard.core.telemetry.start(t0);
         if let Some(tb) = trace.as_deref_mut() {
             tb.set_request(
-                tenant.shard(),
+                shard_idx,
                 tenant.key(),
                 request.kind.label(),
                 request.query.atoms().len(),
             );
+            if let Some((start, waited)) = retry_span {
+                tb.record_span(Stage::Retry, start, waited);
+            }
             tb.begin(Stage::Dispatch);
         }
-        let (mut job, pending) = Self::job(tenant, request, deadline);
+        let enqueued = Instant::now();
+        let mut job = Job {
+            tenant: tenant.key(),
+            request,
+            deadline: deadline.map(|budget| enqueued + budget),
+            enqueued,
+            tx,
+            trace: None,
+        };
         if let Some(tb) = trace.as_deref_mut() {
             if let Some(deadline) = job.deadline {
                 tb.set_deadline(deadline);
@@ -234,17 +377,186 @@ impl ShardedService {
             tb.begin(Stage::ShardQueue);
         }
         job.trace = trace;
-        shard.submit_admitted(job)?;
-        Ok(pending)
+        shard.submit_admitted(job)
     }
 
-    /// Submit and wait: the blocking convenience call.
+    /// Update and read the brownout state from the tier-wide queued
+    /// total, with hysteresis: enter at `high_water`, leave at
+    /// `low_water`. Time spent in the mode accrues to the
+    /// `brownout_us_total` counter on exit.
+    fn brownout_active(&self) -> bool {
+        // Brownout off (the default): skip the per-submit gauge sweep.
+        if self.cfg.brownout_high_water == usize::MAX {
+            return false;
+        }
+        let depth: u64 = self
+            .shards
+            .iter()
+            .map(|shard| shard.core.stats.queue_depth.get())
+            .sum();
+        let active = self.brownout.load(Ordering::Relaxed);
+        if active && depth as usize <= self.cfg.brownout_low_water {
+            self.brownout.store(false, Ordering::Relaxed);
+            if let Some(entered) = lock_unpoisoned(&self.brownout_entered).take() {
+                self.fe
+                    .brownout_us
+                    .add(entered.elapsed().as_micros() as u64);
+            }
+            return false;
+        }
+        if !active && depth as usize >= self.cfg.brownout_high_water {
+            self.brownout.store(true, Ordering::Relaxed);
+            *lock_unpoisoned(&self.brownout_entered) = Some(Instant::now());
+            return true;
+        }
+        active
+    }
+
+    /// Serve a routable request inline on the caller's thread with the
+    /// zero-budget anytime bracket — the brownout degradation path.
+    fn brownout_response(
+        &self,
+        shard: &Shard,
+        tenant: TenantId,
+        request: &ExplainRequest,
+    ) -> Result<ExplainResponse, ServiceError> {
+        let store = shard
+            .core
+            .store(tenant.key())
+            .ok_or_else(|| ServiceError::InvalidRequest("foreign tenant id".to_string()))?;
+        let snapshot = store.current();
+        let index_cache = shard.core.index_cache_for(tenant.key(), &snapshot);
+        let explainer = Explainer::new(snapshot.database(), &request.query)
+            .with_method(request.method)
+            .with_index_cache(index_cache);
+        let (explanation, _timing) =
+            explainer.why_anytime(&request.answer, ApproxBudget::zero())?;
+        self.fe.brownout_served.inc();
+        Ok(ExplainResponse {
+            result: Ok(explanation),
+            snapshot_version: snapshot.version(),
+            cache_hit: false,
+        })
+    }
+
+    /// Submit and wait: the blocking convenience call. Single-shot — see
+    /// [`ShardedService::explain_with_retry`] for the resilient variant.
     pub fn explain(
         &self,
         tenant: TenantId,
         request: ExplainRequest,
     ) -> Result<ExplainResponse, ServiceError> {
         self.submit(tenant, request)?.wait()
+    }
+
+    /// Submit and wait with the tier's [`RetryPolicy`]: transient
+    /// failures ([`ServiceError::is_retryable`]) are retried up to
+    /// `max_attempts` times under seeded full-jitter exponential backoff
+    /// (an [`ServiceError::Overloaded`] hint floors the wait), retries
+    /// re-route away from unhealthy shards, and — when
+    /// [`RetryPolicy::hedge_after`] is set — a response outstanding past
+    /// that budget is hedged onto a healthy sibling shard, first answer
+    /// wins. Terminal errors surface immediately.
+    pub fn explain_with_retry(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+    ) -> Result<ExplainResponse, ServiceError> {
+        let policy = self.cfg.retry;
+        let attempts = policy.max_attempts.max(1);
+        // Deterministic per (seed, tenant): replaying the same traffic
+        // replays the same backoff schedule.
+        let mut rng = JitterRng::new(policy.jitter_seed ^ tenant.key().rotate_left(17));
+        let mut retry_span: Option<(Instant, Duration)> = None;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.attempt(tenant, request.clone(), retry_span.take()) {
+                Ok(response) => match &response.result {
+                    Err(e) if e.is_retryable() && attempt < attempts => e.clone(),
+                    _ => return Ok(response),
+                },
+                Err(e) if e.is_retryable() && attempt < attempts => e,
+                Err(e) => return Err(e),
+            };
+            let wait_start = Instant::now();
+            let wait = backoff(&policy, &mut rng, attempt, err.retry_after_hint());
+            std::thread::sleep(wait);
+            self.fe.retries.inc();
+            retry_span = Some((wait_start, wait));
+        }
+    }
+
+    /// One submit-and-wait attempt of [`ShardedService::explain_with_retry`]:
+    /// route (away from an unhealthy home on retries), submit, and wait —
+    /// hedging onto a sibling if the response is slower than
+    /// [`RetryPolicy::hedge_after`].
+    fn attempt(
+        &self,
+        tenant: TenantId,
+        request: ExplainRequest,
+        retry_span: Option<(Instant, Duration)>,
+    ) -> Result<ExplainResponse, ServiceError> {
+        let home = tenant.shard();
+        let mut target = home;
+        if retry_span.is_some() && self.shard_health(home) != Some(HealthState::Healthy) {
+            if let Some(fallback) = self.reroute_target(tenant, home) {
+                target = fallback;
+                self.fe.reroutes.inc();
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        self.submit_routed(
+            tenant,
+            request.clone(),
+            self.cfg.default_deadline,
+            target,
+            tx.clone(),
+            retry_span,
+        )?;
+        let Some(hedge_after) = self.cfg.retry.hedge_after else {
+            return rx.recv().map_err(|_| ServiceError::Disconnected);
+        };
+        match rx.recv_timeout(hedge_after) {
+            Ok(response) => Ok(response),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Tail hedge: mirror the request onto a healthy sibling
+                // sharing the same response channel; first answer wins,
+                // the loser's send lands in a dropped receiver.
+                if let Some(sibling) = self.reroute_target(tenant, target) {
+                    if self
+                        .submit_routed(
+                            tenant,
+                            request,
+                            self.cfg.default_deadline,
+                            sibling,
+                            tx,
+                            None,
+                        )
+                        .is_ok()
+                    {
+                        self.fe.hedges.inc();
+                    }
+                }
+                rx.recv().map_err(|_| ServiceError::Disconnected)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Pick a healthy shard other than `avoid` for a retry or hedge of
+    /// `tenant`'s traffic, installing the tenant's snapshot store there
+    /// on first use. Sound across shards because both cache layers key
+    /// on process-wide-unique relation content stamps (PR 3).
+    fn reroute_target(&self, tenant: TenantId, avoid: usize) -> Option<usize> {
+        let fallback = self.dispatcher.fallback_route(avoid, |candidate| {
+            self.shards[candidate].core.health.get() == HealthState::Healthy
+        })?;
+        let store = self.shards[tenant.shard()].core.store(tenant.key())?;
+        if self.shards[fallback].core.store(tenant.key()).is_none() {
+            self.shards[fallback].install_store(tenant.key(), store);
+        }
+        Some(fallback)
     }
 
     /// Pin the tenant's current snapshot (for ad-hoc reads outside the
@@ -291,8 +603,9 @@ impl ShardedService {
         &self,
         hook: impl Fn(&ExplainRequest) -> bool + Send + Sync + Clone + 'static,
     ) {
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             *lock_unpoisoned(&shard.core.fault) = Some(Box::new(hook.clone()));
+            shard.core.chaos_armed.store(true, Ordering::Release);
         }
     }
 
@@ -302,22 +615,71 @@ impl ShardedService {
         &self,
         hook: impl Fn(&ExplainRequest) -> Option<Duration> + Send + Sync + Clone + 'static,
     ) {
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             *lock_unpoisoned(&shard.core.delay) = Some(Box::new(hook.clone()));
+            shard.core.chaos_armed.store(true, Ordering::Release);
         }
     }
 
+    /// Arm a seeded [`FaultPlan`]: each shard consults the plan with its
+    /// own computation ordinal, so one generated schedule drives every
+    /// worker-side fault (panics, stalls, lock poisoning) of a chaos
+    /// soak deterministically. Supersedes any hooks from
+    /// [`ShardedService::inject_fault`] / [`ShardedService::inject_delay`]
+    /// for ordinals the plan covers; disarm via
+    /// [`ShardedService::clear_faults`].
+    pub fn install_fault_plan(&self, plan: &FaultPlan) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let plan = plan.clone();
+            *lock_unpoisoned(&shard.core.plan) =
+                Some(Box::new(move |ordinal| plan.action_for(i, ordinal)));
+            shard.core.chaos_armed.store(true, Ordering::Release);
+        }
+    }
+
+    /// How many computations shard `i` has started — the ordinal clock a
+    /// chaos harness reads to synchronize plan-external events (bursts,
+    /// clock skew) with the plan's worker-side schedule.
+    pub fn shard_progress(&self, shard: usize) -> u64 {
+        self.shards
+            .get(shard)
+            .map(|s| s.core.ordinal.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// Remove every hook installed by [`ShardedService::inject_fault`] /
-    /// [`ShardedService::inject_delay`].
+    /// [`ShardedService::inject_delay`] /
+    /// [`ShardedService::install_fault_plan`].
     pub fn clear_faults(&self) {
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             *lock_unpoisoned(&shard.core.fault) = None;
             *lock_unpoisoned(&shard.core.delay) = None;
+            *lock_unpoisoned(&shard.core.plan) = None;
+            shard.core.chaos_armed.store(false, Ordering::Release);
+        }
+    }
+
+    fn frontend_stats(&self) -> FrontendStats {
+        // An in-progress brownout reports its live elapsed time without
+        // consuming it (the counter is only advanced at mode exit).
+        let live_brownout_us = lock_unpoisoned(&self.brownout_entered)
+            .as_ref()
+            .map(|entered| entered.elapsed().as_micros() as u64)
+            .unwrap_or(0);
+        FrontendStats {
+            retries: self.fe.retries.get(),
+            hedges: self.fe.hedges.get(),
+            breaker_trips: self.breakers.trips(),
+            breaker_rejects: self.breakers.rejects(),
+            brownout_served: self.fe.brownout_served.get(),
+            brownout_us: self.fe.brownout_us.get() + live_brownout_us,
+            reroutes: self.fe.reroutes.get(),
         }
     }
 
     /// Point-in-time per-shard stats (aggregate via
-    /// [`TierStats::aggregate`]).
+    /// [`TierStats::aggregate`]) plus the front end's resilience
+    /// counters.
     pub fn stats(&self) -> TierStats {
         TierStats {
             shards: self
@@ -331,13 +693,16 @@ impl ShardedService {
                     )
                 })
                 .collect(),
+            frontend: self.frontend_stats(),
         }
     }
 
     /// Like [`ShardedService::stats`], but zeroes every shard's monotone
     /// counters and latency histogram (queue-depth gauges stay live) —
     /// the phase separator the load harness uses between warmup and the
-    /// timed window.
+    /// timed window. Front-end resilience counters and the lifecycle
+    /// counters (`shard_restarts`, `shard_quarantines`) are reported but
+    /// **not** reset: a phase boundary does not undo a restart.
     pub fn snapshot_and_reset(&self) -> TierStats {
         TierStats {
             shards: self
@@ -351,6 +716,7 @@ impl ShardedService {
                     )
                 })
                 .collect(),
+            frontend: self.frontend_stats(),
         }
     }
 
@@ -365,6 +731,15 @@ impl ShardedService {
             .map(|shard| shard.core.registry.as_ref())
             .collect();
         prometheus_text(&registries, "causality_")
+    }
+
+    /// Prometheus text exposition of the **tier-level** registry — the
+    /// front end's retry/hedge/brownout counters and the shared circuit
+    /// breakers — under the `causality_tier_` prefix (one series each;
+    /// the `shard="0"` label is an artifact of the exporter's per-slice
+    /// labelling).
+    pub fn export_frontend_metrics(&self) -> String {
+        prometheus_text(&[self.tier_registry.as_ref()], "causality_tier_")
     }
 
     /// The same metric samples as [`ShardedService::export_metrics`],
@@ -407,20 +782,99 @@ impl ShardedService {
         traces_jsonl(&self.slow_log_records())
     }
 
-    /// Stop accepting work, drain every shard's queue, and join all
-    /// worker pools.
+    fn stop_supervisor(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop the supervisor, stop accepting work, drain every shard's
+    /// queue, and join all worker pools.
     pub fn shutdown(mut self) {
-        for shard in &mut self.shards {
+        self.stop_supervisor();
+        for shard in self.shards.iter() {
             shard.shutdown();
         }
     }
 }
 
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        // Without this, a dropped-but-not-shut-down tier would leak its
+        // supervisor thread (which holds the shards alive through its
+        // `Arc`). Shard drops then drain and join the pools as usual.
+        self.stop_supervisor();
+    }
+}
+
+/// The supervision loop: every `cfg.tick`, sample each shard's live
+/// signals, run the pure [`assess`] transition, and act on the verdict
+/// (publish the new health state, or quarantine + restart the pool).
+fn spawn_supervisor(
+    shards: Arc<Vec<Shard>>,
+    cfg: SupervisorConfig,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("tier-supervisor".to_string())
+        .spawn(move || {
+            let mut trackers = vec![ShardTracker::default(); shards.len()];
+            let mut last_completed = vec![0u64; shards.len()];
+            let mut last_misses = vec![0u64; shards.len()];
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(cfg.tick);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                for (i, shard) in shards.iter().enumerate() {
+                    let core = &shard.core;
+                    let completed_total: u64 = core.stats.latency.counts(false).iter().sum();
+                    let signals = ShardSignals {
+                        consecutive_panics: core.consecutive_panics.load(Ordering::Relaxed),
+                        queue_depth: core.stats.queue_depth.get(),
+                        completed: tick_delta(&mut last_completed[i], completed_total),
+                        deadline_misses: tick_delta(
+                            &mut last_misses[i],
+                            core.stats.deadline_misses.get(),
+                        ),
+                    };
+                    let state = core.health.get();
+                    match assess(state, signals, &mut trackers[i], &cfg) {
+                        Verdict::Observe(next) => core.health.set(next),
+                        Verdict::Restart => {
+                            if state != HealthState::Quarantined {
+                                core.stats.shard_quarantines.inc();
+                            }
+                            core.health.set(HealthState::Quarantined);
+                            shard.restart_pool();
+                            trackers[i].restarted = true;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn supervisor thread")
+}
+
+/// Delta of a monotone counter between supervisor ticks, tolerating the
+/// counter being reset underneath us (`snapshot_and_reset` phase
+/// boundaries): a total below the last observation restarts the baseline
+/// and charges the post-reset total to this tick.
+fn tick_delta(last: &mut u64, total: u64) -> u64 {
+    let delta = total.checked_sub(*last).unwrap_or(total);
+    *last = total;
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
+    use crate::clock::ManualClock;
     use causality_engine::database::example_2_2;
     use causality_engine::{tup, ConjunctiveQuery, Value};
+    use std::sync::atomic::AtomicBool;
 
     fn query() -> ConjunctiveQuery {
         ConjunctiveQuery::parse("q(x) :- R(x, y), S(y)").unwrap()
@@ -524,7 +978,10 @@ mod tests {
         for _ in 0..32 {
             match tier.submit(t, req.clone()) {
                 Ok(pending) => accepted.push(pending),
-                Err(ServiceError::Overloaded) => rejected += 1,
+                Err(ServiceError::Overloaded { retry_after }) => {
+                    assert!(retry_after >= Duration::from_millis(1), "usable hint");
+                    rejected += 1;
+                }
                 Err(other) => panic!("unexpected error: {other}"),
             }
         }
@@ -625,7 +1082,10 @@ mod tests {
 
     #[test]
     fn aggregate_of_no_shards_is_the_zero_identity() {
-        let stats = TierStats { shards: Vec::new() };
+        let stats = TierStats {
+            shards: Vec::new(),
+            frontend: FrontendStats::default(),
+        };
         let total = stats.aggregate();
         assert_eq!(total.requests, 0);
         assert_eq!(total.workers, 0);
@@ -640,10 +1100,124 @@ mod tests {
         // histogram must preserve the total count, not average it away.
         a.latency_buckets[3] = 2;
         b.latency_buckets[7] = 1;
-        let stats = TierStats { shards: vec![a, b] };
+        let stats = TierStats {
+            shards: vec![a, b],
+            frontend: FrontendStats::default(),
+        };
         let total = stats.aggregate();
         assert_eq!(total.latency_samples(), 3);
         assert_eq!(total.p50_us(), 8, "p50 comes from the two-sample bucket");
         assert_eq!(total.p99_us(), 128, "p99 reaches the other shard's bucket");
+    }
+
+    #[test]
+    fn circuit_breaker_opens_sheds_then_recovers() {
+        let clock = Arc::new(ManualClock::new());
+        let tier = ShardedService::with_clock(
+            TierConfig {
+                shards: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    open_for: Duration::from_millis(100),
+                    half_open_probes: 1,
+                },
+                ..TierConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let t = tier.add_tenant("flaky", example_2_2()).unwrap();
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+
+        // Two consecutive panics trip the tenant's breaker.
+        tier.inject_fault(|_| true);
+        for _ in 0..2 {
+            let resp = tier.explain(t, req.clone()).unwrap();
+            assert!(matches!(resp.result, Err(ServiceError::Panicked(_))));
+        }
+        let shed = tier.explain(t, req.clone());
+        match shed {
+            Err(ServiceError::CircuitOpen { retry_after }) => {
+                assert!(retry_after <= Duration::from_millis(100));
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        let fe = tier.stats().frontend;
+        assert_eq!(fe.breaker_trips, 1);
+        assert_eq!(fe.breaker_rejects, 1);
+
+        // Open window elapses → half-open probe succeeds → closed again.
+        tier.clear_faults();
+        clock.advance(Duration::from_millis(150));
+        let probe = tier.explain(t, req.clone()).unwrap();
+        assert!(probe.result.is_ok(), "half-open probe admitted and served");
+        // The probe's success closes the breaker (half_open_probes = 1);
+        // wait for the worker's outcome recording via the response above.
+        assert_eq!(tier.breakers.state_of(t.key()), BreakerState::Closed);
+        assert!(tier.explain(t, req).unwrap().result.is_ok());
+        tier.shutdown();
+    }
+
+    #[test]
+    fn explain_with_retry_survives_a_transient_panic() {
+        let tier = ShardedService::new(TierConfig {
+            shards: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                ..RetryPolicy::default()
+            },
+            shard: ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            ..TierConfig::default()
+        });
+        let t = tier.add_tenant("retry-me", example_2_2()).unwrap();
+        // Panic exactly once: the first computation dies, the retry lands.
+        let armed = Arc::new(AtomicBool::new(true));
+        let hook_armed = Arc::clone(&armed);
+        tier.inject_fault(move |_| hook_armed.swap(false, Ordering::Relaxed));
+        let req = ExplainRequest::why_so(query(), vec![Value::str("a2")]);
+        let resp = tier.explain_with_retry(t, req).unwrap();
+        assert!(resp.result.is_ok(), "retry recovered the answer");
+        let fe = tier.stats().frontend;
+        assert_eq!(fe.retries, 1, "exactly one backoff-retry");
+        tier.shutdown();
+    }
+
+    #[test]
+    fn single_shot_explain_never_retries() {
+        let tier = ShardedService::new(TierConfig {
+            shards: 1,
+            ..TierConfig::default()
+        });
+        let t = tier.add_tenant("one-shot", example_2_2()).unwrap();
+        tier.inject_fault(|_| true);
+        let resp = tier
+            .explain(t, ExplainRequest::why_so(query(), vec![Value::str("a2")]))
+            .unwrap();
+        assert!(matches!(resp.result, Err(ServiceError::Panicked(_))));
+        assert_eq!(tier.stats().frontend.retries, 0);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn shard_health_is_visible_and_starts_healthy() {
+        let tier = small_tier();
+        assert_eq!(tier.shard_health(0), Some(HealthState::Healthy));
+        assert_eq!(tier.shard_health(1), Some(HealthState::Healthy));
+        assert_eq!(tier.shard_health(2), None);
+        tier.shutdown();
+    }
+
+    #[test]
+    fn frontend_metrics_export_under_tier_prefix() {
+        let tier = small_tier();
+        let text = tier.export_frontend_metrics();
+        assert!(text.contains("causality_tier_frontend_retries_total"));
+        assert!(text.contains("causality_tier_breaker_trips_total"));
+        assert!(text.contains("causality_tier_brownout_served_total"));
+        tier.shutdown();
     }
 }

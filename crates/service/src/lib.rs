@@ -98,7 +98,22 @@
 //!   instead of a [`ServiceError::DeadlineExceeded`] error. Approximate
 //!   answers are never cached, and the route is visible in telemetry
 //!   ([`ServiceStats::approx_requests`], the `bound_width_ppm`
-//!   histogram, and the `approx_refine` trace stage).
+//!   histogram, and the `approx_refine` trace stage);
+//! * self-healing (PR 9) — a supervisor thread classifies each shard
+//!   [`HealthState::Healthy`]/[`HealthState::Degraded`]/[`HealthState::Quarantined`]
+//!   from live signals (panic streaks, queue stalls, deadline-miss
+//!   rate), restarts a quarantined shard's worker pool **on the same
+//!   queue** (loss-free by construction) and probes it back to healthy;
+//!   [`ShardedService::explain_with_retry`] retries transient failures
+//!   ([`ServiceError::is_retryable`]) under seeded full-jitter backoff
+//!   with optional tail-latency hedging, re-routing away from unhealthy
+//!   shards; per-tenant circuit breakers ([`BreakerConfig`]) shed a
+//!   tenant whose requests keep dying before they can occupy queues;
+//!   and past a configurable high-water mark the tier *browns out*,
+//!   serving routable NP-hard requests inline with the certified
+//!   zero-budget bracket instead of rejecting them. Deterministic chaos
+//!   soaks drive all of it via seeded [`FaultPlan`]s
+//!   ([`ShardedService::install_fault_plan`]).
 //!
 //! # Example
 //!
@@ -124,22 +139,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
+pub mod clock;
 pub mod dispatch;
 pub mod frontend;
 pub mod lru;
 pub mod request;
+pub mod retry;
 pub mod service;
 pub mod shard;
 pub mod stats;
+pub mod supervisor;
 pub(crate) mod worker;
 
+pub use breaker::{BreakerConfig, BreakerState};
+pub use chaos::{FaultAction, FaultEvent, FaultKind, FaultPlan};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use dispatch::TenantId;
 pub use frontend::{ShardedService, TierConfig, TierStats};
 pub use lru::LruCache;
 pub use request::{ExplainKind, ExplainRequest, ExplainResponse, PendingExplain, ServiceError};
+pub use retry::{JitterRng, RetryPolicy};
 pub use service::CausalityService;
 pub use shard::ServiceConfig;
-pub use stats::ServiceStats;
+pub use stats::{FrontendStats, ServiceStats};
+pub use supervisor::{HealthState, SupervisorConfig};
 
 // The anytime-answer vocabulary (PR 8): NP-hard Why-So requests carrying a
 // deadline are routed to the anytime kernel and come back with

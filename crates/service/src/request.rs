@@ -118,7 +118,19 @@ pub enum ServiceError {
     /// depth had reached its configured limit. The reject is returned to
     /// the caller immediately (never silently dropped) so an open-loop
     /// client can back off or shed load.
-    Overloaded,
+    Overloaded {
+        /// How long the caller should wait before retrying, derived from
+        /// the shard's queue depth and its observed drain rate (PR 9).
+        retry_after: Duration,
+    },
+    /// The tenant's circuit breaker is open: this tenant's recent
+    /// requests kept failing, so the tier sheds its traffic before it
+    /// consumes worker time. Retry after the hint, when the breaker
+    /// admits a half-open probe.
+    CircuitOpen {
+        /// How long until the breaker transitions to half-open.
+        retry_after: Duration,
+    },
     /// The request's deadline budget expired before a worker started
     /// computing it; the job was discarded at the queue instead of
     /// occupying a worker past its budget.
@@ -140,10 +152,17 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Disconnected => write!(f, "explanation service is shut down"),
             ServiceError::QueueFull => write!(f, "request queue is full"),
-            ServiceError::Overloaded => {
+            ServiceError::Overloaded { retry_after } => {
                 write!(
                     f,
-                    "admission control rejected the request: shard overloaded"
+                    "admission control rejected the request: shard overloaded \
+                     (retry after {retry_after:?})"
+                )
+            }
+            ServiceError::CircuitOpen { retry_after } => {
+                write!(
+                    f,
+                    "tenant circuit breaker is open (retry after {retry_after:?})"
                 )
             }
             ServiceError::DeadlineExceeded => {
@@ -165,12 +184,47 @@ impl ServiceError {
         match self {
             ServiceError::Disconnected => "disconnected",
             ServiceError::QueueFull => "queue_full",
-            ServiceError::Overloaded => "overloaded",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::CircuitOpen { .. } => "circuit_open",
             ServiceError::DeadlineExceeded => "deadline_exceeded",
             ServiceError::Timeout => "timeout",
             ServiceError::InvalidRequest(_) => "invalid_request",
             ServiceError::Core(_) => "error",
             ServiceError::Panicked(_) => "panicked",
+        }
+    }
+
+    /// Whether a retry of the same request may legitimately succeed.
+    ///
+    /// Retryable errors are *transient tier states* — a full queue, an
+    /// overloaded shard, an open breaker, a response-wait timeout, or a
+    /// panicked worker (the shard recovered; the panic poisoned one
+    /// request, not the data). Terminal errors are properties of the
+    /// request itself ([`ServiceError::InvalidRequest`],
+    /// [`ServiceError::Core`]), of its expired budget
+    /// ([`ServiceError::DeadlineExceeded`]), or of a shut-down tier
+    /// ([`ServiceError::Disconnected`]); retrying those burns worker
+    /// time to reproduce the same answer.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServiceError::QueueFull
+            | ServiceError::Overloaded { .. }
+            | ServiceError::CircuitOpen { .. }
+            | ServiceError::Timeout
+            | ServiceError::Panicked(_) => true,
+            ServiceError::Disconnected
+            | ServiceError::DeadlineExceeded
+            | ServiceError::InvalidRequest(_)
+            | ServiceError::Core(_) => false,
+        }
+    }
+
+    /// The back-off hint carried by retryable rejects, if any.
+    pub fn retry_after_hint(&self) -> Option<Duration> {
+        match self {
+            ServiceError::Overloaded { retry_after }
+            | ServiceError::CircuitOpen { retry_after } => Some(*retry_after),
+            _ => None,
         }
     }
 }
@@ -238,10 +292,56 @@ mod tests {
     fn error_display() {
         assert!(ServiceError::Disconnected.to_string().contains("shut down"));
         assert!(ServiceError::QueueFull.to_string().contains("full"));
-        assert!(ServiceError::Overloaded.to_string().contains("overloaded"));
+        let overloaded = ServiceError::Overloaded {
+            retry_after: Duration::from_millis(7),
+        };
+        assert!(overloaded.to_string().contains("overloaded"));
+        assert!(overloaded.to_string().contains("7ms"));
+        let open = ServiceError::CircuitOpen {
+            retry_after: Duration::from_millis(40),
+        };
+        assert!(open.to_string().contains("breaker"));
         assert!(ServiceError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
         assert!(ServiceError::Timeout.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn retryable_taxonomy_splits_transient_from_terminal() {
+        let retryable: [ServiceError; 5] = [
+            ServiceError::QueueFull,
+            ServiceError::Overloaded {
+                retry_after: Duration::from_millis(1),
+            },
+            ServiceError::CircuitOpen {
+                retry_after: Duration::from_millis(1),
+            },
+            ServiceError::Timeout,
+            ServiceError::Panicked("boom".into()),
+        ];
+        for e in &retryable {
+            assert!(e.is_retryable(), "{e} should be retryable");
+        }
+        let terminal: [ServiceError; 3] = [
+            ServiceError::Disconnected,
+            ServiceError::DeadlineExceeded,
+            ServiceError::InvalidRequest("arity".into()),
+        ];
+        for e in &terminal {
+            assert!(!e.is_retryable(), "{e} should be terminal");
+        }
+    }
+
+    #[test]
+    fn retry_after_hint_only_on_shed_errors() {
+        let overloaded = ServiceError::Overloaded {
+            retry_after: Duration::from_millis(9),
+        };
+        assert_eq!(
+            overloaded.retry_after_hint(),
+            Some(Duration::from_millis(9))
+        );
+        assert_eq!(ServiceError::Timeout.retry_after_hint(), None);
     }
 }

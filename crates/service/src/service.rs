@@ -15,6 +15,7 @@ use crate::stats::ServiceStats;
 use crate::worker::Job;
 use causality_engine::{Database, Snapshot, SnapshotStore};
 use causality_telemetry::{metrics_jsonl, prometheus_text, traces_jsonl, RequestTrace, Stage};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -49,7 +50,9 @@ impl CausalityService {
 
     /// Start a service with explicit tuning knobs.
     pub fn with_config(db: Database, cfg: ServiceConfig) -> Self {
-        let shard = Shard::spawn(cfg, usize::MAX, "causality");
+        // No tier-shared breaker registry: the single-shard facade keeps
+        // the PR 2 semantics (no admission control, no traffic shedding).
+        let shard = Shard::spawn(cfg, usize::MAX, "causality", None);
         let store = shard.add_tenant(SOLE_TENANT, db);
         CausalityService { shard, store }
     }
@@ -154,6 +157,7 @@ impl CausalityService {
     /// game-day drills against a staging deployment.
     pub fn inject_fault(&self, hook: impl Fn(&ExplainRequest) -> bool + Send + Sync + 'static) {
         *lock_unpoisoned(&self.shard.core.fault) = Some(Box::new(hook));
+        self.shard.core.chaos_armed.store(true, Ordering::Release);
     }
 
     /// Install a chaos/load-testing stall: every request the hook
@@ -165,6 +169,7 @@ impl CausalityService {
         hook: impl Fn(&ExplainRequest) -> Option<Duration> + Send + Sync + 'static,
     ) {
         *lock_unpoisoned(&self.shard.core.delay) = Some(Box::new(hook));
+        self.shard.core.chaos_armed.store(true, Ordering::Release);
     }
 
     /// Remove the hooks installed by [`CausalityService::inject_fault`]
@@ -172,6 +177,7 @@ impl CausalityService {
     pub fn clear_faults(&self) {
         *lock_unpoisoned(&self.shard.core.fault) = None;
         *lock_unpoisoned(&self.shard.core.delay) = None;
+        self.shard.core.chaos_armed.store(false, Ordering::Release);
     }
 
     /// A point-in-time view of the service counters.
@@ -230,7 +236,7 @@ impl CausalityService {
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         self.shard.shutdown();
     }
 }

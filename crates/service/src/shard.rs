@@ -18,15 +18,20 @@
 //! stamps and `RelVersion` stamps are **process-wide unique** (PR 3):
 //! two tenants' relations can never alias a cache entry.
 
+use crate::breaker::{BreakerConfig, BreakerRegistry};
+use crate::chaos::FaultAction;
+use crate::clock::SystemClock;
 use crate::lru::LruCache;
 use crate::request::{ExplainRequest, ServiceError};
 use crate::stats::StatsCounters;
+use crate::supervisor::HealthCell;
 use crate::worker::{worker_loop, Job, Msg};
 use causality_core::explain::Explanation;
 use causality_engine::{Database, RelId, RelVersion, SharedIndexCache, Snapshot, SnapshotStore};
 use causality_telemetry::{MetricsRegistry, Telemetry, TelemetryConfig};
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -51,6 +56,14 @@ pub(crate) type FaultHook = Box<dyn Fn(&ExplainRequest) -> bool + Send + Sync>;
 /// duration before they compute (simulates slow computations without
 /// burning CPU).
 pub(crate) type DelayHook = Box<dyn Fn(&ExplainRequest) -> Option<Duration> + Send + Sync>;
+
+/// The PR 9 plan hook: maps a shard-local request ordinal (the position
+/// of the computation in this shard's processing order) to the combined
+/// fault action a seeded [`FaultPlan`](crate::FaultPlan) schedules for
+/// it. One hook sees one ordinal exactly once, so separate fault kinds
+/// scheduled for the same request cannot drift apart the way two
+/// independently counting hooks would.
+pub(crate) type PlanHook = Box<dyn Fn(u64) -> FaultAction + Send + Sync>;
 
 /// Identifies one tenant's snapshot store within a shard.
 pub(crate) type TenantKey = u64;
@@ -153,6 +166,34 @@ pub(crate) struct ShardCore {
     /// Chaos/load-testing hook: requests matched by the predicate sleep
     /// for the returned duration before computing.
     pub(crate) delay: Mutex<Option<DelayHook>>,
+    /// Seeded chaos-plan hook (PR 9): consulted once per computation
+    /// with the shard-local ordinal; supersedes `fault`/`delay` for
+    /// schedule-driven soaks because one lookup yields the *combined*
+    /// action for the request.
+    pub(crate) plan: Mutex<Option<PlanHook>>,
+    /// Shard-local computation ordinal feeding the plan hook.
+    pub(crate) ordinal: AtomicU64,
+    /// True while any of `fault`/`delay`/`plan` is installed. Workers
+    /// check this one atomic before touching the hook mutexes, so
+    /// chaos-free serving never pays for the injection points.
+    pub(crate) chaos_armed: AtomicBool,
+    /// Current run of panicking computations without an intervening
+    /// completion; the supervisor quarantines past a threshold.
+    pub(crate) consecutive_panics: AtomicU64,
+    /// Live health classification, written by the supervisor and read by
+    /// routing (fallback selection avoids unhealthy shards).
+    pub(crate) health: HealthCell,
+    /// Worker-pool generation: bumped by [`Shard::restart_pool`]; a
+    /// worker retires after its current batch once its spawn generation
+    /// is stale.
+    pub(crate) generation: AtomicU64,
+    /// The tier's per-tenant circuit breakers. Shared across every shard
+    /// of a [`ShardedService`](crate::ShardedService) (a tenant's
+    /// failures are a property of the tenant, not of the shard its
+    /// retries land on); the single-shard
+    /// [`CausalityService`](crate::CausalityService) carries a disabled
+    /// registry, keeping PR 2 semantics.
+    pub(crate) breakers: Arc<BreakerRegistry>,
 }
 
 impl ShardCore {
@@ -233,6 +274,28 @@ impl ShardCore {
             self.telemetry.record(tb.finish());
         }
     }
+
+    /// How long a rejected caller should wait before retrying: the time
+    /// this shard needs to drain its current queue, estimated from the
+    /// observed mean response latency (which already folds in queue
+    /// wait) divided across the worker pool. Clamped to `[1ms, 2s]` so
+    /// a cold histogram or a pathological backlog still yields a usable
+    /// hint.
+    pub(crate) fn retry_after_hint(&self) -> Duration {
+        let depth = self.stats.queue_depth.get().max(1);
+        let samples: u64 = self.stats.latency.counts(false).iter().sum();
+        let mean_us = self
+            .stats
+            .latency
+            .sum_us(false)
+            .checked_div(samples)
+            .map_or(1_000, |mean| mean.max(1));
+        let drain_us = depth
+            .saturating_mul(mean_us)
+            .checked_div(self.cfg.workers as u64)
+            .unwrap_or(mean_us);
+        Duration::from_micros(drain_us.clamp(1_000, 2_000_000))
+    }
 }
 
 /// The relation fingerprint a request's answer depends on, or `None` if
@@ -264,20 +327,52 @@ pub(crate) fn validate(request: &ExplainRequest) -> Result<(), ServiceError> {
 
 /// One running shard: the shared core, the job queue, and the worker
 /// pool draining it.
+///
+/// Since PR 9 the pool is *restartable*: [`Shard::restart_pool`] spawns
+/// a fresh generation of workers onto the **same** channel and retires
+/// the old generation lazily. Keeping the channel fixed is what makes a
+/// restart loss-free by construction — no job ever has to migrate
+/// between queues, so there is no window in which a submission can land
+/// in a queue nobody will drain. A wedged worker never blocks the
+/// restart either: workers release the queue mutex before computing, so
+/// fresh workers start draining immediately while the wedged one
+/// finishes (and still delivers) its in-flight response, then notices
+/// its stale generation and exits.
 pub(crate) struct Shard {
     pub(crate) core: Arc<ShardCore>,
-    tx: SyncSender<Msg>,
-    handles: Vec<JoinHandle<()>>,
+    /// `None` once the shard is shut down. Dropping the sender is the
+    /// shutdown signal: workers drain every buffered job, then exit on
+    /// disconnect.
+    tx: RwLock<Option<SyncSender<Msg>>>,
+    rx: Arc<Mutex<Receiver<Msg>>>,
+    name: String,
+    /// Every worker thread ever spawned (all generations); joined at
+    /// shutdown.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shard {
     /// Spawn a shard with `cfg.workers` threads. `admission_limit` is
     /// the queue-depth bound enforced by [`Shard::submit_admitted`]
     /// (`usize::MAX` = no admission control). `name` labels the worker
-    /// threads.
-    pub(crate) fn spawn(cfg: ServiceConfig, admission_limit: usize, name: &str) -> Self {
+    /// threads. `breakers` shares the tier's circuit breakers with the
+    /// workers (outcome recording); `None` installs a disabled registry
+    /// (single-shard compatibility mode).
+    pub(crate) fn spawn(
+        cfg: ServiceConfig,
+        admission_limit: usize,
+        name: &str,
+        breakers: Option<Arc<BreakerRegistry>>,
+    ) -> Self {
         let cfg = cfg.sanitized();
         let registry = Arc::new(MetricsRegistry::new());
+        let breakers = breakers.unwrap_or_else(|| {
+            Arc::new(BreakerRegistry::new(
+                BreakerConfig::disabled(),
+                Arc::new(SystemClock),
+                &registry,
+            ))
+        });
         let core = Arc::new(ShardCore {
             cfg,
             admission_limit,
@@ -290,48 +385,107 @@ impl Shard {
             live_snapshots: Mutex::new(HashMap::new()),
             fault: Mutex::new(None),
             delay: Mutex::new(None),
+            plan: Mutex::new(None),
+            ordinal: AtomicU64::new(0),
+            chaos_armed: AtomicBool::new(false),
+            consecutive_panics: AtomicU64::new(0),
+            health: HealthCell::new(),
+            generation: AtomicU64::new(0),
+            breakers,
         });
         let (tx, rx) = sync_channel::<Msg>(cfg.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..cfg.workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("{name}-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &core))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Shard { core, tx, handles }
+        let shard = Shard {
+            core,
+            tx: RwLock::new(Some(tx)),
+            rx,
+            name: name.to_owned(),
+            handles: Mutex::new(Vec::new()),
+        };
+        shard.spawn_workers(0);
+        shard
+    }
+
+    /// Spawn `cfg.workers` threads of `generation` onto the shared
+    /// channel.
+    fn spawn_workers(&self, generation: u64) {
+        let mut handles = lock_unpoisoned(&self.handles);
+        for i in 0..self.core.cfg.workers {
+            let rx = Arc::clone(&self.rx);
+            let core = Arc::clone(&self.core);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-g{generation}-worker-{i}", self.name))
+                .spawn(move || worker_loop(&rx, &core, generation))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+    }
+
+    /// Replace the worker pool with a fresh generation (PR 9 recovery
+    /// path, driven by the supervisor on a quarantined shard).
+    ///
+    /// The queue, its contents, and all counters are untouched: new
+    /// workers drain the very jobs the old pool was wedged on. Old
+    /// workers retire after at most one more batch; ones stuck in a
+    /// computation keep running until it completes, still deliver that
+    /// response, and then exit — so a restart can never lose or
+    /// double-serve a request.
+    pub(crate) fn restart_pool(&self) {
+        if self.sender().is_none() {
+            return; // shut down; nothing to restart
+        }
+        let generation = self.core.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        self.core.stats.shard_restarts.inc();
+        self.core.consecutive_panics.store(0, Ordering::Relaxed);
+        self.spawn_workers(generation);
     }
 
     /// Install (or replace) a tenant's snapshot store.
     pub(crate) fn add_tenant(&self, tenant: TenantKey, db: Database) -> Arc<SnapshotStore> {
         let store = Arc::new(SnapshotStore::new(db));
+        self.install_store(tenant, Arc::clone(&store));
+        store
+    }
+
+    /// Install an existing snapshot store under `tenant` — the retry
+    /// fallback path (PR 9) uses this to make a tenant servable on a
+    /// sibling shard. Sound across shards because both cache layers key
+    /// on process-wide-unique relation content stamps.
+    pub(crate) fn install_store(&self, tenant: TenantKey, store: Arc<SnapshotStore>) {
         self.core
             .tenants
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(tenant, Arc::clone(&store));
-        store
+            .insert(tenant, store);
+    }
+
+    /// A clone of the queue's sender, or `None` after shutdown.
+    fn sender(&self) -> Option<SyncSender<Msg>> {
+        self.tx
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Enqueue blocking while the queue is full (backpressure; the PR 2
     /// `submit` semantics). No admission control.
     pub(crate) fn submit_blocking(&self, job: Job) -> Result<(), ServiceError> {
+        let Some(tx) = self.sender() else {
+            self.core
+                .finalize_unqueued(job, ServiceError::Disconnected.outcome_label());
+            return Err(ServiceError::Disconnected);
+        };
         self.core.stats.queue_depth.inc();
-        match self.tx.send(Msg::Job(Box::new(job))) {
+        match tx.send(Msg::Job(Box::new(job))) {
             Ok(()) => {
                 self.core.stats.requests.inc();
                 Ok(())
             }
             Err(returned) => {
                 self.core.stats.queue_depth.dec(1);
-                if let Msg::Job(job) = returned.0 {
-                    self.core
-                        .finalize_unqueued(*job, ServiceError::Disconnected.outcome_label());
-                }
+                let Msg::Job(job) = returned.0;
+                self.core
+                    .finalize_unqueued(*job, ServiceError::Disconnected.outcome_label());
                 Err(ServiceError::Disconnected)
             }
         }
@@ -342,8 +496,13 @@ impl Shard {
     /// `remap_full` turns a full queue into the admission-control
     /// rejection ([`ServiceError::Overloaded`], counted).
     fn try_enqueue(&self, job: Job, remap_full: bool) -> Result<(), ServiceError> {
+        let Some(tx) = self.sender() else {
+            self.core
+                .finalize_unqueued(job, ServiceError::Disconnected.outcome_label());
+            return Err(ServiceError::Disconnected);
+        };
         self.core.stats.queue_depth.inc();
-        match self.tx.try_send(Msg::Job(Box::new(job))) {
+        match tx.try_send(Msg::Job(Box::new(job))) {
             Ok(()) => {
                 self.core.stats.requests.inc();
                 Ok(())
@@ -357,7 +516,9 @@ impl Shard {
                         // queue-depth limit" to a caller.
                         let err = if remap_full {
                             self.core.stats.admission_rejects.inc();
-                            ServiceError::Overloaded
+                            ServiceError::Overloaded {
+                                retry_after: self.core.retry_after_hint(),
+                            }
                         } else {
                             ServiceError::QueueFull
                         };
@@ -365,9 +526,8 @@ impl Shard {
                     }
                     TrySendError::Disconnected(msg) => (ServiceError::Disconnected, msg),
                 };
-                if let Msg::Job(job) = returned {
-                    self.core.finalize_unqueued(*job, err.outcome_label());
-                }
+                let Msg::Job(job) = returned;
+                self.core.finalize_unqueued(*job, err.outcome_label());
                 Err(err)
             }
         }
@@ -382,26 +542,41 @@ impl Shard {
     /// Front-end enqueue with **bounded admission**: when the shard's
     /// queue depth has reached `admission_limit`, the request is
     /// rejected with [`ServiceError::Overloaded`] — returned to the
-    /// caller, never dropped — and counted in
+    /// caller, never dropped, and since PR 9 carrying a retry-after
+    /// hint — and counted in
     /// [`ServiceStats::admission_rejects`](crate::ServiceStats::admission_rejects).
     pub(crate) fn submit_admitted(&self, job: Job) -> Result<(), ServiceError> {
         let depth = self.core.stats.queue_depth.get();
         if depth as usize >= self.core.admission_limit {
             self.core.stats.admission_rejects.inc();
-            self.core
-                .finalize_unqueued(job, ServiceError::Overloaded.outcome_label());
-            return Err(ServiceError::Overloaded);
+            let err = ServiceError::Overloaded {
+                retry_after: self.core.retry_after_hint(),
+            };
+            self.core.finalize_unqueued(job, err.outcome_label());
+            return Err(err);
         }
         self.try_enqueue(job, true)
     }
 
-    /// Stop accepting work, drain the queue, and join the workers.
-    pub(crate) fn shutdown(&mut self) {
-        for _ in 0..self.handles.len() {
-            // Blocks while the queue is full; workers are draining it.
-            let _ = self.tx.send(Msg::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
+    /// Stop accepting work, drain the queue, and join every worker
+    /// generation. Idempotent, and callable through a shared reference
+    /// (the supervisor holds the shards behind an `Arc`).
+    ///
+    /// Dropping the sender is the signal: workers finish the buffered
+    /// jobs (mpsc delivers everything already queued before reporting
+    /// disconnect), then exit.
+    pub(crate) fn shutdown(&self) {
+        drop(
+            self.tx
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = lock_unpoisoned(&self.handles);
+            guard.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }

@@ -22,7 +22,7 @@ pub use causality_telemetry::{quantile_us, LATENCY_BUCKETS};
 
 /// The canonical metric names a shard registers, in registration order.
 /// `trace-report` and dashboards key off these.
-const COUNTER_NAMES: [&str; 14] = [
+const COUNTER_NAMES: [&str; 16] = [
     "requests_total",
     "batches_total",
     "batched_requests_total",
@@ -37,6 +37,8 @@ const COUNTER_NAMES: [&str; 14] = [
     "deadline_misses_total",
     "approx_requests_total",
     "approx_refinements_total",
+    "shard_restarts_total",
+    "shard_quarantines_total",
 ];
 
 /// Internal counters bumped by workers and the submit path — shared
@@ -61,6 +63,8 @@ pub(crate) struct StatsCounters {
     pub deadline_misses: Arc<Counter>,
     pub approx_requests: Arc<Counter>,
     pub approx_refinements: Arc<Counter>,
+    pub shard_restarts: Arc<Counter>,
+    pub shard_quarantines: Arc<Counter>,
     pub queue_depth: Arc<Gauge>,
     pub latency: Arc<Histogram>,
     /// Width of the certified ρ bracket each anytime answer shipped
@@ -89,6 +93,8 @@ impl StatsCounters {
             deadline_misses: c(11),
             approx_requests: c(12),
             approx_refinements: c(13),
+            shard_restarts: c(14),
+            shard_quarantines: c(15),
             queue_depth: registry.gauge("queue_depth"),
             latency: registry.histogram("latency_us"),
             bound_width: registry.histogram("bound_width_ppm"),
@@ -133,6 +139,10 @@ impl StatsCounters {
             deadline_misses: Self::read(&self.deadline_misses, reset),
             approx_requests: Self::read(&self.approx_requests, reset),
             approx_refinements: Self::read(&self.approx_refinements, reset),
+            // Lifecycle counters, never reset: a phase boundary does not
+            // undo a restart or a quarantine.
+            shard_restarts: self.shard_restarts.get(),
+            shard_quarantines: self.shard_quarantines.get(),
             // A gauge, not a counter: resetting it would lie about the
             // jobs still sitting in the queue.
             queue_depth: self.queue_depth.get(),
@@ -232,6 +242,12 @@ pub struct ServiceStats {
     /// each one provably tightened a ρ bracket before the budget ran
     /// out.
     pub approx_refinements: u64,
+    /// Worker-pool restarts performed by the supervisor (PR 9). A
+    /// lifecycle counter: never reset by `snapshot_and_reset`.
+    pub shard_restarts: u64,
+    /// Healthy/Degraded → Quarantined transitions the supervisor took
+    /// (PR 9). A lifecycle counter: never reset by `snapshot_and_reset`.
+    pub shard_quarantines: u64,
     /// Jobs currently admitted but not yet drained by a worker (a live
     /// gauge — not reset by `snapshot_and_reset`).
     pub queue_depth: u64,
@@ -263,6 +279,8 @@ impl ServiceStats {
             deadline_misses: 0,
             approx_requests: 0,
             approx_refinements: 0,
+            shard_restarts: 0,
+            shard_quarantines: 0,
             queue_depth: 0,
             latency_buckets: [0; LATENCY_BUCKETS],
         }
@@ -331,6 +349,8 @@ impl ServiceStats {
         self.deadline_misses += other.deadline_misses;
         self.approx_requests += other.approx_requests;
         self.approx_refinements += other.approx_refinements;
+        self.shard_restarts += other.shard_restarts;
+        self.shard_quarantines += other.shard_quarantines;
         self.queue_depth += other.queue_depth;
         for (mine, theirs) in self
             .latency_buckets
@@ -340,6 +360,31 @@ impl ServiceStats {
             *mine += theirs;
         }
     }
+}
+
+/// Tier-level (front-end) resilience counters (PR 9): everything the
+/// self-healing layer does *between* the shards — retries, hedges,
+/// breaker activity, brownout — rather than inside one of them. Sourced
+/// from the tier registry alongside the per-shard [`ServiceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Re-submissions after a retryable failure (excludes first attempts).
+    pub retries: u64,
+    /// Hedge requests launched against a sibling shard because the first
+    /// attempt was still unanswered after `hedge_after`.
+    pub hedges: u64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: u64,
+    /// Requests shed at admission because a tenant's breaker was open.
+    pub breaker_rejects: u64,
+    /// Requests served inline with the zero-budget greedy bracket while
+    /// the tier was browned out.
+    pub brownout_served: u64,
+    /// Cumulative microseconds the tier spent in brownout mode.
+    pub brownout_us: u64,
+    /// Retries re-routed to a fallback shard because the home shard was
+    /// quarantined or degraded.
+    pub reroutes: u64,
 }
 
 #[cfg(test)]

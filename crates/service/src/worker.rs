@@ -22,6 +22,7 @@ use causality_engine::{SharedIndexCache, Snapshot};
 use causality_telemetry::{Stage, TraceBuilder};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -51,6 +52,7 @@ pub(crate) struct Job {
 /// The per-waiter remainder of a [`Job`] after coalescing detaches the
 /// shared `(tenant, request)` group key.
 struct JobTail {
+    tenant: TenantKey,
     enqueued: Instant,
     deadline: Option<Instant>,
     tx: Sender<ExplainResponse>,
@@ -63,7 +65,7 @@ struct JobTail {
 /// NP-hard. Everything else — PTIME queries, explicit methods, Why-No,
 /// top-k — keeps the exact kernels, bit-identical to a deadline-free
 /// submission.
-fn anytime_routable(request: &ExplainRequest) -> bool {
+pub(crate) fn anytime_routable(request: &ExplainRequest) -> bool {
     matches!(request.kind, ExplainKind::WhySo)
         && matches!(request.method, Method::Auto)
         && matches!(
@@ -75,16 +77,18 @@ fn anytime_routable(request: &ExplainRequest) -> bool {
         )
 }
 
-/// What travels on a shard's queue.
+/// What travels on a shard's queue. A single-variant enum rather than a
+/// bare `Box<Job>`: shutdown is signalled by dropping the sender (which
+/// still drains the buffer), not by an in-band message — a restartable
+/// pool (PR 9) cannot know how many in-band sentinels would be needed.
 pub(crate) enum Msg {
     /// A unit of work.
     Job(Box<Job>),
-    /// One worker should exit after finishing its current batch.
-    Shutdown,
 }
 
 /// Send `response` for a job accepted at `enqueued`, recording the
-/// submit→response latency and finishing the job's trace (outcome label,
+/// submit→response latency, reporting the outcome to the tenant's
+/// circuit breaker, and finishing the job's trace (outcome label,
 /// respond stage, explanation attributes). A requester that dropped its
 /// handle is not an error.
 fn respond(core: &ShardCore, tail: JobTail, response: ExplainResponse) {
@@ -106,36 +110,42 @@ fn respond(core: &ShardCore, tail: JobTail, response: ExplainResponse) {
         }
         core.telemetry.record(tb.finish());
     }
+    // Only failures that indict the tenant's own traffic open its
+    // breaker; load shedding and deadline misses are tier states, not
+    // evidence against the tenant.
+    let breaker_success = !matches!(
+        response.result,
+        Err(ServiceError::Panicked(_)) | Err(ServiceError::Core(_))
+    );
+    core.breakers.record(tail.tenant, breaker_success);
     core.stats.latency.record(tail.enqueued.elapsed());
     let _ = tail.tx.send(response);
 }
 
-pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore) {
+/// One worker thread's life: drain batches off the shared queue until
+/// the channel disconnects (shutdown) or this worker's `generation`
+/// goes stale (a pool restart replaced it).
+pub(crate) fn worker_loop(rx: &Mutex<Receiver<Msg>>, core: &ShardCore, generation: u64) {
     loop {
-        let mut saw_shutdown = false;
+        if core.generation.load(Ordering::Relaxed) != generation {
+            return; // retired by a pool restart
+        }
         let mut batch: Vec<Job> = Vec::new();
         {
             let rx = lock_unpoisoned(rx);
             match rx.recv() {
                 Ok(Msg::Job(job)) => batch.push(*job),
-                Ok(Msg::Shutdown) | Err(_) => return,
+                Err(_) => return,
             }
             while batch.len() < core.cfg.batch_max {
                 match rx.try_recv() {
                     Ok(Msg::Job(job)) => batch.push(*job),
-                    Ok(Msg::Shutdown) => {
-                        saw_shutdown = true;
-                        break;
-                    }
                     Err(_) => break,
                 }
             }
         }
         core.stats.queue_depth.dec(batch.len() as u64);
         process_batch(core, batch);
-        if saw_shutdown {
-            return;
-        }
     }
 }
 
@@ -169,6 +179,7 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
                 respond(
                     core,
                     JobTail {
+                        tenant: job.tenant,
                         enqueued: job.enqueued,
                         deadline: job.deadline,
                         tx: job.tx,
@@ -191,12 +202,14 @@ fn process_batch(core: &ShardCore, batch: Vec<Job>) {
     let mut order: Vec<(TenantKey, ExplainRequest)> = Vec::new();
     let mut groups: HashMap<(TenantKey, ExplainRequest), Vec<JobTail>> = HashMap::new();
     for job in live {
+        let tenant = job.tenant;
         let key = (job.tenant, job.request);
         let entry = groups.entry(key.clone()).or_default();
         if entry.is_empty() {
             order.push(key);
         }
         entry.push(JobTail {
+            tenant,
             enqueued: job.enqueued,
             deadline: job.deadline,
             tx: job.tx,
@@ -344,27 +357,58 @@ fn compute_isolated(
     request: &ExplainRequest,
     deadline: Option<Instant>,
 ) -> Result<(Explanation, ExplainTiming), ServiceError> {
+    // Production fast path: with no chaos hooks armed, serving skips the
+    // three hook mutexes entirely — one relaxed atomic load per
+    // computation instead of three lock round-trips on a single core.
+    let armed = core.chaos_armed.load(Ordering::Acquire);
+    // The plan hook (PR 9) is consulted exactly once per computation,
+    // with a single ordinal draw, so every fault kind a seeded plan
+    // schedules for this request fires on this request.
+    let action = if armed {
+        let plan = lock_unpoisoned(&core.plan);
+        plan.as_ref()
+            .map(|hook| hook(core.ordinal.fetch_add(1, Ordering::Relaxed)))
+            .unwrap_or_default()
+    } else {
+        Default::default()
+    };
     let guarded = catch_unwind(AssertUnwindSafe(|| {
-        // Evaluate the chaos hooks before panicking so their locks are
-        // released by the time an unwind starts.
-        let stall = lock_unpoisoned(&core.delay)
-            .as_ref()
-            .and_then(|hook| hook(request));
-        if let Some(stall) = stall {
-            std::thread::sleep(stall);
-        }
-        let inject = lock_unpoisoned(&core.fault)
-            .as_ref()
-            .is_some_and(|hook| hook(request));
-        if inject {
-            panic!("fault injected by chaos hook");
+        if armed {
+            // Evaluate the chaos hooks before panicking so their locks
+            // are released by the time an unwind starts.
+            let stall = lock_unpoisoned(&core.delay)
+                .as_ref()
+                .and_then(|hook| hook(request));
+            if let Some(stall) = stall.into_iter().chain(action.stall).max() {
+                std::thread::sleep(stall);
+            }
+            if action.poison {
+                // Poison the responsibility-cache mutex for real: panic
+                // with the guard held. Serving recovers via
+                // `lock_unpoisoned`.
+                let _guard = lock_unpoisoned(&core.resp_cache);
+                panic!("cache lock poisoned by fault plan");
+            }
+            let inject = lock_unpoisoned(&core.fault)
+                .as_ref()
+                .is_some_and(|hook| hook(request));
+            if inject || action.panic {
+                panic!("fault injected by chaos hook");
+            }
         }
         compute(core, snapshot, index_cache, request, deadline)
     }));
-    guarded.unwrap_or_else(|payload| {
-        core.stats.panics_caught.inc();
-        Err(ServiceError::Panicked(panic_message(payload.as_ref())))
-    })
+    match guarded {
+        Ok(result) => {
+            core.consecutive_panics.store(0, Ordering::Relaxed);
+            result
+        }
+        Err(payload) => {
+            core.stats.panics_caught.inc();
+            core.consecutive_panics.fetch_add(1, Ordering::Relaxed);
+            Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+        }
+    }
 }
 
 /// Best-effort rendering of a caught panic payload (panics carry a

@@ -18,6 +18,10 @@ use std::time::{Duration, Instant};
 pub enum Stage {
     /// Frontend validation and admission bookkeeping.
     Admission,
+    /// Backoff wait that preceded a retried submission (PR 9); absent on
+    /// first attempts. Recorded at offset 0 of the retry attempt's
+    /// trace, spanning the jittered wait.
+    Retry,
     /// Routing to a shard and job construction.
     Dispatch,
     /// Residency in the shard's bounded queue (crosses threads).
@@ -39,8 +43,9 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in serving-path order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Admission,
+        Stage::Retry,
         Stage::Dispatch,
         Stage::ShardQueue,
         Stage::WorkerDequeue,
@@ -55,6 +60,7 @@ impl Stage {
     pub fn as_str(self) -> &'static str {
         match self {
             Stage::Admission => "admission",
+            Stage::Retry => "retry",
             Stage::Dispatch => "dispatch",
             Stage::ShardQueue => "shard_queue",
             Stage::WorkerDequeue => "worker_dequeue",

@@ -20,8 +20,9 @@ use crate::json::{parse, Json};
 /// Keep in sync with `Stage::ALL` in `crates/telemetry/src/trace.rs`
 /// (xtask stays dependency-free on purpose, so the names are duplicated
 /// here; `tests/telemetry_tracing.rs` pins the same list end-to-end).
-pub const STAGES: [&str; 9] = [
+pub const STAGES: [&str; 10] = [
     "admission",
+    "retry",
     "dispatch",
     "shard_queue",
     "worker_dequeue",
@@ -34,11 +35,12 @@ pub const STAGES: [&str; 9] = [
 
 const KINDS: [&str; 3] = ["why_so", "why_no", "rank_top_k"];
 
-const OUTCOMES: [&str; 9] = [
+const OUTCOMES: [&str; 10] = [
     "ok",
     "disconnected",
     "queue_full",
     "overloaded",
+    "circuit_open",
     "deadline_exceeded",
     "timeout",
     "invalid_request",
@@ -53,6 +55,8 @@ struct Aggregate {
     durations: Vec<Vec<u64>>,
     totals: Vec<u64>,
     records: usize,
+    /// `outcomes[i]` counts records whose outcome is `OUTCOMES[i]`.
+    outcomes: Vec<usize>,
 }
 
 /// Validate `text` (JSONL) and aggregate it. Returns the aggregate or
@@ -60,6 +64,7 @@ struct Aggregate {
 fn validate(text: &str) -> Result<Aggregate, Vec<String>> {
     let mut agg = Aggregate {
         durations: vec![Vec::new(); STAGES.len()],
+        outcomes: vec![0; OUTCOMES.len()],
         ..Aggregate::default()
     };
     let mut violations = Vec::new();
@@ -192,6 +197,13 @@ fn aggregate_record(doc: &Json, agg: &mut Aggregate) {
     if let Some(total) = doc.get("total_us").and_then(as_uint) {
         agg.totals.push(total);
     }
+    if let Some(slot) = doc
+        .get("outcome")
+        .and_then(Json::as_str)
+        .and_then(|outcome| OUTCOMES.iter().position(|o| *o == outcome))
+    {
+        agg.outcomes[slot] += 1;
+    }
     let Some(stages) = doc.get("stages").and_then(Json::as_arr) else {
         return;
     };
@@ -249,6 +261,24 @@ fn render(path: &str, agg: &Aggregate) -> String {
         quantile(&totals, 0.99),
         totals.last().copied().unwrap_or(0),
     ));
+    // Recovery timeline (PR 9): how much of the traffic needed healing —
+    // retried submissions (their `retry` span is the backoff wait, so
+    // the stage row above gives the wait distribution) and every
+    // non-`ok` outcome the tier answered with.
+    let retry_slot = STAGES
+        .iter()
+        .position(|s| *s == "retry")
+        .expect("retry is a known stage");
+    out.push_str(&format!(
+        "\nrecovery: {} of {} records were backed-off retries\n",
+        agg.durations[retry_slot].len(),
+        agg.records
+    ));
+    for (i, name) in OUTCOMES.iter().enumerate() {
+        if agg.outcomes[i] > 0 {
+            out.push_str(&format!("  outcome {:<18} {:>7}\n", name, agg.outcomes[i]));
+        }
+    }
     out
 }
 
@@ -277,7 +307,31 @@ mod tests {
         assert_eq!(agg.records, 1);
         assert_eq!(agg.totals, vec![42]);
         assert_eq!(agg.durations[0], vec![1]);
-        assert_eq!(agg.durations[8], vec![2]);
+        let respond = STAGES.iter().position(|s| *s == "respond").unwrap();
+        assert_eq!(agg.durations[respond], vec![2]);
+        assert_eq!(agg.outcomes[0], 1, "outcome \"ok\" counted");
+    }
+
+    #[test]
+    fn retry_stage_and_circuit_open_outcome_are_accepted() {
+        let retried = record("").replace(
+            r#"{"stage":"admission","start_us":0,"dur_us":1}"#,
+            r#"{"stage":"admission","start_us":0,"dur_us":0},{"stage":"retry","start_us":0,"dur_us":7}"#,
+        );
+        let agg = validate(&retried).expect("retry is schema-valid");
+        let slot = STAGES.iter().position(|s| *s == "retry").unwrap();
+        assert_eq!(agg.durations[slot], vec![7]);
+        let table = render("x.jsonl", &agg);
+        assert!(
+            table.contains("recovery: 1 of 1 records were backed-off retries"),
+            "{table}"
+        );
+
+        let shed = record("").replace("\"outcome\":\"ok\"", "\"outcome\":\"circuit_open\"");
+        let agg = validate(&shed).expect("circuit_open is schema-valid");
+        let slot = OUTCOMES.iter().position(|o| *o == "circuit_open").unwrap();
+        assert_eq!(agg.outcomes[slot], 1);
+        assert!(render("x.jsonl", &agg).contains("outcome circuit_open"));
     }
 
     #[test]

@@ -81,8 +81,10 @@ pub mod prelude {
     };
     pub use causality_lineage::{lineage, n_lineage};
     pub use causality_service::{
-        CausalityService, ExplainKind, ExplainRequest, ExplainResponse, ServiceConfig,
-        ServiceError, ServiceStats, ShardedService, TenantId, TierConfig, TierStats,
+        BreakerConfig, BreakerState, CausalityService, Clock, ExplainKind, ExplainRequest,
+        ExplainResponse, FaultKind, FaultPlan, FrontendStats, HealthState, ManualClock,
+        RetryPolicy, ServiceConfig, ServiceError, ServiceStats, ShardedService, SupervisorConfig,
+        SystemClock, TenantId, TierConfig, TierStats,
     };
     pub use causality_telemetry::{RequestTrace, Stage, TelemetryConfig};
 }

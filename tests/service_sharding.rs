@@ -188,7 +188,13 @@ fn admission_rejects_are_returned_not_dropped() {
         for _ in 0..40 {
             match tier.submit(tenant, req.clone()) {
                 Ok(pending) => accepted.push(pending),
-                Err(ServiceError::Overloaded) => rejected += 1,
+                Err(ServiceError::Overloaded { retry_after }) => {
+                    assert!(
+                        retry_after >= Duration::from_millis(1),
+                        "the reject carries a usable retry-after hint"
+                    );
+                    rejected += 1;
+                }
                 Err(other) => panic!("only Overloaded expected, got {other}"),
             }
         }
@@ -262,7 +268,18 @@ fn expired_deadline_is_an_error_not_a_computation() {
 #[test]
 fn panicking_one_shard_leaves_the_others_serving() {
     with_deadline(|| {
-        let tier = small_tier(2);
+        // Breakers off: this test is about panic *isolation*; eight
+        // straight panics would trip the victim tenant's breaker (its
+        // own protection is covered in tests/service_selfheal.rs).
+        let tier = ShardedService::new(TierConfig {
+            shards: 2,
+            breaker: BreakerConfig::disabled(),
+            shard: ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            ..TierConfig::default()
+        });
         let (victim, bystander) = two_tenants_on_different_shards(&tier);
 
         // Warm the bystander first so we can also prove its cache stays.

@@ -246,7 +246,7 @@ fn rejected_requests_finish_their_traces() {
     for _ in 0..16 {
         match tier.submit(t, req.clone()) {
             Ok(pending) => accepted.push(pending),
-            Err(ServiceError::Overloaded) => rejected += 1,
+            Err(ServiceError::Overloaded { .. }) => rejected += 1,
             Err(other) => panic!("unexpected error: {other}"),
         }
     }
